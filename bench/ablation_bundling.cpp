@@ -1,0 +1,80 @@
+// Ablation A — read bundling (§3.3 "bundling up fine-grained remote shared
+// data accesses into coarse-grained packages").
+//
+// Runs the two read-dominated applications (CG SpMV iterations and
+// Barnes–Hut force walks) with the runtime's read bundling disabled
+// (element-at-a-time fetches), and enabled at several block sizes. The
+// paper's claim is that this single runtime mechanism is what makes naive
+// fine-grained shared-memory style programs efficient on a cluster.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "apps/cg/cg_ppm.hpp"
+#include "apps/nbody/nbody_ppm.hpp"
+#include "bench_common.hpp"
+#include "core/ppm.hpp"
+
+namespace {
+
+using namespace ppm;
+
+RuntimeOptions options_for(int64_t block_bytes) {
+  RuntimeOptions opts;
+  if (block_bytes == 0) {
+    opts.bundle_reads = false;
+  } else {
+    opts.bundle_reads = true;
+    opts.read_block_bytes = static_cast<uint32_t>(block_bytes);
+  }
+  return opts;
+}
+
+/// arg0: read block bytes (0 = bundling off). 4 nodes x 4 cores.
+void BM_Ablation_Bundling_Cg(benchmark::State& state) {
+  const apps::cg::ChimneyProblem problem{.nx = 12, .ny = 12, .nz = 24};
+  for (auto _ : state) {
+    cluster::Machine machine(bench::bench_machine(4));
+    const RunResult r =
+        run_on(machine, options_for(state.range(0)), [&](Env& env) {
+          (void)apps::cg::cg_solve_ppm(env, problem,
+                                       {.max_iterations = 4,
+                                        .tolerance = 0.0});
+        });
+    state.counters["vtime_ms"] = r.duration_s() * 1e3;
+    state.counters["net_msgs"] = static_cast<double>(r.network_messages);
+    state.counters["blocks"] = static_cast<double>(r.remote_blocks_fetched);
+    state.counters["cache_hits"] =
+        static_cast<double>(r.remote_reads_served_from_cache);
+  }
+  state.counters["block_bytes"] = static_cast<double>(state.range(0));
+}
+
+void BM_Ablation_Bundling_BarnesHut(benchmark::State& state) {
+  const auto init = apps::nbody::make_plummer(3000, 99);
+  const apps::nbody::NbodyOptions opts{.theta = 0.5, .eps = 0.02,
+                                       .dt = 0.002, .steps = 1};
+  for (auto _ : state) {
+    cluster::Machine machine(bench::bench_machine(4));
+    const RunResult r =
+        run_on(machine, options_for(state.range(0)), [&](Env& env) {
+          auto st = apps::nbody::setup_nbody_ppm(env, init);
+          apps::nbody::simulate_ppm(env, st, opts);
+        });
+    state.counters["vtime_ms"] = r.duration_s() * 1e3;
+    state.counters["net_msgs"] = static_cast<double>(r.network_messages);
+    state.counters["blocks"] = static_cast<double>(r.remote_blocks_fetched);
+  }
+  state.counters["block_bytes"] = static_cast<double>(state.range(0));
+}
+
+}  // namespace
+
+BENCHMARK(BM_Ablation_Bundling_Cg)
+    ->Arg(0)->Arg(512)->Arg(2048)->Arg(16384)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Ablation_Bundling_BarnesHut)
+    ->Arg(0)->Arg(512)->Arg(2048)->Arg(16384)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+// Ablation D — data distribution policy ("automatic data distribution and
+// locality management", §3).
+//
+// Workload: accumulate-writes with a heavily skewed target distribution
+// (most updates land in a narrow index range). Under a block distribution
+// one node owns the hot range and its commit work and NIC serialize the
+// whole machine; a cyclic distribution deals the hot elements round-robin
+// over all nodes.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "core/ppm.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ppm;
+
+constexpr uint64_t kN = 1 << 15;
+constexpr uint64_t kVpsPerNode = 2048;
+constexpr int kUpdatesPerVp = 64;
+
+void BM_Ablation_Distribution(benchmark::State& state) {
+  const bool cyclic = state.range(0) != 0;
+  const int nodes = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    cluster::Machine machine(bench::bench_machine(nodes));
+    const RunResult r =
+        run_on(machine, bench::bench_runtime_options(), [&](Env& env) {
+          auto a = env.global_array<int64_t>(
+              kN, cyclic ? Distribution::kCyclic : Distribution::kBlock);
+          auto vps = env.ppm_do(kVpsPerNode);
+          vps.global_phase([&](Vp& vp) {
+            Rng rng(0xd15 ^ vp.global_rank());
+            for (int u = 0; u < kUpdatesPerVp; ++u) {
+              // 90% of updates hit the first 1/16th of the index space.
+              const bool hot = rng.next_below(10) != 0;
+              const uint64_t i = hot ? rng.next_below(kN / 16)
+                                     : rng.next_below(kN);
+              a.add(i, 1);
+            }
+          });
+        });
+    state.counters["vtime_ms"] = r.duration_s() * 1e3;
+    state.counters["net_msgs"] = static_cast<double>(r.network_messages);
+  }
+  state.counters["cyclic"] = static_cast<double>(state.range(0));
+  state.counters["nodes"] = static_cast<double>(state.range(1));
+}
+
+}  // namespace
+
+BENCHMARK(BM_Ablation_Distribution)
+    ->Args({0, 4})->Args({1, 4})->Args({0, 8})->Args({1, 8})
+    ->Args({0, 16})->Args({1, 16})
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+// Ablation B — communication/computation overlap (§3.3 "scheduling
+// communication needs and computation tasks to enable (automatic) overlap
+// of computation and communication").
+//
+// Workload: a scatter phase in which every VP computes (real work) and
+// writes results to remote elements of a global array. With eager
+// flushing, write bundles stream to their destinations while the phase is
+// still computing; without it, all write traffic is serialized into the
+// end-of-phase commit.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "core/ppm.hpp"
+
+namespace {
+
+using namespace ppm;
+
+constexpr uint64_t kN = 1 << 16;
+
+void scatter_workload(Env& env, GlobalShared<double>& a) {
+  const uint64_t k = kN / static_cast<uint64_t>(env.node_count());
+  const uint64_t offset = k * static_cast<uint64_t>(env.node_id());
+  auto vps = env.ppm_do(k);
+  vps.global_phase([&](Vp& vp) {
+    // Real compute per element, then a remote write (shifted by half the
+    // array so nearly every write leaves the node).
+    double acc = 0;
+    const auto i = static_cast<double>(vp.global_rank());
+    for (int t = 0; t < 60; ++t) acc += std::sin(i * 1e-3 + t);
+    a.set((offset + vp.node_rank() + kN / 2) % kN, acc);
+  });
+}
+
+/// arg0: eager flush on/off; arg1: flush threshold in KiB.
+void BM_Ablation_Overlap(benchmark::State& state) {
+  RuntimeOptions opts = bench::bench_runtime_options();
+  opts.eager_flush = state.range(0) != 0;
+  opts.flush_threshold_bytes = static_cast<uint32_t>(state.range(1)) * 1024;
+  for (auto _ : state) {
+    cluster::Machine machine(bench::bench_machine(4));
+    const RunResult r = run_on(machine, opts, [&](Env& env) {
+      auto a = env.global_array<double>(kN);
+      for (int round = 0; round < 3; ++round) scatter_workload(env, a);
+    });
+    state.counters["vtime_ms"] = r.duration_s() * 1e3;
+    state.counters["bundles"] = static_cast<double>(r.bundles_sent);
+    state.counters["net_msgs"] = static_cast<double>(r.network_messages);
+  }
+  state.counters["eager"] = static_cast<double>(state.range(0));
+  state.counters["threshold_KiB"] = static_cast<double>(state.range(1));
+}
+
+}  // namespace
+
+BENCHMARK(BM_Ablation_Overlap)
+    ->Args({0, 64})   // lazy: everything at commit
+    ->Args({1, 16})   // eager, fine-grained streaming
+    ->Args({1, 64})   // eager, default threshold
+    ->Args({1, 256})  // eager, coarse fragments
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+// Figure 2 — "Application Performance of the Matrix Generation".
+//
+// Runtime of the multi-scale collocation sparse-matrix generation, PPM vs
+// MPI, vs node count. Expected shape (paper §4.5): the computation is
+// complex (numerical quadrature) and data volume modest, so the PPM
+// runtime's shared-access overhead is not a significant factor; "the PPM
+// program consistently performs better than the MPI implementation" and
+// scales better as nodes increase.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "apps/collocation/matgen_mpi.hpp"
+#include "apps/collocation/matgen_ppm.hpp"
+#include "bench_common.hpp"
+#include "core/ppm.hpp"
+#include "mp/comm.hpp"
+
+namespace {
+
+using namespace ppm;
+using namespace ppm::apps::collocation;
+
+CollocationProblem bench_problem() {
+  const double s = bench::bench_scale();
+  CollocationProblem p;
+  p.levels = 7;
+  p.base = static_cast<uint64_t>(32 * s);
+  p.refine_terms = 10;
+  p.combo_terms = 8;
+  p.bandwidth = 3;
+  p.quadrature_points = 48;
+  p.seed = 20090401;
+  return p;
+}
+
+void BM_Fig2_MatgenPpm(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  const CollocationProblem problem = bench_problem();
+  for (auto _ : state) {
+    cluster::Machine machine(bench::bench_machine(nodes));
+    uint64_t nnz = 0;
+    const RunResult r =
+        run_on(machine, bench::bench_runtime_options(), [&](Env& env) {
+          const auto out = generate_matrix_ppm(env, problem);
+          if (env.node_id() == 0) nnz = out.local_rows.nnz();
+        });
+    state.counters["vtime_ms"] = r.duration_s() * 1e3;
+    state.counters["net_msgs"] = static_cast<double>(r.network_messages);
+    state.counters["net_MB"] =
+        static_cast<double>(r.network_bytes) / 1048576.0;
+    benchmark::DoNotOptimize(nnz);
+  }
+  state.counters["nodes"] = nodes;
+  state.counters["points"] = static_cast<double>(problem.total_points());
+}
+
+void BM_Fig2_MatgenMpi(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  const CollocationProblem problem = bench_problem();
+  for (auto _ : state) {
+    cluster::Machine machine(bench::bench_machine(nodes));
+    mp::World world(machine);
+    machine.run_per_core([&](const cluster::Place& place) {
+      mp::Comm comm = world.comm_at(place);
+      const auto out = generate_matrix_mpi(comm, problem);
+      benchmark::DoNotOptimize(out.local_rows.nnz());
+    });
+    state.counters["vtime_ms"] =
+        static_cast<double>(machine.last_run_duration_ns()) * 1e-6;
+    const auto& fs = machine.fabric().stats();
+    state.counters["net_msgs"] =
+        static_cast<double>(fs.inter_messages.value());
+    state.counters["net_MB"] =
+        static_cast<double>(fs.inter_bytes.value()) / 1048576.0;
+  }
+  state.counters["nodes"] = nodes;
+}
+
+}  // namespace
+
+BENCHMARK(BM_Fig2_MatgenPpm)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Fig2_MatgenMpi)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+// Figure 3 — "Application Performance of Barnes-Hut Simulation".
+//
+// Runtime of Barnes–Hut time steps vs node count: PPM (data-driven remote
+// tree reads, bundled by the runtime) against the cited MPI method (every
+// rank receives full copies of all other ranks' trees every step).
+// Expected shape (paper §4.5): PPM scales well; the tree-copying MPI
+// method pays an "extremely high volume of data exchange" that grows with
+// scale.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "apps/nbody/nbody_mpi.hpp"
+#include "apps/nbody/nbody_ppm.hpp"
+#include "bench_common.hpp"
+#include "core/ppm.hpp"
+#include "mp/comm.hpp"
+
+namespace {
+
+using namespace ppm;
+using namespace ppm::apps::nbody;
+
+uint64_t bench_particles() {
+  return static_cast<uint64_t>(12'000 * bench::bench_scale());
+}
+
+const NbodyOptions kOpts{.theta = 0.5, .eps = 0.01, .dt = 0.002, .steps = 2};
+
+void BM_Fig3_BarnesHutPpm(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  const BodySet init = make_plummer(bench_particles(), 2009);
+  for (auto _ : state) {
+    cluster::Machine machine(bench::bench_machine(nodes));
+    const RunResult r =
+        run_on(machine, bench::bench_runtime_options(), [&](Env& env) {
+          auto st = setup_nbody_ppm(env, init);
+          simulate_ppm(env, st, kOpts);
+        });
+    state.counters["vtime_ms"] = r.duration_s() * 1e3;
+    state.counters["net_msgs"] = static_cast<double>(r.network_messages);
+    state.counters["net_MB"] =
+        static_cast<double>(r.network_bytes) / 1048576.0;
+  }
+  state.counters["nodes"] = nodes;
+  state.counters["particles"] = static_cast<double>(init.size());
+}
+
+void BM_Fig3_BarnesHutMpi(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  const BodySet init = make_plummer(bench_particles(), 2009);
+  for (auto _ : state) {
+    cluster::Machine machine(bench::bench_machine(nodes));
+    mp::World world(machine);
+    machine.run_per_core([&](const cluster::Place& place) {
+      mp::Comm comm = world.comm_at(place);
+      auto st = setup_nbody_mpi(comm, init);
+      simulate_mpi(comm, st, kOpts);
+    });
+    state.counters["vtime_ms"] =
+        static_cast<double>(machine.last_run_duration_ns()) * 1e-6;
+    const auto& fs = machine.fabric().stats();
+    state.counters["net_msgs"] =
+        static_cast<double>(fs.inter_messages.value());
+    state.counters["net_MB"] =
+        static_cast<double>(fs.inter_bytes.value()) / 1048576.0;
+  }
+  state.counters["nodes"] = nodes;
+}
+
+}  // namespace
+
+BENCHMARK(BM_Fig3_BarnesHutPpm)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Fig3_BarnesHutMpi)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,122 @@
+// Microbenchmarks of the message-passing substrate: point-to-point
+// latency/bandwidth curves and collective costs vs rank count, in
+// simulated time. These pin down the machine model underneath Figures 1-3.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "mp/comm.hpp"
+
+namespace {
+
+using namespace ppm;
+
+/// arg0: message bytes. Simulated ping-pong between two nodes.
+void BM_Micro_PingPong(benchmark::State& state) {
+  const auto bytes = static_cast<size_t>(state.range(0));
+  constexpr int kRounds = 50;
+  for (auto _ : state) {
+    cluster::Machine machine(bench::bench_machine(2, /*cores=*/1));
+    mp::World world(machine);
+    machine.run_per_core([&](const cluster::Place& place) {
+      mp::Comm comm = world.comm_at(place);
+      Bytes payload(bytes, std::byte{1});
+      for (int i = 0; i < kRounds; ++i) {
+        if (comm.rank() == 0) {
+          comm.send(1, 0, Bytes(payload));
+          (void)comm.recv(1, 0);
+        } else {
+          (void)comm.recv(0, 0);
+          comm.send(0, 0, Bytes(payload));
+        }
+      }
+    });
+    const double rtt_us = static_cast<double>(
+                              machine.last_run_duration_ns()) /
+                          kRounds * 1e-3;
+    state.counters["rtt_us"] = rtt_us;
+    state.counters["bw_MBps"] =
+        rtt_us > 0 ? 2.0 * static_cast<double>(bytes) / rtt_us : 0;
+  }
+  state.counters["bytes"] = static_cast<double>(bytes);
+}
+
+/// Intra-node vs network one-way cost at 1 KiB.
+void BM_Micro_IntraVsInter(benchmark::State& state) {
+  const bool intra = state.range(0) != 0;
+  for (auto _ : state) {
+    cluster::Machine machine(bench::bench_machine(2, /*cores=*/2));
+    mp::World world(machine);
+    machine.run_per_core([&](const cluster::Place& place) {
+      mp::Comm comm = world.comm_at(place);
+      const int peer = intra ? 1 : 2;  // rank 1 = same node, 2 = other node
+      if (comm.rank() == 0) {
+        for (int i = 0; i < 100; ++i) {
+          comm.send(peer, 0, Bytes(1024, std::byte{0}));
+          (void)comm.recv(peer, 0);
+        }
+      } else if (comm.rank() == peer) {
+        for (int i = 0; i < 100; ++i) {
+          (void)comm.recv(0, 0);
+          comm.send(0, 0, Bytes(1024, std::byte{0}));
+        }
+      }
+    });
+    state.counters["rtt_us"] =
+        static_cast<double>(machine.last_run_duration_ns()) / 100 * 1e-3;
+  }
+  state.counters["intra"] = static_cast<double>(state.range(0));
+}
+
+/// arg0: nodes (4 cores each). Collective latency in simulated time.
+template <typename Body>
+void run_collective(benchmark::State& state, Body body, int rounds) {
+  const int nodes = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    cluster::Machine machine(bench::bench_machine(nodes));
+    mp::World world(machine);
+    machine.run_per_core([&](const cluster::Place& place) {
+      mp::Comm comm = world.comm_at(place);
+      for (int i = 0; i < rounds; ++i) body(comm);
+    });
+    state.counters["per_op_us"] =
+        static_cast<double>(machine.last_run_duration_ns()) / rounds * 1e-3;
+  }
+  state.counters["ranks"] = nodes * bench::kCoresPerNode;
+}
+
+void BM_Micro_Barrier(benchmark::State& state) {
+  run_collective(state, [](mp::Comm& c) { c.barrier(); }, 20);
+}
+
+void BM_Micro_Allreduce(benchmark::State& state) {
+  run_collective(state,
+                 [](mp::Comm& c) {
+                   (void)c.allreduce_value(
+                       static_cast<double>(c.rank()),
+                       [](double a, double b) { return a + b; });
+                 },
+                 20);
+}
+
+void BM_Micro_Allgatherv1K(benchmark::State& state) {
+  run_collective(state,
+                 [](mp::Comm& c) {
+                   std::vector<double> mine(128, 1.0);  // 1 KiB each
+                   (void)c.allgatherv(std::span<const double>(mine));
+                 },
+                 5);
+}
+
+}  // namespace
+
+BENCHMARK(BM_Micro_PingPong)
+    ->Arg(8)->Arg(256)->Arg(4096)->Arg(65536)->Arg(1 << 20)
+    ->Iterations(1);
+BENCHMARK(BM_Micro_IntraVsInter)->Arg(1)->Arg(0)->Iterations(1);
+BENCHMARK(BM_Micro_Barrier)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Iterations(1);
+BENCHMARK(BM_Micro_Allreduce)->Arg(2)->Arg(4)->Arg(8)->Arg(16)
+    ->Iterations(1);
+BENCHMARK(BM_Micro_Allgatherv1K)->Arg(2)->Arg(4)->Arg(8)->Arg(16)
+    ->Iterations(1);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,144 @@
+// Microbenchmarks of PPM runtime primitives, in simulated time: shared
+// read paths (local / cached remote / uncached remote), write+commit
+// throughput, and bare phase overhead. These are the constants behind the
+// application-level figures.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "core/ppm.hpp"
+
+namespace {
+
+using namespace ppm;
+
+/// Bare global phase overhead (no VP work), per phase, vs node count.
+void BM_MicroPpm_EmptyPhase(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  constexpr int kPhases = 50;
+  for (auto _ : state) {
+    cluster::Machine machine(bench::bench_machine(nodes));
+    const RunResult r =
+        run_on(machine, bench::bench_runtime_options(), [&](Env& env) {
+          auto vps = env.ppm_do(1);
+          for (int i = 0; i < kPhases; ++i) {
+            vps.global_phase([](Vp&) {});
+          }
+        });
+    state.counters["per_phase_us"] =
+        r.duration_s() * 1e6 / kPhases;
+  }
+  state.counters["nodes"] = nodes;
+}
+
+/// Node phase overhead for comparison (no network involvement).
+void BM_MicroPpm_EmptyNodePhase(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  constexpr int kPhases = 50;
+  for (auto _ : state) {
+    cluster::Machine machine(bench::bench_machine(nodes));
+    const RunResult r =
+        run_on(machine, bench::bench_runtime_options(), [&](Env& env) {
+          auto vps = env.ppm_do_async(1);
+          for (int i = 0; i < kPhases; ++i) {
+            vps.node_phase([](Vp&) {});
+          }
+        });
+    state.counters["per_phase_us"] = r.duration_s() * 1e6 / kPhases;
+  }
+  state.counters["nodes"] = nodes;
+}
+
+/// Read path costs: arg0 selects the flavor.
+enum ReadFlavor : int64_t { kLocal = 0, kRemoteCached = 1, kRemoteCold = 2 };
+
+void BM_MicroPpm_Read(benchmark::State& state) {
+  const auto flavor = static_cast<ReadFlavor>(state.range(0));
+  constexpr uint64_t kN = 1 << 16;
+  for (auto _ : state) {
+    cluster::Machine machine(bench::bench_machine(2, /*cores=*/1));
+    uint64_t reads = 0;
+    const RunResult r =
+        run_on(machine, bench::bench_runtime_options(), [&](Env& env) {
+          auto a = env.global_array<double>(kN);
+          auto vps = env.ppm_do(env.node_id() == 0 ? 1 : 0);
+          vps.global_phase([&](Vp&) {
+            double acc = 0;
+            switch (flavor) {
+              case kLocal:
+                for (uint64_t i = 0; i < kN / 2; ++i) acc += a.get(i);
+                reads = kN / 2;
+                break;
+              case kRemoteCached:
+                // First sweep warms the block cache, second is timed load.
+                for (int sweep = 0; sweep < 8; ++sweep) {
+                  for (uint64_t i = kN / 2; i < kN; ++i) acc += a.get(i);
+                }
+                reads = 8 * kN / 2;
+                break;
+              case kRemoteCold:
+                // Strided reads: one per block, always cold.
+                for (uint64_t i = kN / 2; i < kN; i += 2048) {
+                  acc += a.get(i);
+                  ++reads;
+                }
+                break;
+            }
+            benchmark::DoNotOptimize(acc);
+          });
+        });
+    state.counters["per_read_ns"] =
+        reads > 0 ? static_cast<double>(r.duration_ns) /
+                        static_cast<double>(reads)
+                  : 0;
+    state.counters["blocks"] = static_cast<double>(r.remote_blocks_fetched);
+  }
+}
+
+/// Deferred write + commit cost per entry (remote scatter, 2 nodes).
+void BM_MicroPpm_WriteCommit(benchmark::State& state) {
+  constexpr uint64_t kN = 1 << 15;
+  for (auto _ : state) {
+    cluster::Machine machine(bench::bench_machine(2, /*cores=*/1));
+    const RunResult r =
+        run_on(machine, bench::bench_runtime_options(), [&](Env& env) {
+          auto a = env.global_array<double>(kN);
+          auto vps = env.ppm_do(env.node_id() == 0 ? kN / 2 : 0);
+          vps.global_phase([&](Vp& vp) {
+            a.set(kN / 2 + vp.node_rank(), 1.0);  // all remote
+          });
+        });
+    state.counters["per_write_ns"] =
+        static_cast<double>(r.duration_ns) / (kN / 2);
+    state.counters["bundles"] = static_cast<double>(r.bundles_sent);
+  }
+}
+
+/// ppm_do group coordination cost vs node count.
+void BM_MicroPpm_GroupCreate(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  constexpr int kGroups = 30;
+  for (auto _ : state) {
+    cluster::Machine machine(bench::bench_machine(nodes));
+    const RunResult r =
+        run_on(machine, bench::bench_runtime_options(), [&](Env& env) {
+          for (int i = 0; i < kGroups; ++i) {
+            (void)env.ppm_do(4);
+          }
+        });
+    state.counters["per_group_us"] = r.duration_s() * 1e6 / kGroups;
+  }
+  state.counters["nodes"] = nodes;
+}
+
+}  // namespace
+
+BENCHMARK(BM_MicroPpm_EmptyPhase)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)
+    ->Iterations(1);
+BENCHMARK(BM_MicroPpm_EmptyNodePhase)->Arg(1)->Arg(4)->Arg(16)
+    ->Iterations(1);
+BENCHMARK(BM_MicroPpm_Read)->Arg(0)->Arg(1)->Arg(2)->Iterations(1);
+BENCHMARK(BM_MicroPpm_WriteCommit)->Iterations(1);
+BENCHMARK(BM_MicroPpm_GroupCreate)->Arg(2)->Arg(4)->Arg(8)->Arg(16)
+    ->Iterations(1);
+
+BENCHMARK_MAIN();

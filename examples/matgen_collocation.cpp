@@ -1,0 +1,59 @@
+// Example: multi-scale collocation sparse-matrix generation (the paper's
+// Application 2). The integration tables live in global shared arrays; the
+// randomly indexed cross-level reads are plain shared accesses.
+#include <cstdio>
+
+#include "apps/collocation/matgen_ppm.hpp"
+#include "core/ppm.hpp"
+
+int main() {
+  using namespace ppm;
+  using namespace ppm::apps::collocation;
+
+  CollocationProblem problem;
+  problem.levels = 6;
+  problem.base = 16;
+  problem.refine_terms = 8;
+  problem.combo_terms = 6;
+  problem.bandwidth = 3;
+  problem.quadrature_points = 32;
+  problem.seed = 7;
+
+  PpmConfig config;
+  config.machine.nodes = 4;
+  config.machine.cores_per_node = 4;
+
+  std::printf("collocation: %d levels, %llu points total\n", problem.levels,
+              static_cast<unsigned long long>(problem.total_points()));
+
+  uint64_t total_nnz = 0;
+  const RunResult r = run(config, [&](Env& env) {
+    const PpmMatgenOutput out = generate_matrix_ppm(env, problem);
+    const uint64_t nnz = out.local_rows.nnz();
+    const uint64_t sum =
+        env.allreduce(nnz, [](uint64_t a, uint64_t b) { return a + b; });
+    if (env.node_id() == 0) total_nnz = sum;
+  });
+
+  std::printf("generated %llu nonzeros in %.2f ms simulated time\n",
+              static_cast<unsigned long long>(total_nnz),
+              r.duration_s() * 1e3);
+  std::printf("network: %llu messages, %.2f MB; remote blocks fetched: "
+              "%llu, reads served from cache: %llu\n",
+              static_cast<unsigned long long>(r.network_messages),
+              static_cast<double>(r.network_bytes) / 1048576.0,
+              static_cast<unsigned long long>(r.remote_blocks_fetched),
+              static_cast<unsigned long long>(
+                  r.remote_reads_served_from_cache));
+
+  // Cross-check against the serial generator.
+  const CsrMatrix serial = generate_matrix_serial(problem);
+  if (serial.nnz() != total_nnz) {
+    std::printf("MISMATCH: serial generator has %llu nonzeros\n",
+                static_cast<unsigned long long>(serial.nnz()));
+    return 1;
+  }
+  std::printf("matches the serial generator (%llu nonzeros).\n",
+              static_cast<unsigned long long>(serial.nnz()));
+  return 0;
+}

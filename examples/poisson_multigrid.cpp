@@ -1,0 +1,49 @@
+// Example: solve a 2D Poisson problem with geometric multigrid in PPM —
+// "multi-grid" is one of the unstructured application domains the paper's
+// introduction motivates. Each V-cycle is ~15 global phases (smoothing,
+// residual, restriction, prolongation), all with implicit communication.
+#include <cstdio>
+
+#include "apps/multigrid/multigrid.hpp"
+#include "core/ppm.hpp"
+
+int main() {
+  using namespace ppm;
+  using namespace ppm::apps::multigrid;
+
+  const uint64_t n = 128;  // 129x129 vertex grid
+  const GridLevel f = make_rhs(n);
+  const MgOptions opts{};
+  const int cycles = 6;
+
+  PpmConfig config;
+  config.machine.nodes = 4;
+  config.machine.cores_per_node = 4;
+
+  std::printf("Poisson on a %llux%llu grid, %d V-cycles\n",
+              static_cast<unsigned long long>(n + 1),
+              static_cast<unsigned long long>(n + 1), cycles);
+
+  std::vector<double> norms;
+  const RunResult r = run(config, [&](Env& env) {
+    auto history = solve_mg_ppm(env, f, cycles, opts, nullptr);
+    if (env.node_id() == 0) norms = std::move(history);
+  });
+
+  double prev = -1;
+  for (size_t c = 0; c < norms.size(); ++c) {
+    std::printf("  cycle %zu: ||r|| = %.3e%s\n", c + 1, norms[c],
+                prev > 0 ? strfmt("  (factor %.3f)", norms[c] / prev).c_str()
+                         : "");
+    prev = norms[c];
+  }
+  std::printf("simulated time: %.2f ms | network: %llu msgs, %.2f MB\n",
+              r.duration_s() * 1e3,
+              static_cast<unsigned long long>(r.network_messages),
+              static_cast<double>(r.network_bytes) / 1048576.0);
+  // Textbook multigrid contracts the residual by ~10x per cycle.
+  return (norms.size() == static_cast<size_t>(cycles) &&
+          norms.back() < norms.front() * 1e-3)
+             ? 0
+             : 1;
+}

@@ -1,0 +1,181 @@
+#include "apps/cg/cg_mpi.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+
+#include "util/error.hpp"
+
+namespace ppm::apps::cg {
+
+namespace {
+
+constexpr int kTagGhost = 100;
+
+struct GhostPlan {
+  // Ranks I receive ghost values from, with the global indices they send
+  // (in transmission order) — established once at setup.
+  std::vector<int> recv_from;
+  std::vector<std::vector<uint64_t>> recv_indices;
+  // Ranks I send to, with the local row offsets they asked for.
+  std::vector<int> send_to;
+  std::vector<std::vector<uint64_t>> send_local_rows;
+};
+
+}  // namespace
+
+MpiCgOutput cg_solve_mpi(mp::Comm& comm, const ChimneyProblem& problem,
+                         const CgOptions& options) {
+  const uint64_t n = problem.unknowns();
+  const int p_ranks = comm.size();
+  const int me = comm.rank();
+  const uint64_t chunk =
+      (n + static_cast<uint64_t>(p_ranks) - 1) / static_cast<uint64_t>(p_ranks);
+  auto row_begin_of = [&](int rank) {
+    return std::min(n, chunk * static_cast<uint64_t>(rank));
+  };
+  const uint64_t row0 = row_begin_of(me);
+  const uint64_t row1 = row_begin_of(me + 1);
+  const uint64_t rows = row1 - row0;
+
+  // ---- Setup: local slice, ghost analysis, request-list exchange ----
+
+  CsrMatrix a = build_chimney_matrix_rows(problem, row0, row1);
+  const std::vector<double> b_full = build_chimney_rhs(problem);
+
+  // Unique off-slice columns, grouped by owning rank.
+  std::map<int, std::vector<uint64_t>> needed;  // owner -> sorted indices
+  {
+    std::vector<uint64_t> ghosts(a.col_idx.begin(), a.col_idx.end());
+    std::sort(ghosts.begin(), ghosts.end());
+    ghosts.erase(std::unique(ghosts.begin(), ghosts.end()), ghosts.end());
+    for (uint64_t c : ghosts) {
+      if (c < row0 || c >= row1) {
+        needed[static_cast<int>(c / chunk)].push_back(c);
+      }
+    }
+  }
+
+  // Tell every owner which of its entries we need (alltoallv of index
+  // lists); learn which of our entries the others need.
+  std::vector<std::vector<uint64_t>> requests(
+      static_cast<size_t>(p_ranks));
+  for (auto& [owner, idx] : needed) {
+    requests[static_cast<size_t>(owner)] = idx;
+  }
+  const auto incoming = comm.alltoallv(requests);
+
+  GhostPlan plan;
+  for (const auto& [owner, idx] : needed) {
+    plan.recv_from.push_back(owner);
+    plan.recv_indices.push_back(idx);
+  }
+  for (int src = 0; src < p_ranks; ++src) {
+    if (src == me || incoming[static_cast<size_t>(src)].empty()) continue;
+    plan.send_to.push_back(src);
+    std::vector<uint64_t> local_rows;
+    local_rows.reserve(incoming[static_cast<size_t>(src)].size());
+    for (uint64_t g : incoming[static_cast<size_t>(src)]) {
+      PPM_CHECK(g >= row0 && g < row1,
+                "rank %d asked rank %d for non-owned row", src, me);
+      local_rows.push_back(g - row0);
+    }
+    plan.send_local_rows.push_back(std::move(local_rows));
+  }
+
+  // Remap column indices to local-and-ghost numbering: locals first, then
+  // ghosts in (owner, index) order.
+  std::unordered_map<uint64_t, uint64_t> ghost_slot;
+  uint64_t next_slot = rows;
+  for (const auto& idx : plan.recv_indices) {
+    for (uint64_t g : idx) ghost_slot.emplace(g, next_slot++);
+  }
+  for (uint64_t& c : a.col_idx) {
+    c = (c >= row0 && c < row1) ? c - row0 : ghost_slot.at(c);
+  }
+
+  // ---- CG iteration ----
+
+  std::vector<double> x(rows, 0.0);
+  std::vector<double> r(b_full.begin() + static_cast<int64_t>(row0),
+                        b_full.begin() + static_cast<int64_t>(row1));
+  std::vector<double> p_vec(next_slot, 0.0);  // locals + ghost halo
+  std::vector<double> q(rows, 0.0);
+  std::copy(r.begin(), r.end(), p_vec.begin());
+
+  auto local_dot = [](std::span<const double> u, std::span<const double> v) {
+    double acc = 0;
+    for (size_t i = 0; i < u.size(); ++i) acc += u[i] * v[i];
+    return acc;
+  };
+  auto sum_all = [&](double v) {
+    return comm.allreduce_value(v, [](double u, double w) { return u + w; });
+  };
+
+  // Bundle and ship the p entries each neighbor asked for, and fill our
+  // ghost halo with what the owners send — one message per neighbor pair.
+  auto exchange_ghosts = [&] {
+    std::vector<mp::Request> sends;
+    sends.reserve(plan.send_to.size());
+    for (size_t s = 0; s < plan.send_to.size(); ++s) {
+      std::vector<double> payload;
+      payload.reserve(plan.send_local_rows[s].size());
+      for (uint64_t lr : plan.send_local_rows[s]) payload.push_back(p_vec[lr]);
+      ByteWriter w;
+      w.put_span(std::span<const double>(payload));
+      sends.push_back(comm.isend(plan.send_to[s], kTagGhost,
+                                 std::move(w).take()));
+    }
+    for (size_t g = 0; g < plan.recv_from.size(); ++g) {
+      const auto values = comm.recv_vec<double>(plan.recv_from[g], kTagGhost);
+      PPM_CHECK(values.size() == plan.recv_indices[g].size(),
+                "ghost exchange size mismatch");
+      for (size_t j = 0; j < values.size(); ++j) {
+        p_vec[ghost_slot.at(plan.recv_indices[g][j])] = values[j];
+      }
+    }
+    comm.waitall(sends);
+  };
+
+  const double b_norm = std::sqrt(sum_all(local_dot(r, r)));
+  const double threshold = options.tolerance * (b_norm > 0 ? b_norm : 1.0);
+  double rr = sum_all(local_dot(r, r));
+
+  MpiCgOutput out;
+  out.row_begin = row0;
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    exchange_ghosts();
+    // Local SpMV over the halo-extended p.
+    for (uint64_t i = 0; i < rows; ++i) {
+      double acc = 0.0;
+      for (uint64_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
+        acc += a.values[k] * p_vec[a.col_idx[k]];
+      }
+      q[i] = acc;
+    }
+    const double pq = sum_all(local_dot({p_vec.data(), rows}, q));
+    const double alpha = rr / pq;
+    for (uint64_t i = 0; i < rows; ++i) {
+      x[i] += alpha * p_vec[i];
+      r[i] -= alpha * q[i];
+    }
+    const double rr_new = sum_all(local_dot(r, r));
+    out.residual_history.push_back(std::sqrt(rr_new));
+    ++out.iterations;
+    if (std::sqrt(rr_new) <= threshold) {
+      out.converged = true;
+      break;
+    }
+    const double beta = rr_new / rr;
+    for (uint64_t i = 0; i < rows; ++i) {
+      p_vec[i] = r[i] + beta * p_vec[i];
+    }
+    rr = rr_new;
+  }
+  out.x_local = std::move(x);
+  return out;
+}
+
+}  // namespace ppm::apps::cg

@@ -1,0 +1,31 @@
+// Conjugate-gradient solver in explicit message-passing style — the
+// paper's "highly-tuned MPI implementation" comparator.
+//
+// One rank per core. Rows are block-distributed over ranks. At setup each
+// rank analyzes its matrix slice to find the ghost entries of p it needs,
+// exchanges request lists with the owning ranks, and remaps column indices
+// to a local+ghost numbering. Every iteration then performs one bundled
+// ghost exchange per neighbor pair (isend/irecv), a purely local SpMV, and
+// allreduce dot products — all the communication and synchronization code
+// the PPM version does not have to write.
+#pragma once
+
+#include "apps/cg/cg_serial.hpp"
+#include "apps/cg/csr.hpp"
+#include "mp/comm.hpp"
+
+namespace ppm::apps::cg {
+
+struct MpiCgOutput {
+  std::vector<double> x_local;  // this rank's rows of the solution
+  uint64_t row_begin = 0;
+  std::vector<double> residual_history;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Solve the chimney diffusion problem; collective over all ranks of comm.
+MpiCgOutput cg_solve_mpi(mp::Comm& comm, const ChimneyProblem& problem,
+                         const CgOptions& options = {});
+
+}  // namespace ppm::apps::cg

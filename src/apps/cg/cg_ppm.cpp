@@ -1,0 +1,82 @@
+#include "apps/cg/cg_ppm.hpp"
+
+#include <cmath>
+
+#include "apps/cg/trisolve.hpp"
+#include "core/algorithms.hpp"
+
+namespace ppm::apps::cg {
+
+PpmCgOutput cg_solve_ppm(Env& env, const ChimneyProblem& problem,
+                         const CgOptions& options) {
+  const uint64_t n = problem.unknowns();
+  auto x = env.global_array<double>(n);
+  auto r = env.global_array<double>(n);
+  auto p = env.global_array<double>(n);
+  auto q = env.global_array<double>(n);
+
+  // Owner-computes: this node's VPs handle its chunk of rows. The local
+  // matrix rows are generated directly into node-local memory.
+  const uint64_t row0 = x.local_begin();
+  const uint64_t rows = x.local_end() - row0;
+  const CsrMatrix a = build_chimney_matrix_rows(problem, row0, row0 + rows);
+  const std::vector<double> b = build_chimney_rhs(problem);
+
+  auto vps = env.ppm_do(rows);
+
+  // r = p = b, x = 0.
+  vps.global_phase([&](Vp& vp) {
+    const uint64_t i = row0 + vp.node_rank();
+    x.set(i, 0.0);
+    r.set(i, b[i]);
+    p.set(i, b[i]);
+  });
+
+  const double b_norm = std::sqrt(dot(env, r, r));
+  const double threshold =
+      options.tolerance * (b_norm > 0 ? b_norm : 1.0);
+
+  PpmCgOutput out{x, {}, 0, false};
+  double rr = dot(env, r, r);
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    // q = A p. Remote p entries are plain shared reads; the runtime
+    // bundles them into block fetches.
+    vps.global_phase([&](Vp& vp) {
+      const uint64_t i = vp.node_rank();
+      double acc = 0.0;
+      for (uint64_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
+        acc += a.values[k] * p.get(a.col_idx[k]);
+      }
+      q.set(row0 + i, acc);
+    });
+
+    const double alpha = rr / dot(env, p, q);
+
+    // x += alpha p;  r -= alpha q.
+    vps.global_phase([&](Vp& vp) {
+      const uint64_t i = row0 + vp.node_rank();
+      x.add(i, alpha * p.get(i));
+      r.add(i, -alpha * q.get(i));
+    });
+
+    const double rr_new = dot(env, r, r);
+    out.residual_history.push_back(std::sqrt(rr_new));
+    ++out.iterations;
+    if (std::sqrt(rr_new) <= threshold) {
+      out.converged = true;
+      break;
+    }
+    const double beta = rr_new / rr;
+
+    // p = r + beta p.
+    vps.global_phase([&](Vp& vp) {
+      const uint64_t i = row0 + vp.node_rank();
+      p.set(i, r.get(i) + beta * p.get(i));
+    });
+    rr = rr_new;
+  }
+  return out;
+}
+
+}  // namespace ppm::apps::cg

@@ -1,0 +1,52 @@
+#include "apps/cg/cg_serial.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ppm::apps::cg {
+
+namespace {
+double dot(std::span<const double> a, std::span<const double> b) {
+  double acc = 0;
+  for (size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+}  // namespace
+
+CgResult cg_solve_serial(const CsrMatrix& a, std::span<const double> b,
+                         const CgOptions& options) {
+  PPM_CHECK(b.size() == a.n, "rhs size mismatch");
+  const uint64_t n = a.n;
+  CgResult result;
+  result.x.assign(n, 0.0);
+  std::vector<double> r(b.begin(), b.end());  // r = b - A*0
+  std::vector<double> p = r;
+  std::vector<double> q(n, 0.0);
+
+  const double b_norm = std::sqrt(dot(b, b));
+  const double threshold = options.tolerance * (b_norm > 0 ? b_norm : 1.0);
+  double rr = dot(r, r);
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    a.spmv(p, q);
+    const double alpha = rr / dot(p, q);
+    for (uint64_t i = 0; i < n; ++i) {
+      result.x[i] += alpha * p[i];
+      r[i] -= alpha * q[i];
+    }
+    const double rr_new = dot(r, r);
+    result.residual_history.push_back(std::sqrt(rr_new));
+    ++result.iterations;
+    if (std::sqrt(rr_new) <= threshold) {
+      result.converged = true;
+      break;
+    }
+    const double beta = rr_new / rr;
+    for (uint64_t i = 0; i < n; ++i) p[i] = r[i] + beta * p[i];
+    rr = rr_new;
+  }
+  return result;
+}
+
+}  // namespace ppm::apps::cg

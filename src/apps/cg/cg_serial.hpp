@@ -1,0 +1,27 @@
+// Serial conjugate-gradient reference solver.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "apps/cg/csr.hpp"
+
+namespace ppm::apps::cg {
+
+struct CgResult {
+  std::vector<double> x;
+  std::vector<double> residual_history;  // ||r||_2 after each iteration
+  int iterations = 0;
+  bool converged = false;
+};
+
+struct CgOptions {
+  int max_iterations = 200;
+  double tolerance = 1e-8;  // relative to ||b||
+};
+
+/// Solve A x = b with unpreconditioned CG.
+CgResult cg_solve_serial(const CsrMatrix& a, std::span<const double> b,
+                         const CgOptions& options = {});
+
+}  // namespace ppm::apps::cg

@@ -1,0 +1,56 @@
+// Compressed-sparse-row matrix and the 27-point finite-difference operator
+// used by the paper's Application 1 ("diffusion problem on 3D chimney
+// domain by a 27 point implicit finite difference scheme").
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ppm::apps::cg {
+
+/// CSR sparse matrix (square, double precision).
+struct CsrMatrix {
+  uint64_t n = 0;
+  std::vector<uint64_t> row_ptr;  // n + 1 entries
+  std::vector<uint64_t> col_idx;
+  std::vector<double> values;
+
+  uint64_t nnz() const { return col_idx.size(); }
+
+  /// y = A x (serial).
+  void spmv(std::span<const double> x, std::span<double> y) const;
+
+  /// Rows [row_begin, row_end) as a standalone matrix slice with global
+  /// column indices — the per-node storage of the distributed solvers.
+  CsrMatrix row_slice(uint64_t row_begin, uint64_t row_end) const;
+};
+
+/// Parameters of the chimney-domain diffusion problem. The paper's test
+/// uses a 256^3-scale grid; benches here scale it down, keeping the shape
+/// (a chimney: elongated in z).
+struct ChimneyProblem {
+  uint64_t nx = 16;
+  uint64_t ny = 16;
+  uint64_t nz = 32;
+
+  uint64_t unknowns() const { return nx * ny * nz; }
+};
+
+/// Build the 27-point implicit finite-difference diffusion operator on the
+/// chimney grid. Symmetric positive definite: diagonal strictly dominates
+/// the 26 off-diagonal couplings. A mild z-dependent diffusion coefficient
+/// makes the matrix non-Toeplitz (unstructured data formats in the paper's
+/// wording come from the domain shape and the CSR storage).
+CsrMatrix build_chimney_matrix(const ChimneyProblem& problem);
+
+/// Build only rows [row_begin, row_end) of the operator (global column
+/// indices). This is what each node/rank of the distributed solvers
+/// generates locally.
+CsrMatrix build_chimney_matrix_rows(const ChimneyProblem& problem,
+                                    uint64_t row_begin, uint64_t row_end);
+
+/// Right-hand side with deterministic structure (point sources).
+std::vector<double> build_chimney_rhs(const ChimneyProblem& problem);
+
+}  // namespace ppm::apps::cg

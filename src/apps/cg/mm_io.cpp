@@ -1,0 +1,109 @@
+#include "apps/cg/mm_io.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace ppm::apps::cg {
+
+void write_matrix_market(const CsrMatrix& a, std::ostream& out) {
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << "% written by the PPM library\n";
+  out << a.n << " " << a.n << " " << a.nnz() << "\n";
+  out.precision(17);
+  for (uint64_t i = 0; i < a.n; ++i) {
+    for (uint64_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
+      out << (i + 1) << " " << (a.col_idx[k] + 1) << " " << a.values[k]
+          << "\n";
+    }
+  }
+  PPM_CHECK(out.good(), "MatrixMarket write failed");
+}
+
+void write_matrix_market_file(const CsrMatrix& a, const std::string& path) {
+  std::ofstream out(path);
+  PPM_CHECK(out.is_open(), "cannot open %s for writing", path.c_str());
+  write_matrix_market(a, out);
+}
+
+CsrMatrix read_matrix_market(std::istream& in) {
+  std::string line;
+  PPM_CHECK(static_cast<bool>(std::getline(in, line)),
+            "empty MatrixMarket stream");
+  std::istringstream header(line);
+  std::string banner, object, format, field, symmetry;
+  header >> banner >> object >> format >> field >> symmetry;
+  PPM_CHECK(banner == "%%MatrixMarket", "missing MatrixMarket banner");
+  PPM_CHECK(object == "matrix" && format == "coordinate",
+            "only coordinate matrices are supported (got %s %s)",
+            object.c_str(), format.c_str());
+  PPM_CHECK(field == "real" || field == "integer",
+            "only real/integer fields are supported (got %s)",
+            field.c_str());
+  const bool symmetric = (symmetry == "symmetric");
+  PPM_CHECK(symmetric || symmetry == "general",
+            "unsupported symmetry '%s'", symmetry.c_str());
+
+  // Skip comments.
+  do {
+    PPM_CHECK(static_cast<bool>(std::getline(in, line)),
+              "MatrixMarket stream ends before the size line");
+  } while (!line.empty() && line[0] == '%');
+
+  uint64_t rows = 0, cols = 0, entries = 0;
+  {
+    std::istringstream size_line(line);
+    size_line >> rows >> cols >> entries;
+    PPM_CHECK(!size_line.fail(), "malformed size line '%s'", line.c_str());
+  }
+  PPM_CHECK(rows == cols, "only square matrices are supported (%llux%llu)",
+            static_cast<unsigned long long>(rows),
+            static_cast<unsigned long long>(cols));
+
+  struct Entry {
+    uint64_t r, c;
+    double v;
+  };
+  std::vector<Entry> coo;
+  coo.reserve(entries * (symmetric ? 2 : 1));
+  for (uint64_t e = 0; e < entries; ++e) {
+    uint64_t r = 0, c = 0;
+    double v = 0;
+    in >> r >> c >> v;
+    PPM_CHECK(!in.fail(), "malformed entry %llu",
+              static_cast<unsigned long long>(e));
+    PPM_CHECK(r >= 1 && r <= rows && c >= 1 && c <= cols,
+              "entry %llu out of bounds (%llu, %llu)",
+              static_cast<unsigned long long>(e),
+              static_cast<unsigned long long>(r),
+              static_cast<unsigned long long>(c));
+    coo.push_back({r - 1, c - 1, v});
+    if (symmetric && r != c) coo.push_back({c - 1, r - 1, v});
+  }
+  std::sort(coo.begin(), coo.end(), [](const Entry& a, const Entry& b) {
+    return a.r != b.r ? a.r < b.r : a.c < b.c;
+  });
+
+  CsrMatrix m;
+  m.n = rows;
+  m.row_ptr.assign(rows + 1, 0);
+  for (const Entry& e : coo) ++m.row_ptr[e.r + 1];
+  for (uint64_t i = 0; i < rows; ++i) m.row_ptr[i + 1] += m.row_ptr[i];
+  m.col_idx.reserve(coo.size());
+  m.values.reserve(coo.size());
+  for (const Entry& e : coo) {
+    m.col_idx.push_back(e.c);
+    m.values.push_back(e.v);
+  }
+  return m;
+}
+
+CsrMatrix read_matrix_market_file(const std::string& path) {
+  std::ifstream in(path);
+  PPM_CHECK(in.is_open(), "cannot open %s", path.c_str());
+  return read_matrix_market(in);
+}
+
+}  // namespace ppm::apps::cg

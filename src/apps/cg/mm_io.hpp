@@ -1,0 +1,22 @@
+// MatrixMarket (coordinate, real) import/export for CSR matrices — the
+// interchange format sparse-solver users actually have on disk.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "apps/cg/csr.hpp"
+
+namespace ppm::apps::cg {
+
+/// Write `a` in MatrixMarket coordinate/real/general format (1-based).
+void write_matrix_market(const CsrMatrix& a, std::ostream& out);
+void write_matrix_market_file(const CsrMatrix& a, const std::string& path);
+
+/// Read a MatrixMarket coordinate/real matrix (general or symmetric; a
+/// symmetric file is expanded to full storage). Rows must equal columns.
+/// Throws ppm::Error on malformed input.
+CsrMatrix read_matrix_market(std::istream& in);
+CsrMatrix read_matrix_market_file(const std::string& path);
+
+}  // namespace ppm::apps::cg

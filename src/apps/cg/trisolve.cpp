@@ -1,0 +1,240 @@
+#include "apps/cg/trisolve.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace ppm::apps::cg {
+
+CsrMatrix lower_triangle(const CsrMatrix& a) {
+  CsrMatrix l;
+  l.n = a.n;
+  l.row_ptr.push_back(0);
+  for (uint64_t i = 0; i < a.n; ++i) {
+    for (uint64_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
+      if (a.col_idx[k] <= i) {
+        l.col_idx.push_back(a.col_idx[k]);
+        l.values.push_back(a.values[k]);
+      }
+    }
+    l.row_ptr.push_back(l.col_idx.size());
+  }
+  return l;
+}
+
+std::vector<uint32_t> dependency_levels(const CsrMatrix& lower) {
+  std::vector<uint32_t> level(lower.n, 0);
+  for (uint64_t i = 0; i < lower.n; ++i) {
+    uint32_t lvl = 0;
+    for (uint64_t k = lower.row_ptr[i]; k < lower.row_ptr[i + 1]; ++k) {
+      const uint64_t j = lower.col_idx[k];
+      PPM_CHECK(j <= i, "matrix is not lower triangular (entry %llu,%llu)",
+                static_cast<unsigned long long>(i),
+                static_cast<unsigned long long>(j));
+      if (j < i) lvl = std::max(lvl, level[j] + 1);
+    }
+    level[i] = lvl;
+  }
+  return level;
+}
+
+std::vector<double> trisolve_serial(const CsrMatrix& lower,
+                                    std::span<const double> b) {
+  PPM_CHECK(b.size() == lower.n, "rhs size mismatch");
+  std::vector<double> y(lower.n, 0.0);
+  for (uint64_t i = 0; i < lower.n; ++i) {
+    double acc = b[i];
+    double diag = 0.0;
+    for (uint64_t k = lower.row_ptr[i]; k < lower.row_ptr[i + 1]; ++k) {
+      const uint64_t j = lower.col_idx[k];
+      if (j == i) {
+        diag = lower.values[k];
+      } else {
+        acc -= lower.values[k] * y[j];
+      }
+    }
+    PPM_CHECK(diag != 0.0, "zero diagonal in row %llu",
+              static_cast<unsigned long long>(i));
+    y[i] = acc / diag;
+  }
+  return y;
+}
+
+CsrMatrix upper_triangle(const CsrMatrix& a) {
+  CsrMatrix u;
+  u.n = a.n;
+  u.row_ptr.push_back(0);
+  for (uint64_t i = 0; i < a.n; ++i) {
+    for (uint64_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
+      if (a.col_idx[k] >= i) {
+        u.col_idx.push_back(a.col_idx[k]);
+        u.values.push_back(a.values[k]);
+      }
+    }
+    u.row_ptr.push_back(u.col_idx.size());
+  }
+  return u;
+}
+
+std::vector<uint32_t> dependency_levels_upper(const CsrMatrix& upper) {
+  std::vector<uint32_t> level(upper.n, 0);
+  for (uint64_t ii = upper.n; ii-- > 0;) {
+    uint32_t lvl = 0;
+    for (uint64_t k = upper.row_ptr[ii]; k < upper.row_ptr[ii + 1]; ++k) {
+      const uint64_t j = upper.col_idx[k];
+      PPM_CHECK(j >= ii, "matrix is not upper triangular (entry %llu,%llu)",
+                static_cast<unsigned long long>(ii),
+                static_cast<unsigned long long>(j));
+      if (j > ii) lvl = std::max(lvl, level[j] + 1);
+    }
+    level[ii] = lvl;
+  }
+  return level;
+}
+
+std::vector<double> trisolve_upper_serial(const CsrMatrix& upper,
+                                          std::span<const double> b) {
+  PPM_CHECK(b.size() == upper.n, "rhs size mismatch");
+  std::vector<double> y(upper.n, 0.0);
+  for (uint64_t ii = upper.n; ii-- > 0;) {
+    double acc = b[ii];
+    double diag = 0.0;
+    for (uint64_t k = upper.row_ptr[ii]; k < upper.row_ptr[ii + 1]; ++k) {
+      const uint64_t j = upper.col_idx[k];
+      if (j == ii) {
+        diag = upper.values[k];
+      } else {
+        acc -= upper.values[k] * y[j];
+      }
+    }
+    PPM_CHECK(diag != 0.0, "zero diagonal in row %llu",
+              static_cast<unsigned long long>(ii));
+    y[ii] = acc / diag;
+  }
+  return y;
+}
+
+std::vector<double> trisolve_ppm(Env& env, const CsrMatrix& lower,
+                                 std::span<const double> b) {
+  PPM_CHECK(b.size() == lower.n, "rhs size mismatch");
+  const uint64_t n = lower.n;
+  auto y = env.global_array<double>(n);
+
+  // Own rows, grouped by dependency level. The level analysis is pure
+  // local preprocessing (every node computes the same schedule).
+  const auto levels = dependency_levels(lower);
+  const uint32_t num_levels =
+      levels.empty() ? 0 : *std::max_element(levels.begin(), levels.end()) + 1;
+  const uint64_t row0 = y.local_begin();
+  const uint64_t row1 = y.local_end();
+  std::vector<std::vector<uint64_t>> rows_by_level(num_levels);
+  for (uint64_t i = row0; i < row1; ++i) {
+    rows_by_level[levels[i]].push_back(i);
+  }
+
+  // One global phase per level: all rows of a level are independent; their
+  // sub-diagonal reads hit rows solved in earlier (committed) levels —
+  // possibly on other nodes, which is exactly the fine-grained data-driven
+  // traffic that makes this kernel hard to hand-code.
+  for (uint32_t lvl = 0; lvl < num_levels; ++lvl) {
+    const auto& rows = rows_by_level[lvl];
+    auto vps = env.ppm_do(rows.size());
+    vps.global_phase([&](Vp& vp) {
+      const uint64_t i = rows[vp.node_rank()];
+      double acc = b[i];
+      double diag = 0.0;
+      for (uint64_t k = lower.row_ptr[i]; k < lower.row_ptr[i + 1]; ++k) {
+        const uint64_t j = lower.col_idx[k];
+        if (j == i) {
+          diag = lower.values[k];
+        } else {
+          acc -= lower.values[k] * y.get(j);
+        }
+      }
+      PPM_CHECK(diag != 0.0, "zero diagonal in row %llu",
+                static_cast<unsigned long long>(i));
+      y.set(i, acc / diag);
+    });
+  }
+
+  // Everyone assembles the full solution.
+  std::vector<double> full;
+  auto probe = env.ppm_do(env.node_id() == 0 ? 1 : 0);
+  probe.global_phase([&](Vp&) {
+    std::vector<uint64_t> idx(n);
+    for (uint64_t i = 0; i < n; ++i) idx[i] = i;
+    full = y.gather(idx);
+  });
+  env.broadcast(full, /*root=*/0);
+  return full;
+}
+
+
+SsorApplyPpm::SsorApplyPpm(Env& env, const CsrMatrix& a)
+    : lower_(lower_triangle(a)), upper_(upper_triangle(a)) {
+  diag_.assign(a.n, 0.0);
+  for (uint64_t i = 0; i < a.n; ++i) {
+    for (uint64_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
+      if (a.col_idx[k] == i) diag_[i] = a.values[k];
+    }
+    PPM_CHECK(diag_[i] != 0.0, "SSOR needs a nonzero diagonal (row %llu)",
+              static_cast<unsigned long long>(i));
+  }
+  y_ = env.global_array<double>(a.n);
+
+  const auto fwd_levels = dependency_levels(lower_);
+  const auto bwd_levels = dependency_levels_upper(upper_);
+  const uint32_t fwd_count =
+      *std::max_element(fwd_levels.begin(), fwd_levels.end()) + 1;
+  const uint32_t bwd_count =
+      *std::max_element(bwd_levels.begin(), bwd_levels.end()) + 1;
+  forward_rows_.resize(fwd_count);
+  backward_rows_.resize(bwd_count);
+  for (uint64_t i = y_.local_begin(); i < y_.local_end(); ++i) {
+    forward_rows_[fwd_levels[i]].push_back(i);
+    backward_rows_[bwd_levels[i]].push_back(i);
+  }
+  // Group creation is collective; do it once, not per apply().
+  forward_groups_.reserve(fwd_count);
+  for (const auto& rows : forward_rows_) {
+    forward_groups_.push_back(env.ppm_do(rows.size()));
+  }
+  backward_groups_.reserve(bwd_count);
+  for (const auto& rows : backward_rows_) {
+    backward_groups_.push_back(env.ppm_do(rows.size()));
+  }
+}
+
+void SsorApplyPpm::apply(Env& env, const GlobalShared<double>& r,
+                         GlobalShared<double>& z) {
+  (void)env;
+  // Forward sweep: (D + L) y = r.
+  for (size_t lvl = 0; lvl < forward_groups_.size(); ++lvl) {
+    const auto& rows = forward_rows_[lvl];
+    forward_groups_[lvl].global_phase([&](Vp& vp) {
+      const uint64_t i = rows[vp.node_rank()];
+      double acc = r.get(i);
+      for (uint64_t k = lower_.row_ptr[i]; k < lower_.row_ptr[i + 1]; ++k) {
+        const uint64_t j = lower_.col_idx[k];
+        if (j != i) acc -= lower_.values[k] * y_.get(j);
+      }
+      y_.set(i, acc / diag_[i]);
+    });
+  }
+  // Diagonal scale + backward sweep: (D + U) z = D y.
+  for (size_t lvl = 0; lvl < backward_groups_.size(); ++lvl) {
+    const auto& rows = backward_rows_[lvl];
+    backward_groups_[lvl].global_phase([&](Vp& vp) {
+      const uint64_t i = rows[vp.node_rank()];
+      double acc = y_.get(i) * diag_[i];
+      for (uint64_t k = upper_.row_ptr[i]; k < upper_.row_ptr[i + 1]; ++k) {
+        const uint64_t j = upper_.col_idx[k];
+        if (j != i) acc -= upper_.values[k] * z.get(j);
+      }
+      z.set(i, acc / diag_[i]);
+    });
+  }
+}
+
+}  // namespace ppm::apps::cg
+

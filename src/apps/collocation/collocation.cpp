@@ -1,0 +1,152 @@
+#include "apps/collocation/collocation.hpp"
+
+#include <cmath>
+#include <functional>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace ppm::apps::collocation {
+
+namespace {
+
+/// Centered pseudo-random weight in [-0.5, 0.5) from a hash word.
+double weight_from(uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53 - 0.5;
+}
+
+}  // namespace
+
+int CollocationProblem::level_of(uint64_t point) const {
+  for (int l = 0; l < levels; ++l) {
+    if (point < level_offset(l + 1)) return l;
+  }
+  PPM_CHECK(false, "point %llu beyond the last level",
+            static_cast<unsigned long long>(point));
+  return -1;
+}
+
+double integrate_basis(const CollocationProblem& p, int level, uint64_t i) {
+  // Composite Simpson quadrature of a weakly singular oscillatory kernel:
+  //   f(x) = sin((i+1) pi x) / sqrt(|x - c| + h)
+  // with the collocation point c = (i + 1/2) / m_l and smoothing h ~ mesh
+  // width. Finer levels oscillate faster — more work per point, as in the
+  // real method.
+  const auto m = static_cast<double>(p.level_size(level));
+  const double c = (static_cast<double>(i) + 0.5) / m;
+  const double h = 1.0 / m;
+  const double freq = (static_cast<double>(i % 16) + 1.0) * M_PI;
+  const int segments = p.quadrature_points * (level + 1);
+  auto f = [&](double x) {
+    return std::sin(freq * x) / std::sqrt(std::fabs(x - c) + h);
+  };
+  const double dx = 1.0 / segments;
+  double acc = f(0.0) + f(1.0);
+  for (int s = 1; s < segments; ++s) {
+    acc += f(s * dx) * (s % 2 == 1 ? 4.0 : 2.0);
+  }
+  return acc * dx / 3.0;
+}
+
+std::vector<TableRef> table_refinement_refs(const CollocationProblem& p,
+                                            int level, uint64_t i) {
+  std::vector<TableRef> refs;
+  if (level == 0) return refs;
+  refs.reserve(static_cast<size_t>(p.refine_terms));
+  for (int t = 0; t < p.refine_terms; ++t) {
+    const uint64_t h = mix64(p.seed ^ mix64(0x7ab1e << 8 | level) ^
+                             mix64(i * 2654435761ULL + t));
+    TableRef ref;
+    ref.level = static_cast<int>(h % static_cast<uint64_t>(level));
+    ref.index = mix64(h) % p.level_size(ref.level);
+    ref.weight = weight_from(mix64(h ^ 0x1234));
+    refs.push_back(ref);
+  }
+  return refs;
+}
+
+std::vector<TableRef> entry_refs(const CollocationProblem& p, uint64_t row,
+                                 uint64_t col) {
+  const int row_level = p.level_of(row);
+  std::vector<TableRef> refs;
+  refs.reserve(static_cast<size_t>(p.combo_terms));
+  for (int t = 0; t < p.combo_terms; ++t) {
+    const uint64_t h =
+        mix64(p.seed ^ mix64(row * 0x9e3779b97f4a7c15ULL + col) ^
+              static_cast<uint64_t>(t) * 0xbf58476d1ce4e5b9ULL);
+    TableRef ref;
+    ref.level = static_cast<int>(h % static_cast<uint64_t>(row_level + 1));
+    ref.index = mix64(h ^ 0xabcd) % p.level_size(ref.level);
+    ref.weight = weight_from(mix64(h ^ 0x77));
+    refs.push_back(ref);
+  }
+  return refs;
+}
+
+std::vector<uint64_t> columns_of_row(const CollocationProblem& p,
+                                     uint64_t row) {
+  const int row_level = p.level_of(row);
+  const uint64_t i = row - p.level_offset(row_level);
+  const auto mi = static_cast<double>(p.level_size(row_level));
+  std::vector<uint64_t> cols;
+  // Hierarchical pattern: at every level, the bases whose support overlaps
+  // this collocation point's neighbourhood.
+  for (int lc = 0; lc < p.levels; ++lc) {
+    const uint64_t mc = p.level_size(lc);
+    const auto center = static_cast<int64_t>(
+        (static_cast<double>(i) + 0.5) / mi * static_cast<double>(mc));
+    for (int64_t d = -p.bandwidth; d <= p.bandwidth; ++d) {
+      const int64_t j = center + d;
+      if (j < 0 || j >= static_cast<int64_t>(mc)) continue;
+      cols.push_back(p.level_offset(lc) + static_cast<uint64_t>(j));
+    }
+  }
+  return cols;  // level-major, ascending within a level => globally sorted
+}
+
+std::vector<std::vector<double>> compute_tables_serial(
+    const CollocationProblem& p) {
+  std::vector<std::vector<double>> tables(static_cast<size_t>(p.levels));
+  for (int l = 0; l < p.levels; ++l) {
+    auto& t = tables[static_cast<size_t>(l)];
+    t.resize(p.level_size(l));
+    for (uint64_t i = 0; i < t.size(); ++i) {
+      double v = integrate_basis(p, l, i);
+      for (const TableRef& ref : table_refinement_refs(p, l, i)) {
+        v += ref.weight * tables[static_cast<size_t>(ref.level)][ref.index];
+      }
+      t[i] = v;
+    }
+  }
+  return tables;
+}
+
+CsrMatrix generate_rows(
+    const CollocationProblem& p, uint64_t row_begin, uint64_t row_end,
+    const std::function<double(int level, uint64_t index)>& table) {
+  CsrMatrix out;
+  out.n = p.total_points();
+  out.row_ptr.push_back(0);
+  for (uint64_t row = row_begin; row < row_end; ++row) {
+    for (uint64_t col : columns_of_row(p, row)) {
+      double v = 0.0;
+      for (const TableRef& ref : entry_refs(p, row, col)) {
+        v += ref.weight * table(ref.level, ref.index);
+      }
+      out.col_idx.push_back(col);
+      out.values.push_back(v);
+    }
+    out.row_ptr.push_back(out.col_idx.size());
+  }
+  return out;
+}
+
+CsrMatrix generate_matrix_serial(const CollocationProblem& p) {
+  const auto tables = compute_tables_serial(p);
+  return generate_rows(p, 0, p.total_points(),
+                       [&](int level, uint64_t index) {
+                         return tables[static_cast<size_t>(level)][index];
+                       });
+}
+
+}  // namespace ppm::apps::collocation

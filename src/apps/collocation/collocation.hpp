@@ -1,0 +1,83 @@
+// Sparse matrix generation for a multi-scale collocation method — the
+// paper's Application 2 (after Chen/Wu/Xu, "Fast collocation methods for
+// high-dimensional weakly singular integral equations").
+//
+// Structure of the computation (what drives the communication pattern):
+//   * L levels; level l carries m_l = base * 2^l basis functions and
+//     collocation points.
+//   * Every basis has an "integration table" value T_l[i] obtained by a
+//     genuinely expensive numerical quadrature of a weakly singular
+//     kernel, PLUS (for l > 0) a linear combination of *randomly indexed*
+//     table entries of coarser levels — the multi-scale refinement that
+//     forces level-by-level computation with high-volume random reads of
+//     global data.
+//   * A matrix entry (row, col) is a linear combination of randomly
+//     indexed table values from levels up to the row's level, with the
+//     hierarchical nonzero pattern of the collocation discretization.
+// All random choices derive from a seed via hashing, so serial, PPM and
+// MPI implementations produce bit-identical matrices.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "apps/cg/csr.hpp"
+
+namespace ppm::apps::collocation {
+
+using cg::CsrMatrix;
+
+struct CollocationProblem {
+  int levels = 5;
+  uint64_t base = 16;      // basis count at level 0
+  int refine_terms = 8;    // random coarse-table reads per table entry
+  int combo_terms = 6;     // random table reads per matrix entry
+  int bandwidth = 3;       // half-width of the hierarchical nonzero window
+  int quadrature_points = 64;
+  uint64_t seed = 0x5eed;
+
+  uint64_t level_size(int level) const { return base << level; }
+  uint64_t level_offset(int level) const {
+    return base * ((uint64_t{1} << level) - 1);
+  }
+  uint64_t total_points() const { return level_offset(levels); }
+  int level_of(uint64_t point) const;
+};
+
+/// Quadrature of the weakly singular kernel for basis (level, i): the
+/// expensive "numerical integration of very high computational complexity".
+double integrate_basis(const CollocationProblem& p, int level, uint64_t i);
+
+/// The random (level, index, weight) references that refine table entry
+/// (level, i) from coarser levels. Deterministic in the seed.
+struct TableRef {
+  int level;
+  uint64_t index;
+  double weight;
+};
+std::vector<TableRef> table_refinement_refs(const CollocationProblem& p,
+                                            int level, uint64_t i);
+
+/// The random references combined into matrix entry (row, col).
+std::vector<TableRef> entry_refs(const CollocationProblem& p, uint64_t row,
+                                 uint64_t col);
+
+/// Global column indices of row `row` (hierarchical pattern, sorted).
+std::vector<uint64_t> columns_of_row(const CollocationProblem& p,
+                                     uint64_t row);
+
+/// All integration tables, level by level (serial reference).
+std::vector<std::vector<double>> compute_tables_serial(
+    const CollocationProblem& p);
+
+/// The full matrix (serial reference).
+CsrMatrix generate_matrix_serial(const CollocationProblem& p);
+
+/// Rows [row_begin, row_end) given completed tables — shared by all
+/// implementations once the table values are available.
+CsrMatrix generate_rows(
+    const CollocationProblem& p, uint64_t row_begin, uint64_t row_end,
+    const std::function<double(int level, uint64_t index)>& table);
+
+}  // namespace ppm::apps::collocation

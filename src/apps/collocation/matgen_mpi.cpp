@@ -1,0 +1,154 @@
+#include "apps/collocation/matgen_mpi.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "util/error.hpp"
+
+namespace ppm::apps::collocation {
+
+namespace {
+
+/// Packed (level, index) key for remote table lookups.
+struct Key {
+  uint32_t level;
+  uint64_t index;
+};
+
+uint64_t pack(int level, uint64_t index) {
+  return (static_cast<uint64_t>(level) << 56) | index;
+}
+int level_of_key(uint64_t key) { return static_cast<int>(key >> 56); }
+uint64_t index_of_key(uint64_t key) { return key & ((1ULL << 56) - 1); }
+
+/// Block distribution of one level's table over ranks.
+struct LevelDist {
+  uint64_t chunk;
+  uint64_t begin(int rank) const { return chunk * static_cast<uint64_t>(rank); }
+};
+
+}  // namespace
+
+MpiMatgenOutput generate_matrix_mpi(mp::Comm& comm,
+                                    const CollocationProblem& p) {
+  const int ranks = comm.size();
+  const int me = comm.rank();
+
+  // Per-level distribution and local storage.
+  std::vector<LevelDist> dist(static_cast<size_t>(p.levels));
+  std::vector<std::vector<double>> local_tables(
+      static_cast<size_t>(p.levels));
+  for (int l = 0; l < p.levels; ++l) {
+    const uint64_t m = p.level_size(l);
+    dist[static_cast<size_t>(l)].chunk =
+        (m + static_cast<uint64_t>(ranks) - 1) / static_cast<uint64_t>(ranks);
+  }
+  auto owner_of = [&](int level, uint64_t index) {
+    return static_cast<int>(index / dist[static_cast<size_t>(level)].chunk);
+  };
+  auto local_value = [&](int level, uint64_t index) {
+    const uint64_t b =
+        dist[static_cast<size_t>(level)].begin(me);
+    return local_tables[static_cast<size_t>(level)][index - b];
+  };
+
+  // Two-round exchange: ship deduplicated request lists to owners, answer
+  // the requests addressed to us, and return a lookup for everything we
+  // asked for. Must be called by all ranks together.
+  auto fetch_remote = [&](const std::vector<uint64_t>& keys_needed)
+      -> std::unordered_map<uint64_t, double> {
+    std::vector<std::vector<uint64_t>> requests(static_cast<size_t>(ranks));
+    for (uint64_t key : keys_needed) {
+      requests[static_cast<size_t>(
+                   owner_of(level_of_key(key), index_of_key(key)))]
+          .push_back(key);
+    }
+    const auto incoming = comm.alltoallv(requests);
+    // Serve: look up every requested value in our local chunks.
+    std::vector<std::vector<double>> replies(static_cast<size_t>(ranks));
+    for (int src = 0; src < ranks; ++src) {
+      const auto& asks = incoming[static_cast<size_t>(src)];
+      auto& rep = replies[static_cast<size_t>(src)];
+      rep.reserve(asks.size());
+      for (uint64_t key : asks) {
+        rep.push_back(local_value(level_of_key(key), index_of_key(key)));
+      }
+    }
+    const auto answers = comm.alltoallv(replies);
+    std::unordered_map<uint64_t, double> lookup;
+    for (int src = 0; src < ranks; ++src) {
+      const auto& sent = requests[static_cast<size_t>(src)];
+      const auto& got = answers[static_cast<size_t>(src)];
+      PPM_CHECK(sent.size() == got.size(), "table reply size mismatch");
+      for (size_t j = 0; j < sent.size(); ++j) lookup[sent[j]] = got[j];
+    }
+    return lookup;
+  };
+
+  auto dedup = [](std::vector<uint64_t> keys) {
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    return keys;
+  };
+
+  // ---- Stage 1: tables, level by level ----
+  for (int l = 0; l < p.levels; ++l) {
+    const uint64_t m = p.level_size(l);
+    const uint64_t b = dist[static_cast<size_t>(l)].begin(me);
+    const uint64_t e = std::min(m, b + dist[static_cast<size_t>(l)].chunk);
+    // Which coarse entries do my refinements need?
+    std::vector<uint64_t> needed;
+    for (uint64_t i = b; i < e; ++i) {
+      for (const TableRef& ref : table_refinement_refs(p, l, i)) {
+        if (owner_of(ref.level, ref.index) != me) {
+          needed.push_back(pack(ref.level, ref.index));
+        }
+      }
+    }
+    const auto lookup = fetch_remote(dedup(std::move(needed)));
+    auto& t = local_tables[static_cast<size_t>(l)];
+    t.resize(e > b ? e - b : 0);
+    for (uint64_t i = b; i < e; ++i) {
+      double v = integrate_basis(p, l, i);
+      for (const TableRef& ref : table_refinement_refs(p, l, i)) {
+        v += ref.weight * (owner_of(ref.level, ref.index) == me
+                               ? local_value(ref.level, ref.index)
+                               : lookup.at(pack(ref.level, ref.index)));
+      }
+      t[i - b] = v;
+    }
+  }
+
+  // ---- Stage 2: matrix rows ----
+  const uint64_t total = p.total_points();
+  const uint64_t row_chunk =
+      (total + static_cast<uint64_t>(ranks) - 1) / static_cast<uint64_t>(ranks);
+  const uint64_t row0 = std::min(total, row_chunk * static_cast<uint64_t>(me));
+  const uint64_t row1 = std::min(total, row0 + row_chunk);
+
+  std::vector<uint64_t> needed;
+  for (uint64_t row = row0; row < row1; ++row) {
+    for (uint64_t col : columns_of_row(p, row)) {
+      for (const TableRef& ref : entry_refs(p, row, col)) {
+        if (owner_of(ref.level, ref.index) != me) {
+          needed.push_back(pack(ref.level, ref.index));
+        }
+      }
+    }
+  }
+  const auto lookup = fetch_remote(dedup(std::move(needed)));
+
+  MpiMatgenOutput out;
+  out.row_begin = row0;
+  out.row_end = row1;
+  out.local_rows = generate_rows(
+      p, row0, row1, [&](int level, uint64_t index) {
+        return owner_of(level, index) == me
+                   ? local_value(level, index)
+                   : lookup.at(pack(level, index));
+      });
+  return out;
+}
+
+}  // namespace ppm::apps::collocation

@@ -1,0 +1,28 @@
+// Message-passing implementation of the collocation matrix generator —
+// the paper's MPI comparator.
+//
+// Tables are block-distributed over ranks. Because remote table entries
+// are addressed by data-dependent random indices, every stage must be
+// hand-coded as a two-round exchange: collect the (level, index) pairs
+// this rank needs, deduplicate, send request lists to the owning ranks
+// (alltoallv), answer incoming requests, then compute using the assembled
+// lookup table. This request/reply plumbing is exactly the "bundling and
+// unbundling" code the paper's Table 1 counts against MPI.
+#pragma once
+
+#include "apps/collocation/collocation.hpp"
+#include "mp/comm.hpp"
+
+namespace ppm::apps::collocation {
+
+struct MpiMatgenOutput {
+  uint64_t row_begin = 0;
+  uint64_t row_end = 0;
+  CsrMatrix local_rows;
+};
+
+/// Generate the matrix; collective over all ranks of comm.
+MpiMatgenOutput generate_matrix_mpi(mp::Comm& comm,
+                                    const CollocationProblem& p);
+
+}  // namespace ppm::apps::collocation

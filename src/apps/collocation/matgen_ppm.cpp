@@ -1,0 +1,71 @@
+#include "apps/collocation/matgen_ppm.hpp"
+
+namespace ppm::apps::collocation {
+
+PpmMatgenOutput generate_matrix_ppm(Env& env, const CollocationProblem& p) {
+  // One global shared table per level.
+  std::vector<GlobalShared<double>> tables;
+  tables.reserve(static_cast<size_t>(p.levels));
+  for (int l = 0; l < p.levels; ++l) {
+    tables.push_back(env.global_array<double>(p.level_size(l)));
+  }
+
+  // Level-by-level table computation. The refinement reads hit coarser
+  // levels at random indices; bundling turns them into block fetches.
+  for (int l = 0; l < p.levels; ++l) {
+    auto& t = tables[static_cast<size_t>(l)];
+    const uint64_t base = t.local_begin();
+    auto vps = env.ppm_do(t.local_end() - base);
+    vps.global_phase([&, l](Vp& vp) {
+      const uint64_t i = base + vp.node_rank();
+      double v = integrate_basis(p, l, i);
+      for (const TableRef& ref : table_refinement_refs(p, l, i)) {
+        v += ref.weight *
+             tables[static_cast<size_t>(ref.level)].get(ref.index);
+      }
+      t.set(i, v);
+    });
+  }
+
+  // Matrix rows: this node takes a contiguous block of the row space. The
+  // sparsity structure is deterministic, so the CSR skeleton is built
+  // up front and VPs fill disjoint value slots in node-local memory.
+  const uint64_t total = p.total_points();
+  const auto nodes = static_cast<uint64_t>(env.node_count());
+  const uint64_t chunk = (total + nodes - 1) / nodes;
+  const uint64_t row0 =
+      std::min(total, chunk * static_cast<uint64_t>(env.node_id()));
+  const uint64_t row1 = std::min(total, row0 + chunk);
+
+  PpmMatgenOutput out;
+  out.row_begin = row0;
+  out.row_end = row1;
+  out.local_rows.n = total;
+  out.local_rows.row_ptr.push_back(0);
+  for (uint64_t row = row0; row < row1; ++row) {
+    const auto cols = columns_of_row(p, row);
+    out.local_rows.col_idx.insert(out.local_rows.col_idx.end(), cols.begin(),
+                                  cols.end());
+    out.local_rows.row_ptr.push_back(out.local_rows.col_idx.size());
+  }
+  out.local_rows.values.assign(out.local_rows.col_idx.size(), 0.0);
+
+  auto vps = env.ppm_do(row1 - row0);
+  vps.global_phase([&](Vp& vp) {
+    const uint64_t local_row = vp.node_rank();
+    const uint64_t row = row0 + local_row;
+    for (uint64_t k = out.local_rows.row_ptr[local_row];
+         k < out.local_rows.row_ptr[local_row + 1]; ++k) {
+      const uint64_t col = out.local_rows.col_idx[k];
+      double v = 0.0;
+      for (const TableRef& ref : entry_refs(p, row, col)) {
+        v += ref.weight *
+             tables[static_cast<size_t>(ref.level)].get(ref.index);
+      }
+      out.local_rows.values[k] = v;  // disjoint slots: safe local writes
+    }
+  });
+  return out;
+}
+
+}  // namespace ppm::apps::collocation

@@ -1,0 +1,24 @@
+// PPM implementation of the multi-scale collocation matrix generator.
+//
+// The integration tables are global shared arrays (one per level). Each
+// level is one global phase: VPs compute their node's chunk, reading the
+// randomly indexed coarser-table entries with plain shared reads — the
+// runtime's bundling does the communication heavy lifting. Matrix rows are
+// then produced in a final phase the same way.
+#pragma once
+
+#include "apps/collocation/collocation.hpp"
+#include "core/ppm.hpp"
+
+namespace ppm::apps::collocation {
+
+struct PpmMatgenOutput {
+  uint64_t row_begin = 0;
+  uint64_t row_end = 0;
+  CsrMatrix local_rows;
+};
+
+/// Generate the matrix on the calling Env's cluster; collective.
+PpmMatgenOutput generate_matrix_ppm(Env& env, const CollocationProblem& p);
+
+}  // namespace ppm::apps::collocation

@@ -1,0 +1,156 @@
+#include "apps/dense/dense.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace ppm::apps::dense {
+
+Matrix make_matrix(uint64_t n, uint64_t seed) {
+  Matrix m;
+  m.n = n;
+  m.data.resize(n * n);
+  Rng rng(seed);
+  for (double& v : m.data) v = rng.next_double_in(-1.0, 1.0) / std::sqrt(n);
+  return m;
+}
+
+Matrix matmul_serial(const Matrix& a, const Matrix& b) {
+  PPM_CHECK(a.n == b.n, "dimension mismatch");
+  const uint64_t n = a.n;
+  Matrix c;
+  c.n = n;
+  c.data.assign(n * n, 0.0);
+  // i-k-j loop order: streams B rows, decent cache behavior.
+  for (uint64_t i = 0; i < n; ++i) {
+    for (uint64_t k = 0; k < n; ++k) {
+      const double aik = a.at(i, k);
+      for (uint64_t j = 0; j < n; ++j) {
+        c.at(i, j) += aik * b.at(k, j);
+      }
+    }
+  }
+  return c;
+}
+
+Matrix matmul_ppm(Env& env, const Matrix& a, const Matrix& b) {
+  PPM_CHECK(a.n == b.n, "dimension mismatch");
+  const uint64_t n = a.n;
+  auto gb = env.global_array<double>(n * n);  // B, row-distributed
+  auto gc = env.global_array<double>(n * n);  // C, row-distributed
+
+  // Load the owned rows of B (immediate local writes), A rows stay in the
+  // node program's own memory — only B is accessed across nodes.
+  for (uint64_t e = gb.local_begin(); e < gb.local_end(); ++e) {
+    gb.set(e, b.data[e]);
+  }
+  env.barrier();
+
+  const uint64_t row0 = gc.local_begin() / n;
+  const uint64_t row1 = (gc.local_end() + n - 1) / n;
+  // Element distribution may split a row across nodes; compute whole rows
+  // whose first element we own (the tail node may own a partial first
+  // row handled by its predecessor).
+  const uint64_t first_row = (gc.local_begin() % n == 0)
+                                 ? row0
+                                 : row0 + 1;
+  auto vps = env.ppm_do(first_row < row1 ? row1 - first_row : 0);
+  vps.global_phase([&](Vp& vp) {
+    const uint64_t i = first_row + vp.node_rank();
+    std::vector<double> acc(n, 0.0);
+    for (uint64_t k = 0; k < n; ++k) {
+      const double aik = a.at(i, k);
+      if (aik == 0.0) continue;
+      for (uint64_t j = 0; j < n; ++j) {
+        acc[j] += aik * gb.get(k * n + j);  // remote rows: bundled reads
+      }
+    }
+    for (uint64_t j = 0; j < n; ++j) gc.set(i * n + j, acc[j]);
+  });
+
+  // Assemble the full product everywhere.
+  Matrix c;
+  c.n = n;
+  auto probe = env.ppm_do(env.node_id() == 0 ? 1 : 0);
+  probe.global_phase([&](Vp&) {
+    std::vector<uint64_t> idx(n * n);
+    for (uint64_t e = 0; e < n * n; ++e) idx[e] = e;
+    c.data = gc.gather(idx);
+  });
+  env.broadcast(c.data, /*root=*/0);
+  return c;
+}
+
+Matrix matmul_mpi_summa(mp::Comm& comm, const Matrix& a, const Matrix& b) {
+  PPM_CHECK(a.n == b.n, "dimension mismatch");
+  const uint64_t n = a.n;
+  const int p = comm.size();
+  const int q = static_cast<int>(std::lround(std::sqrt(p)));
+  PPM_CHECK(q * q == p, "SUMMA needs a square rank count (%d given)", p);
+  PPM_CHECK(n % static_cast<uint64_t>(q) == 0,
+            "SUMMA needs q | n (n=%llu, q=%d)",
+            static_cast<unsigned long long>(n), q);
+  const uint64_t bs = n / static_cast<uint64_t>(q);  // block edge
+
+  const int my_row = comm.rank() / q;
+  const int my_col = comm.rank() % q;
+  mp::Comm row_comm = comm.split(my_row, my_col);
+  mp::Comm col_comm = comm.split(my_col, my_row);
+
+  auto block_of = [&](const Matrix& m, int br, int bc) {
+    std::vector<double> block(bs * bs);
+    for (uint64_t r = 0; r < bs; ++r) {
+      for (uint64_t c = 0; c < bs; ++c) {
+        block[r * bs + c] = m.at(static_cast<uint64_t>(br) * bs + r,
+                                 static_cast<uint64_t>(bc) * bs + c);
+      }
+    }
+    return block;
+  };
+
+  std::vector<double> my_a = block_of(a, my_row, my_col);
+  std::vector<double> my_b = block_of(b, my_row, my_col);
+  std::vector<double> my_c(bs * bs, 0.0);
+
+  // SUMMA: for every panel k, the owners broadcast their A (along the
+  // row communicator) and B (along the column communicator) blocks, then
+  // everyone accumulates a local GEMM.
+  for (int k = 0; k < q; ++k) {
+    std::vector<double> a_panel = (my_col == k) ? my_a
+                                                : std::vector<double>(bs * bs);
+    row_comm.bcast(a_panel, /*root=*/k);
+    std::vector<double> b_panel = (my_row == k) ? my_b
+                                                : std::vector<double>(bs * bs);
+    col_comm.bcast(b_panel, /*root=*/k);
+    for (uint64_t i = 0; i < bs; ++i) {
+      for (uint64_t kk = 0; kk < bs; ++kk) {
+        const double aik = a_panel[i * bs + kk];
+        for (uint64_t j = 0; j < bs; ++j) {
+          my_c[i * bs + j] += aik * b_panel[kk * bs + j];
+        }
+      }
+    }
+  }
+
+  // Everyone assembles the full C from the block grid.
+  const auto blocks = comm.allgatherv(std::span<const double>(my_c));
+  Matrix c;
+  c.n = n;
+  c.data.assign(n * n, 0.0);
+  for (int rank = 0; rank < p; ++rank) {
+    const int br = rank / q;
+    const int bc = rank % q;
+    const auto& block = blocks[static_cast<size_t>(rank)];
+    PPM_CHECK(block.size() == bs * bs, "SUMMA block size mismatch");
+    for (uint64_t r = 0; r < bs; ++r) {
+      for (uint64_t cc = 0; cc < bs; ++cc) {
+        c.at(static_cast<uint64_t>(br) * bs + r,
+             static_cast<uint64_t>(bc) * bs + cc) = block[r * bs + cc];
+      }
+    }
+  }
+  return c;
+}
+
+}  // namespace ppm::apps::dense

@@ -1,0 +1,45 @@
+// Distributed graph algorithms — the paper's Introduction names "graph
+// algorithms" first among the unstructured applications that motivate PPM
+// (high-volume random fine-grained access to neighbor state).
+//
+// Graph representation: CSR adjacency. Generators produce deterministic
+// undirected graphs: a uniform random graph and an RMAT-style power-law
+// graph (skewed degrees — the hard case for distribution).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ppm::apps::graph {
+
+inline constexpr int64_t kUnreached = -1;
+
+/// CSR adjacency of an undirected graph (each edge stored both ways).
+struct Graph {
+  uint64_t num_vertices = 0;
+  std::vector<uint64_t> row_ptr;  // num_vertices + 1
+  std::vector<uint64_t> adjacency;
+
+  uint64_t num_edges() const { return adjacency.size() / 2; }
+  uint64_t degree(uint64_t v) const { return row_ptr[v + 1] - row_ptr[v]; }
+
+  /// Adjacency of rows [begin, end) only (global neighbor ids) — what each
+  /// node of a distributed implementation stores.
+  Graph row_slice(uint64_t begin, uint64_t end) const;
+};
+
+/// Erdos–Renyi-style graph: each vertex draws ~avg_degree endpoints.
+Graph make_uniform_graph(uint64_t vertices, double avg_degree,
+                         uint64_t seed);
+
+/// RMAT-style power-law graph (quadrant probabilities 0.45/0.22/0.22/0.11).
+Graph make_rmat_graph(uint64_t vertices, double avg_degree, uint64_t seed);
+
+/// Serial BFS: hop distance from `source` (kUnreached if unreachable).
+std::vector<int64_t> bfs_serial(const Graph& graph, uint64_t source);
+
+/// Serial connected components: per-vertex label = smallest vertex id in
+/// its component (label propagation fixpoint).
+std::vector<int64_t> components_serial(const Graph& graph);
+
+}  // namespace ppm::apps::graph

@@ -1,0 +1,70 @@
+#include "apps/graph/graph_mpi.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace ppm::apps::graph {
+
+std::vector<int64_t> bfs_mpi(mp::Comm& comm, const Graph& full,
+                             uint64_t source) {
+  PPM_CHECK(source < full.num_vertices, "bfs source out of range");
+  const uint64_t n = full.num_vertices;
+  const auto ranks = static_cast<uint64_t>(comm.size());
+  const uint64_t chunk = (n + ranks - 1) / ranks;
+  const uint64_t begin =
+      std::min(n, chunk * static_cast<uint64_t>(comm.rank()));
+  const uint64_t end = std::min(n, begin + chunk);
+  const Graph slice = full.row_slice(begin, end);
+  auto owner_of = [&](uint64_t v) { return static_cast<int>(v / chunk); };
+
+  std::vector<int64_t> local(end - begin,
+                             std::numeric_limits<int64_t>::max());
+  std::vector<uint64_t> frontier;  // local indices
+  if (owner_of(source) == comm.rank()) {
+    local[source - begin] = 0;
+    frontier.push_back(source - begin);
+  }
+
+  for (int64_t level = 0;; ++level) {
+    // Bundle the neighbor updates by destination rank.
+    std::vector<std::vector<uint64_t>> outgoing(ranks);
+    for (uint64_t lu : frontier) {
+      for (uint64_t k = slice.row_ptr[lu]; k < slice.row_ptr[lu + 1]; ++k) {
+        const uint64_t w = slice.adjacency[k];
+        outgoing[static_cast<size_t>(owner_of(w))].push_back(w);
+      }
+    }
+    const auto incoming = comm.alltoallv(outgoing);
+
+    frontier.clear();
+    for (const auto& batch : incoming) {
+      for (uint64_t w : batch) {
+        const uint64_t lw = w - begin;
+        if (local[lw] == std::numeric_limits<int64_t>::max()) {
+          local[lw] = level + 1;
+          frontier.push_back(lw);
+        }
+      }
+    }
+    const auto active = comm.allreduce_value(
+        static_cast<uint64_t>(frontier.size()),
+        [](uint64_t a, uint64_t b) { return a + b; });
+    if (active == 0) break;
+  }
+
+  // Assemble the full vector everywhere.
+  const auto blocks = comm.allgatherv(std::span<const int64_t>(local));
+  std::vector<int64_t> full_dist;
+  full_dist.reserve(n);
+  for (const auto& b : blocks) {
+    full_dist.insert(full_dist.end(), b.begin(), b.end());
+  }
+  for (int64_t& d : full_dist) {
+    if (d == std::numeric_limits<int64_t>::max()) d = kUnreached;
+  }
+  return full_dist;
+}
+
+}  // namespace ppm::apps::graph

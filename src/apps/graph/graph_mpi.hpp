@@ -1,0 +1,17 @@
+// Message-passing BFS baseline: level-synchronous frontier expansion with
+// hand-coded update bundling — every iteration each rank collects the
+// (vertex, level) updates destined for every other rank, ships them with
+// one alltoallv, applies the incoming ones, and votes on termination.
+#pragma once
+
+#include "apps/graph/graph.hpp"
+#include "mp/comm.hpp"
+
+namespace ppm::apps::graph {
+
+/// BFS hop distances from `source`; collective, every rank receives the
+/// full distance vector.
+std::vector<int64_t> bfs_mpi(mp::Comm& comm, const Graph& full,
+                             uint64_t source);
+
+}  // namespace ppm::apps::graph

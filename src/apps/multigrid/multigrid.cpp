@@ -1,0 +1,137 @@
+#include "apps/multigrid/multigrid.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ppm::apps::multigrid {
+
+namespace {
+bool is_power_of_two(uint64_t n) { return n != 0 && (n & (n - 1)) == 0; }
+}  // namespace
+
+GridLevel make_level(uint64_t n) {
+  PPM_CHECK(is_power_of_two(n) && n >= 2,
+            "grid size must be a power of two >= 2 (got %llu)",
+            static_cast<unsigned long long>(n));
+  GridLevel g;
+  g.n = n;
+  g.values.assign((n + 1) * (n + 1), 0.0);
+  return g;
+}
+
+GridLevel make_rhs(uint64_t n) {
+  GridLevel f = make_level(n);
+  const double h = 1.0 / static_cast<double>(n);
+  for (uint64_t i = 1; i < n; ++i) {
+    for (uint64_t j = 1; j < n; ++j) {
+      const double x = static_cast<double>(i) * h;
+      const double y = static_cast<double>(j) * h;
+      f.at(i, j) = std::sin(M_PI * x) * std::sin(2.0 * M_PI * y) +
+                   0.3 * std::exp(-40.0 * ((x - 0.3) * (x - 0.3) +
+                                           (y - 0.7) * (y - 0.7)));
+    }
+  }
+  return f;
+}
+
+void residual_serial(const GridLevel& u, const GridLevel& f, GridLevel& r) {
+  PPM_CHECK(u.n == f.n && u.n == r.n, "level size mismatch");
+  const uint64_t n = u.n;
+  const double inv_h2 = static_cast<double>(n) * static_cast<double>(n);
+  for (uint64_t i = 1; i < n; ++i) {
+    for (uint64_t j = 1; j < n; ++j) {
+      const double lap = (u.at(i - 1, j) + u.at(i + 1, j) + u.at(i, j - 1) +
+                          u.at(i, j + 1) - 4.0 * u.at(i, j)) *
+                         inv_h2;
+      r.at(i, j) = f.at(i, j) + lap;
+    }
+  }
+}
+
+double norm_serial(const GridLevel& g) {
+  double acc = 0;
+  for (uint64_t i = 1; i < g.n; ++i) {
+    for (uint64_t j = 1; j < g.n; ++j) {
+      acc += g.at(i, j) * g.at(i, j);
+    }
+  }
+  return std::sqrt(acc / static_cast<double>((g.n - 1) * (g.n - 1)));
+}
+
+void jacobi_serial(GridLevel& u, const GridLevel& f, double omega) {
+  const uint64_t n = u.n;
+  const double h2 = 1.0 / (static_cast<double>(n) * static_cast<double>(n));
+  GridLevel next = u;
+  for (uint64_t i = 1; i < n; ++i) {
+    for (uint64_t j = 1; j < n; ++j) {
+      const double gs = 0.25 * (u.at(i - 1, j) + u.at(i + 1, j) +
+                                u.at(i, j - 1) + u.at(i, j + 1) +
+                                h2 * f.at(i, j));
+      next.at(i, j) = (1.0 - omega) * u.at(i, j) + omega * gs;
+    }
+  }
+  u = std::move(next);
+}
+
+namespace {
+
+/// Full-weighting restriction of the fine residual onto the coarse grid.
+GridLevel restrict_serial(const GridLevel& fine) {
+  GridLevel coarse = make_level(fine.n / 2);
+  for (uint64_t i = 1; i < coarse.n; ++i) {
+    for (uint64_t j = 1; j < coarse.n; ++j) {
+      const uint64_t fi = 2 * i, fj = 2 * j;
+      coarse.at(i, j) =
+          0.25 * fine.at(fi, fj) +
+          0.125 * (fine.at(fi - 1, fj) + fine.at(fi + 1, fj) +
+                   fine.at(fi, fj - 1) + fine.at(fi, fj + 1)) +
+          0.0625 * (fine.at(fi - 1, fj - 1) + fine.at(fi - 1, fj + 1) +
+                    fine.at(fi + 1, fj - 1) + fine.at(fi + 1, fj + 1));
+    }
+  }
+  return coarse;
+}
+
+/// Bilinear prolongation of the coarse correction, added into the fine u.
+void prolong_add_serial(const GridLevel& coarse, GridLevel& fine) {
+  const uint64_t n = fine.n;
+  for (uint64_t i = 1; i < n; ++i) {
+    for (uint64_t j = 1; j < n; ++j) {
+      const uint64_t ci = i / 2, cj = j / 2;
+      double v;
+      if (i % 2 == 0 && j % 2 == 0) {
+        v = coarse.at(ci, cj);
+      } else if (i % 2 == 1 && j % 2 == 0) {
+        v = 0.5 * (coarse.at(ci, cj) + coarse.at(ci + 1, cj));
+      } else if (i % 2 == 0 && j % 2 == 1) {
+        v = 0.5 * (coarse.at(ci, cj) + coarse.at(ci, cj + 1));
+      } else {
+        v = 0.25 * (coarse.at(ci, cj) + coarse.at(ci + 1, cj) +
+                    coarse.at(ci, cj + 1) + coarse.at(ci + 1, cj + 1));
+      }
+      fine.at(i, j) += v;
+    }
+  }
+}
+
+}  // namespace
+
+void vcycle_serial(GridLevel& u, const GridLevel& f, const MgOptions& opts) {
+  if (u.n <= static_cast<uint64_t>(opts.coarse_size)) {
+    for (int s = 0; s < opts.coarse_sweeps; ++s) {
+      jacobi_serial(u, f, opts.omega);
+    }
+    return;
+  }
+  for (int s = 0; s < opts.pre_smooth; ++s) jacobi_serial(u, f, opts.omega);
+  GridLevel r = make_level(u.n);
+  residual_serial(u, f, r);
+  const GridLevel coarse_f = restrict_serial(r);
+  GridLevel coarse_u = make_level(u.n / 2);
+  vcycle_serial(coarse_u, coarse_f, opts);
+  prolong_add_serial(coarse_u, u);
+  for (int s = 0; s < opts.post_smooth; ++s) jacobi_serial(u, f, opts.omega);
+}
+
+}  // namespace ppm::apps::multigrid

@@ -1,0 +1,63 @@
+// Geometric multigrid for the 2D Poisson problem — "multi-grid" is on the
+// paper's list of unstructured/irregular application domains that motivate
+// PPM. The method hops between grid levels; every transfer (restriction,
+// prolongation) and every smoothing sweep is naturally a parallel phase,
+// and the stencil reads at chunk borders are the fine-grained remote
+// accesses the runtime bundles.
+//
+// Problem: -laplace(u) = f on the unit square, homogeneous Dirichlet
+// boundary, 5-point stencil on an (N+1)x(N+1) vertex grid with N = 2^k.
+// Interior unknowns are the (N-1)^2 inner vertices; arrays store the full
+// vertex grid (boundary entries stay 0).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/ppm.hpp"
+
+namespace ppm::apps::multigrid {
+
+struct MgOptions {
+  int pre_smooth = 2;    // damped-Jacobi sweeps before coarsening
+  int post_smooth = 2;   // sweeps after prolongation
+  double omega = 0.8;    // Jacobi damping
+  int coarse_size = 2;   // solve directly (by smoothing) when N <= this
+  int coarse_sweeps = 40;
+};
+
+/// Dense vertex-grid field for one level: (n+1)*(n+1) doubles, row-major.
+struct GridLevel {
+  uint64_t n = 0;  // cells per side (vertices per side = n + 1)
+  std::vector<double> values;
+
+  uint64_t side() const { return n + 1; }
+  double& at(uint64_t i, uint64_t j) { return values[i * side() + j]; }
+  double at(uint64_t i, uint64_t j) const { return values[i * side() + j]; }
+};
+
+GridLevel make_level(uint64_t n);
+
+/// Deterministic smooth right-hand side with a couple of point sources.
+GridLevel make_rhs(uint64_t n);
+
+/// residual r = f + laplace(u) (5-point, h = 1/n), interior only.
+void residual_serial(const GridLevel& u, const GridLevel& f, GridLevel& r);
+
+/// L2 norm of the interior of a grid function.
+double norm_serial(const GridLevel& g);
+
+/// One damped Jacobi sweep on the interior.
+void jacobi_serial(GridLevel& u, const GridLevel& f, double omega);
+
+/// One multigrid V-cycle (serial reference). u is updated in place.
+void vcycle_serial(GridLevel& u, const GridLevel& f, const MgOptions& opts);
+
+/// Multigrid solver in PPM: every node passes the same f; runs `cycles`
+/// V-cycles and returns the residual norm after each cycle (collective;
+/// identical on every node). The final solution's interior is written
+/// into `u_out` on every node.
+std::vector<double> solve_mg_ppm(Env& env, const GridLevel& f, int cycles,
+                                 const MgOptions& opts, GridLevel* u_out);
+
+}  // namespace ppm::apps::multigrid

@@ -1,0 +1,189 @@
+// PPM implementation of the multigrid V-cycle. Each level's fields are
+// global shared arrays; Jacobi sweeps, residual evaluation, restriction
+// and prolongation are each a single global phase (the phase-start read
+// snapshot gives Jacobi its double buffering for free, and the stencil
+// reads across chunk borders ride the runtime's block cache).
+#include <cmath>
+
+#include "apps/multigrid/multigrid.hpp"
+#include "core/algorithms.hpp"
+#include "util/error.hpp"
+
+namespace ppm::apps::multigrid {
+
+namespace {
+
+/// One level's distributed state plus its phase executor.
+struct Level {
+  uint64_t n = 0;
+  GlobalShared<double> u, f, r;
+};
+
+struct Hierarchy {
+  std::vector<Level> levels;  // [0] = finest
+};
+
+uint64_t side(uint64_t n) { return n + 1; }
+
+Hierarchy build_hierarchy(Env& env, uint64_t n_fine, int coarse_size) {
+  Hierarchy h;
+  for (uint64_t n = n_fine;; n /= 2) {
+    Level level;
+    level.n = n;
+    const uint64_t elems = side(n) * side(n);
+    level.u = env.global_array<double>(elems);
+    level.f = env.global_array<double>(elems);
+    level.r = env.global_array<double>(elems);
+    h.levels.push_back(level);
+    if (n <= static_cast<uint64_t>(coarse_size)) break;
+  }
+  return h;
+}
+
+/// Run `body(i, j, e)` as one global phase over this node's chunk of the
+/// level's element space; (i, j) are vertex coordinates of element e.
+template <typename Body>
+void grid_phase(Env& env, const Level& level, Body body) {
+  const uint64_t base = level.u.local_begin();
+  const uint64_t s = side(level.n);
+  auto vps = env.ppm_do(level.u.local_end() - base);
+  vps.global_phase([&](Vp& vp) {
+    const uint64_t e = base + vp.node_rank();
+    body(e / s, e % s, e);
+  });
+}
+
+void jacobi_ppm(Env& env, Level& level, double omega) {
+  const uint64_t n = level.n;
+  const uint64_t s = side(n);
+  const double h2 = 1.0 / (static_cast<double>(n) * static_cast<double>(n));
+  grid_phase(env, level, [&](uint64_t i, uint64_t j, uint64_t e) {
+    if (i == 0 || i == n || j == 0 || j == n) return;  // boundary
+    const double gs =
+        0.25 * (level.u.get(e - s) + level.u.get(e + s) +
+                level.u.get(e - 1) + level.u.get(e + 1) +
+                h2 * level.f.get(e));
+    level.u.set(e, (1.0 - omega) * level.u.get(e) + omega * gs);
+  });
+}
+
+void residual_ppm(Env& env, Level& level) {
+  const uint64_t n = level.n;
+  const uint64_t s = side(n);
+  const double inv_h2 = static_cast<double>(n) * static_cast<double>(n);
+  grid_phase(env, level, [&](uint64_t i, uint64_t j, uint64_t e) {
+    if (i == 0 || i == n || j == 0 || j == n) {
+      level.r.set(e, 0.0);
+      return;
+    }
+    const double lap = (level.u.get(e - s) + level.u.get(e + s) +
+                        level.u.get(e - 1) + level.u.get(e + 1) -
+                        4.0 * level.u.get(e)) *
+                       inv_h2;
+    level.r.set(e, level.f.get(e) + lap);
+  });
+}
+
+/// coarse.f = full-weighted restriction of fine.r; coarse.u = 0.
+void restrict_ppm(Env& env, Level& fine, Level& coarse) {
+  const uint64_t fs = side(fine.n);
+  const uint64_t cn = coarse.n;
+  grid_phase(env, coarse, [&](uint64_t i, uint64_t j, uint64_t e) {
+    coarse.u.set(e, 0.0);
+    if (i == 0 || i == cn || j == 0 || j == cn) {
+      coarse.f.set(e, 0.0);
+      return;
+    }
+    const uint64_t fe = (2 * i) * fs + (2 * j);
+    const double v =
+        0.25 * fine.r.get(fe) +
+        0.125 * (fine.r.get(fe - fs) + fine.r.get(fe + fs) +
+                 fine.r.get(fe - 1) + fine.r.get(fe + 1)) +
+        0.0625 * (fine.r.get(fe - fs - 1) + fine.r.get(fe - fs + 1) +
+                  fine.r.get(fe + fs - 1) + fine.r.get(fe + fs + 1));
+    coarse.f.set(e, v);
+  });
+}
+
+/// fine.u += bilinear prolongation of coarse.u.
+void prolong_add_ppm(Env& env, Level& coarse, Level& fine) {
+  const uint64_t fn = fine.n;
+  const uint64_t cs = side(coarse.n);
+  grid_phase(env, fine, [&](uint64_t i, uint64_t j, uint64_t e) {
+    if (i == 0 || i == fn || j == 0 || j == fn) return;
+    const uint64_t ce = (i / 2) * cs + (j / 2);
+    double v;
+    if (i % 2 == 0 && j % 2 == 0) {
+      v = coarse.u.get(ce);
+    } else if (i % 2 == 1 && j % 2 == 0) {
+      v = 0.5 * (coarse.u.get(ce) + coarse.u.get(ce + cs));
+    } else if (i % 2 == 0 && j % 2 == 1) {
+      v = 0.5 * (coarse.u.get(ce) + coarse.u.get(ce + 1));
+    } else {
+      v = 0.25 * (coarse.u.get(ce) + coarse.u.get(ce + cs) +
+                  coarse.u.get(ce + 1) + coarse.u.get(ce + cs + 1));
+    }
+    fine.u.add(e, v);
+  });
+}
+
+double residual_norm_ppm(Env& env, Level& level) {
+  residual_ppm(env, level);
+  const double sq = dot(env, level.r, level.r);
+  const auto interior = static_cast<double>((level.n - 1) * (level.n - 1));
+  return std::sqrt(sq / interior);
+}
+
+void vcycle_ppm(Env& env, Hierarchy& h, size_t depth, const MgOptions& opts) {
+  Level& level = h.levels[depth];
+  if (depth + 1 == h.levels.size()) {
+    for (int s = 0; s < opts.coarse_sweeps; ++s) {
+      jacobi_ppm(env, level, opts.omega);
+    }
+    return;
+  }
+  for (int s = 0; s < opts.pre_smooth; ++s) {
+    jacobi_ppm(env, level, opts.omega);
+  }
+  residual_ppm(env, level);
+  restrict_ppm(env, level, h.levels[depth + 1]);
+  vcycle_ppm(env, h, depth + 1, opts);
+  prolong_add_ppm(env, h.levels[depth + 1], level);
+  for (int s = 0; s < opts.post_smooth; ++s) {
+    jacobi_ppm(env, level, opts.omega);
+  }
+}
+
+}  // namespace
+
+std::vector<double> solve_mg_ppm(Env& env, const GridLevel& f, int cycles,
+                                 const MgOptions& opts, GridLevel* u_out) {
+  PPM_CHECK(f.n >= 2, "grid too small");
+  Hierarchy h = build_hierarchy(env, f.n, opts.coarse_size);
+
+  // Load the right-hand side (immediate local writes), u starts at 0.
+  Level& fine = h.levels[0];
+  for (uint64_t e = fine.f.local_begin(); e < fine.f.local_end(); ++e) {
+    fine.f.set(e, f.values[e]);
+  }
+  env.barrier();
+
+  std::vector<double> history;
+  history.reserve(static_cast<size_t>(cycles));
+  for (int c = 0; c < cycles; ++c) {
+    vcycle_ppm(env, h, 0, opts);
+    history.push_back(residual_norm_ppm(env, fine));
+  }
+
+  if (u_out != nullptr) {
+    *u_out = make_level(f.n);
+    std::vector<uint64_t> idx(u_out->values.size());
+    for (uint64_t e = 0; e < idx.size(); ++e) idx[e] = e;
+    auto probe = env.ppm_do(env.node_id() == 0 ? 1 : 0);
+    probe.global_phase([&](Vp&) { u_out->values = fine.u.gather(idx); });
+    env.broadcast(u_out->values, /*root=*/0);
+  }
+  return history;
+}
+
+}  // namespace ppm::apps::multigrid

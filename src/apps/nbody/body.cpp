@@ -1,0 +1,57 @@
+#include "apps/nbody/body.hpp"
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace ppm::apps::nbody {
+
+void BodySet::resize(uint64_t n) {
+  px.resize(n);
+  py.resize(n);
+  pz.resize(n);
+  vx.resize(n);
+  vy.resize(n);
+  vz.resize(n);
+  mass.resize(n);
+}
+
+namespace {
+void fill_cluster(BodySet& bodies, uint64_t begin, uint64_t end, Vec3 center,
+                  double radius, Rng& rng) {
+  for (uint64_t i = begin; i < end; ++i) {
+    // Centrally concentrated radial profile (Plummer-flavored, truncated).
+    const double u = rng.next_double();
+    const double r = radius * u / std::sqrt(1.0 + u * u);
+    const double costh = rng.next_double_in(-1.0, 1.0);
+    const double sinth = std::sqrt(1.0 - costh * costh);
+    const double phi = rng.next_double_in(0.0, 2.0 * M_PI);
+    bodies.px[i] = center.x + r * sinth * std::cos(phi);
+    bodies.py[i] = center.y + r * sinth * std::sin(phi);
+    bodies.pz[i] = center.z + r * costh;
+    bodies.vx[i] = 0.01 * rng.next_normal();
+    bodies.vy[i] = 0.01 * rng.next_normal();
+    bodies.vz[i] = 0.01 * rng.next_normal();
+    bodies.mass[i] = 1.0 / static_cast<double>(bodies.size());
+  }
+}
+}  // namespace
+
+BodySet make_plummer(uint64_t n, uint64_t seed) {
+  BodySet bodies;
+  bodies.resize(n);
+  Rng rng(seed);
+  fill_cluster(bodies, 0, n, {0, 0, 0}, 1.0, rng);
+  return bodies;
+}
+
+BodySet make_two_clusters(uint64_t n, uint64_t seed) {
+  BodySet bodies;
+  bodies.resize(n);
+  Rng rng(seed);
+  fill_cluster(bodies, 0, n / 2, {-0.8, 0, 0}, 0.4, rng);
+  fill_cluster(bodies, n / 2, n, {0.8, 0.2, 0}, 0.4, rng);
+  return bodies;
+}
+
+}  // namespace ppm::apps::nbody

@@ -1,0 +1,43 @@
+// Particle sets and initial conditions for the Barnes–Hut application.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ppm::apps::nbody {
+
+struct Vec3 {
+  double x = 0, y = 0, z = 0;
+
+  Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  Vec3& operator+=(const Vec3& o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  double norm2() const { return x * x + y * y + z * z; }
+};
+
+/// Structure-of-arrays particle container.
+struct BodySet {
+  std::vector<double> px, py, pz;
+  std::vector<double> vx, vy, vz;
+  std::vector<double> mass;
+
+  uint64_t size() const { return px.size(); }
+  void resize(uint64_t n);
+  Vec3 position(uint64_t i) const { return {px[i], py[i], pz[i]}; }
+  Vec3 velocity(uint64_t i) const { return {vx[i], vy[i], vz[i]}; }
+};
+
+/// Plummer-like spherical cluster (bounded radius, centrally concentrated),
+/// deterministic in the seed. Velocities start as small random jitter.
+BodySet make_plummer(uint64_t n, uint64_t seed);
+
+/// Two off-center clusters — exercises deep, uneven trees.
+BodySet make_two_clusters(uint64_t n, uint64_t seed);
+
+}  // namespace ppm::apps::nbody

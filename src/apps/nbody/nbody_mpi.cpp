@@ -1,0 +1,101 @@
+#include "apps/nbody/nbody_mpi.hpp"
+
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace ppm::apps::nbody {
+
+MpiNbodyState setup_nbody_mpi(mp::Comm& comm, const BodySet& init) {
+  const uint64_t n = init.size();
+  const auto ranks = static_cast<uint64_t>(comm.size());
+  const uint64_t chunk = (n + ranks - 1) / ranks;
+  const uint64_t b = std::min(n, chunk * static_cast<uint64_t>(comm.rank()));
+  const uint64_t e = std::min(n, b + chunk);
+  MpiNbodyState st;
+  st.n = n;
+  st.begin = b;
+  st.local.resize(e - b);
+  for (uint64_t i = b; i < e; ++i) {
+    const uint64_t l = i - b;
+    st.local.px[l] = init.px[i];
+    st.local.py[l] = init.py[i];
+    st.local.pz[l] = init.pz[i];
+    st.local.vx[l] = init.vx[i];
+    st.local.vy[l] = init.vy[i];
+    st.local.vz[l] = init.vz[i];
+    st.local.mass[l] = init.mass[i];
+  }
+  return st;
+}
+
+std::vector<Vec3> accelerations_mpi(mp::Comm& comm, MpiNbodyState& st,
+                                    const NbodyOptions& options) {
+  // Local tree over this rank's particles.
+  std::vector<int64_t> ids(st.local.size());
+  std::iota(ids.begin(), ids.end(), static_cast<int64_t>(st.begin));
+  Octree tree;
+  tree.build(st.local.px, st.local.py, st.local.pz, st.local.mass, ids);
+
+  // The comparator method's core cost: every rank receives a full copy of
+  // every other rank's tree, every step.
+  const auto forests =
+      comm.allgatherv(std::span<const TreeNode>(tree.nodes()));
+
+  std::vector<Vec3> acc(st.local.size());
+  for (uint64_t i = 0; i < st.local.size(); ++i) {
+    Vec3 a;
+    for (const auto& forest : forests) {
+      if (forest.empty()) continue;
+      auto fetch = [&](int32_t idx) -> const TreeNode& {
+        return forest[static_cast<size_t>(idx)];
+      };
+      a += bh_accel(fetch, 0, static_cast<int64_t>(st.begin + i),
+                    st.local.px[i], st.local.py[i], st.local.pz[i],
+                    options.theta, options.eps);
+    }
+    acc[i] = a;
+  }
+  return acc;
+}
+
+void simulate_mpi(mp::Comm& comm, MpiNbodyState& st,
+                  const NbodyOptions& options) {
+  for (int s = 0; s < options.steps; ++s) {
+    const auto acc = accelerations_mpi(comm, st, options);
+    for (uint64_t i = 0; i < st.local.size(); ++i) {
+      st.local.vx[i] += acc[i].x * options.dt;
+      st.local.vy[i] += acc[i].y * options.dt;
+      st.local.vz[i] += acc[i].z * options.dt;
+      st.local.px[i] += st.local.vx[i] * options.dt;
+      st.local.py[i] += st.local.vy[i] * options.dt;
+      st.local.pz[i] += st.local.vz[i] * options.dt;
+    }
+  }
+}
+
+BodySet snapshot_mpi(mp::Comm& comm, const MpiNbodyState& st) {
+  BodySet out;
+  out.resize(st.n);
+  auto gather_field = [&](const std::vector<double>& local,
+                          std::vector<double>& full) {
+    const auto blocks = comm.allgatherv(std::span<const double>(local));
+    uint64_t at = 0;
+    for (const auto& b : blocks) {
+      for (double v : b) full[at++] = v;
+    }
+    PPM_CHECK(at == st.n, "snapshot assembled %llu of %llu particles",
+              static_cast<unsigned long long>(at),
+              static_cast<unsigned long long>(st.n));
+  };
+  gather_field(st.local.px, out.px);
+  gather_field(st.local.py, out.py);
+  gather_field(st.local.pz, out.pz);
+  gather_field(st.local.vx, out.vx);
+  gather_field(st.local.vy, out.vy);
+  gather_field(st.local.vz, out.vz);
+  gather_field(st.local.mass, out.mass);
+  return out;
+}
+
+}  // namespace ppm::apps::nbody

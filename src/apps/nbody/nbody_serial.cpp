@@ -1,0 +1,70 @@
+#include "apps/nbody/nbody_serial.hpp"
+
+#include <cmath>
+#include <numeric>
+
+namespace ppm::apps::nbody {
+
+namespace {
+Octree build_full_tree(const BodySet& bodies) {
+  std::vector<int64_t> ids(bodies.size());
+  std::iota(ids.begin(), ids.end(), 0);
+  Octree tree;
+  tree.build(bodies.px, bodies.py, bodies.pz, bodies.mass, ids);
+  return tree;
+}
+}  // namespace
+
+std::vector<Vec3> accelerations_serial_bh(const BodySet& bodies,
+                                          const NbodyOptions& options) {
+  const Octree tree = build_full_tree(bodies);
+  auto fetch = [&](int32_t idx) -> const TreeNode& {
+    return tree.nodes()[static_cast<size_t>(idx)];
+  };
+  std::vector<Vec3> acc(bodies.size());
+  for (uint64_t i = 0; i < bodies.size(); ++i) {
+    acc[i] = bh_accel(fetch, 0, static_cast<int64_t>(i), bodies.px[i],
+                      bodies.py[i], bodies.pz[i], options.theta, options.eps);
+  }
+  return acc;
+}
+
+std::vector<Vec3> accelerations_direct(const BodySet& bodies, double eps) {
+  std::vector<Vec3> acc(bodies.size());
+  for (uint64_t i = 0; i < bodies.size(); ++i) {
+    acc[i] = direct_accel(bodies, i, eps);
+  }
+  return acc;
+}
+
+void simulate_serial_bh(BodySet& bodies, const NbodyOptions& options) {
+  for (int s = 0; s < options.steps; ++s) {
+    const auto acc = accelerations_serial_bh(bodies, options);
+    for (uint64_t i = 0; i < bodies.size(); ++i) {
+      bodies.vx[i] += acc[i].x * options.dt;
+      bodies.vy[i] += acc[i].y * options.dt;
+      bodies.vz[i] += acc[i].z * options.dt;
+      bodies.px[i] += bodies.vx[i] * options.dt;
+      bodies.py[i] += bodies.vy[i] * options.dt;
+      bodies.pz[i] += bodies.vz[i] * options.dt;
+    }
+  }
+}
+
+double total_energy(const BodySet& bodies, double eps) {
+  double kinetic = 0, potential = 0;
+  const double eps2 = eps * eps;
+  for (uint64_t i = 0; i < bodies.size(); ++i) {
+    kinetic += 0.5 * bodies.mass[i] * bodies.velocity(i).norm2();
+    for (uint64_t j = i + 1; j < bodies.size(); ++j) {
+      const double rx = bodies.px[j] - bodies.px[i];
+      const double ry = bodies.py[j] - bodies.py[i];
+      const double rz = bodies.pz[j] - bodies.pz[i];
+      potential -= bodies.mass[i] * bodies.mass[j] /
+                   std::sqrt(rx * rx + ry * ry + rz * rz + eps2);
+    }
+  }
+  return kinetic + potential;
+}
+
+}  // namespace ppm::apps::nbody

@@ -1,0 +1,30 @@
+// Serial Barnes–Hut simulation (and its direct-sum validation helpers).
+#pragma once
+
+#include "apps/nbody/body.hpp"
+#include "apps/nbody/octree.hpp"
+
+namespace ppm::apps::nbody {
+
+struct NbodyOptions {
+  double theta = 0.5;
+  double eps = 0.01;   // gravitational softening
+  double dt = 0.005;
+  int steps = 4;
+};
+
+/// Advance the whole set `steps` leapfrog-ish steps (kick-drift with
+/// per-step force evaluation), one global octree per step.
+void simulate_serial_bh(BodySet& bodies, const NbodyOptions& options);
+
+/// Accelerations of every particle via one global octree (no integration).
+std::vector<Vec3> accelerations_serial_bh(const BodySet& bodies,
+                                          const NbodyOptions& options);
+
+/// Accelerations via O(n^2) direct sum (ground truth).
+std::vector<Vec3> accelerations_direct(const BodySet& bodies, double eps);
+
+/// Total energy (kinetic + softened potential) — conservation diagnostics.
+double total_energy(const BodySet& bodies, double eps);
+
+}  // namespace ppm::apps::nbody

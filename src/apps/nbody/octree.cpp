@@ -1,0 +1,152 @@
+#include "apps/nbody/octree.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ppm::apps::nbody {
+
+void Octree::build(std::span<const double> x, std::span<const double> y,
+                   std::span<const double> z, std::span<const double> m,
+                   std::span<const int64_t> ids) {
+  nodes_.clear();
+  if (x.empty()) return;
+  // Bounding cube of the subset.
+  double lo = x[0], hi = x[0];
+  for (size_t i = 0; i < x.size(); ++i) {
+    lo = std::min({lo, x[i], y[i], z[i]});
+    hi = std::max({hi, x[i], y[i], z[i]});
+  }
+  TreeNode root;
+  root.cx = 0.5 * (lo + hi);  // cell center until mass finalization
+  root.cy = root.cx;
+  root.cz = root.cx;
+  root.half = 0.5 * (hi - lo) + 1e-12;
+  root.leaf_count = 0;
+  nodes_.push_back(root);
+  for (size_t i = 0; i < x.size(); ++i) {
+    insert(0, ids[i], x[i], y[i], z[i], m[i]);
+  }
+  finalize_mass(0);
+}
+
+int Octree::octant_of(const TreeNode& node, double x, double y, double z)
+    const {
+  return (x >= node.cx ? 1 : 0) | (y >= node.cy ? 2 : 0) |
+         (z >= node.cz ? 4 : 0);
+}
+
+void Octree::split(int32_t node) {
+  // Move the node's inline particles into children; the node becomes
+  // internal. Geometry (cx, cy, cz, half) still holds the cell center here
+  // — centers of mass replace the geometry only in finalize_mass().
+  LeafParticle staged[kLeafCap];
+  const int count = nodes_[static_cast<size_t>(node)].leaf_count;
+  std::copy_n(nodes_[static_cast<size_t>(node)].leaf, count, staged);
+  nodes_[static_cast<size_t>(node)].leaf_count = -1;
+  for (int i = 0; i < count; ++i) {
+    insert(node, staged[i].id, staged[i].x, staged[i].y, staged[i].z,
+           staged[i].m);
+  }
+}
+
+int32_t Octree::insert(int32_t node, int64_t id, double x, double y,
+                       double z, double m) {
+  TreeNode& n = nodes_[static_cast<size_t>(node)];
+  if (n.is_leaf()) {
+    if (n.leaf_count < kLeafCap) {
+      n.leaf[n.leaf_count++] = LeafParticle{id, x, y, z, m};
+      return node;
+    }
+    // Guard against pathological coincident points: if the cell is already
+    // tiny, keep overflowing particles in an (over-full) chain by merging
+    // masses into the last slot rather than splitting forever.
+    if (n.half < 1e-9) {
+      LeafParticle& last = n.leaf[kLeafCap - 1];
+      last.m += m;
+      return node;
+    }
+    split(node);
+    // `n` may dangle after split (vector growth) — re-enter.
+    return insert(node, id, x, y, z, m);
+  }
+  const int oct = octant_of(n, x, y, z);
+  int32_t child = n.child[oct];
+  if (child < 0) {
+    TreeNode c;
+    const double h = n.half * 0.5;
+    c.cx = n.cx + ((oct & 1) ? h : -h);
+    c.cy = n.cy + ((oct & 2) ? h : -h);
+    c.cz = n.cz + ((oct & 4) ? h : -h);
+    c.half = h;
+    c.leaf_count = 0;
+    child = static_cast<int32_t>(nodes_.size());
+    nodes_.push_back(c);
+    nodes_[static_cast<size_t>(node)].child[oct] = child;
+  }
+  return insert(child, id, x, y, z, m);
+}
+
+void Octree::finalize_mass(int32_t node) {
+  TreeNode& n = nodes_[static_cast<size_t>(node)];
+  if (n.is_leaf()) {
+    double mx = 0, my = 0, mz = 0, mass = 0;
+    for (int i = 0; i < n.leaf_count; ++i) {
+      mx += n.leaf[i].m * n.leaf[i].x;
+      my += n.leaf[i].m * n.leaf[i].y;
+      mz += n.leaf[i].m * n.leaf[i].z;
+      mass += n.leaf[i].m;
+    }
+    if (mass > 0) {
+      n.cx = mx / mass;
+      n.cy = my / mass;
+      n.cz = mz / mass;
+    }
+    n.mass = mass;
+    return;
+  }
+  double mx = 0, my = 0, mz = 0, mass = 0;
+  for (int32_t c : n.child) {
+    if (c < 0) continue;
+    finalize_mass(c);
+    const TreeNode& cn = nodes_[static_cast<size_t>(c)];
+    mx += cn.mass * cn.cx;
+    my += cn.mass * cn.cy;
+    mz += cn.mass * cn.cz;
+    mass += cn.mass;
+  }
+  TreeNode& n2 = nodes_[static_cast<size_t>(node)];  // reload (no growth now)
+  if (mass > 0) {
+    n2.cx = mx / mass;
+    n2.cy = my / mass;
+    n2.cz = mz / mass;
+  }
+  n2.mass = mass;
+}
+
+void Octree::offset_children(int32_t offset) {
+  for (TreeNode& n : nodes_) {
+    for (int32_t& c : n.child) {
+      if (c >= 0) c += offset;
+    }
+  }
+}
+
+Vec3 direct_accel(const BodySet& bodies, uint64_t self, double eps) {
+  Vec3 acc;
+  const double eps2 = eps * eps;
+  const Vec3 p = bodies.position(self);
+  for (uint64_t j = 0; j < bodies.size(); ++j) {
+    if (j == self) continue;
+    const double rx = bodies.px[j] - p.x;
+    const double ry = bodies.py[j] - p.y;
+    const double rz = bodies.pz[j] - p.z;
+    const double r2 = rx * rx + ry * ry + rz * rz + eps2;
+    const double inv = bodies.mass[j] / (r2 * std::sqrt(r2));
+    acc += Vec3{rx, ry, rz} * inv;
+  }
+  return acc;
+}
+
+}  // namespace ppm::apps::nbody

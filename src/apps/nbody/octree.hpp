@@ -1,0 +1,119 @@
+// Octree construction and the Barnes–Hut force walk.
+//
+// TreeNode is a fixed-size POD so a whole tree (or forest) can live in a
+// GlobalShared<TreeNode> array and be walked remotely through plain shared
+// reads. Leaves inline their particles' ids, positions and masses: one
+// remote node fetch delivers everything needed for the near-field sum.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "apps/nbody/body.hpp"
+
+namespace ppm::apps::nbody {
+
+inline constexpr int kLeafCap = 4;
+
+struct LeafParticle {
+  int64_t id = -1;  // global particle id (for self-exclusion)
+  double x = 0, y = 0, z = 0;
+  double m = 0;
+};
+
+struct TreeNode {
+  double cx = 0, cy = 0, cz = 0;  // center of mass
+  double mass = 0;
+  double half = 0;                // half-width of the cell
+  int32_t child[8] = {-1, -1, -1, -1, -1, -1, -1, -1};
+  int32_t leaf_count = -1;        // >= 0: leaf with that many particles
+  LeafParticle leaf[kLeafCap]{};
+
+  bool is_leaf() const { return leaf_count >= 0; }
+};
+
+/// Builds an octree over a particle subset. Node 0 is the root. Child
+/// indices are pool-local; offset_children() rebases them for publication
+/// into a shared pool.
+class Octree {
+ public:
+  /// ids[i] is the global id of the particle at (x[i], y[i], z[i]).
+  void build(std::span<const double> x, std::span<const double> y,
+             std::span<const double> z, std::span<const double> m,
+             std::span<const int64_t> ids);
+
+  const std::vector<TreeNode>& nodes() const { return nodes_; }
+  std::vector<TreeNode>& mutable_nodes() { return nodes_; }
+  bool empty() const { return nodes_.empty(); }
+
+  /// Rebase all child links by `offset` (for insertion into a shared pool).
+  void offset_children(int32_t offset);
+
+ private:
+  int32_t insert(int32_t node, int64_t id, double x, double y, double z,
+                 double m);
+  void split(int32_t node);
+  int octant_of(const TreeNode& node, double x, double y, double z) const;
+  void finalize_mass(int32_t node);
+
+  std::vector<TreeNode> nodes_;
+};
+
+/// Barnes–Hut acceleration on (px, py, pz) from the tree rooted at `root`,
+/// excluding the particle with global id `self_id`. `fetch(idx)` resolves a
+/// node index to a `const TreeNode&` — local array access, shared-array
+/// view, or a copy received over the network, depending on the caller.
+/// Templated so the per-node fetch inlines: the walk touches hundreds of
+/// nodes per particle.
+///
+/// Softened gravity: a = sum G * m_j * r / (|r|^2 + eps^2)^(3/2), G = 1.
+template <typename Fetch>
+Vec3 bh_accel(Fetch&& fetch, int32_t root, int64_t self_id, double px,
+              double py, double pz, double theta, double eps) {
+  Vec3 acc;
+  // Small inline stack: tree depth is O(log n) but siblings pile up.
+  std::vector<int32_t> stack;
+  stack.reserve(128);
+  stack.push_back(root);
+  const double eps2 = eps * eps;
+  while (!stack.empty()) {
+    const int32_t idx = stack.back();
+    stack.pop_back();
+    const TreeNode& node = fetch(idx);
+    if (node.mass <= 0) continue;
+    const double dx = node.cx - px;
+    const double dy = node.cy - py;
+    const double dz = node.cz - pz;
+    const double d2 = dx * dx + dy * dy + dz * dz;
+    if (node.is_leaf()) {
+      for (int i = 0; i < node.leaf_count; ++i) {
+        const LeafParticle& lp = node.leaf[i];
+        if (lp.id == self_id) continue;
+        const double rx = lp.x - px, ry = lp.y - py, rz = lp.z - pz;
+        const double r2 = rx * rx + ry * ry + rz * rz + eps2;
+        const double inv = lp.m / (r2 * std::sqrt(r2));
+        acc += Vec3{rx, ry, rz} * inv;
+      }
+      continue;
+    }
+    const double width = 2.0 * node.half;
+    if (width * width < theta * theta * d2) {
+      // Far enough: monopole approximation with the center of mass.
+      const double r2 = d2 + eps2;
+      const double inv = node.mass / (r2 * std::sqrt(r2));
+      acc += Vec3{dx, dy, dz} * inv;
+      continue;
+    }
+    for (int32_t c : node.child) {
+      if (c >= 0) stack.push_back(c);
+    }
+  }
+  return acc;
+}
+
+/// Reference O(n^2) direct sum over an explicit particle set.
+Vec3 direct_accel(const BodySet& bodies, uint64_t self, double eps);
+
+}  // namespace ppm::apps::nbody

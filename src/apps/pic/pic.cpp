@@ -1,0 +1,221 @@
+#include "apps/pic/pic.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace ppm::apps::pic {
+
+using multigrid::GridLevel;
+using multigrid::make_level;
+
+void Particles::resize(uint64_t n) {
+  x.resize(n);
+  y.resize(n);
+  vx.resize(n);
+  vy.resize(n);
+  charge.resize(n);
+}
+
+Particles make_two_streams(uint64_t n, uint64_t seed) {
+  Particles p;
+  p.resize(n);
+  Rng rng(seed);
+  for (uint64_t i = 0; i < n; ++i) {
+    const bool positive = (i % 2 == 0);
+    // Two offset Gaussian clouds of opposite charge.
+    const double cx = positive ? 0.35 : 0.65;
+    const double cy = positive ? 0.4 : 0.6;
+    p.x[i] = std::clamp(cx + 0.08 * rng.next_normal(), 0.05, 0.95);
+    p.y[i] = std::clamp(cy + 0.08 * rng.next_normal(), 0.05, 0.95);
+    p.vx[i] = 0.02 * rng.next_normal();
+    p.vy[i] = 0.02 * rng.next_normal();
+    p.charge[i] = positive ? 1.0 : -1.0;
+  }
+  return p;
+}
+
+namespace {
+
+struct CellWeights {
+  uint64_t i, j;       // lower-left vertex
+  double w00, w10, w01, w11;
+};
+
+CellWeights weights_of(double x, double y, uint64_t n) {
+  const double gx = x * static_cast<double>(n);
+  const double gy = y * static_cast<double>(n);
+  auto i = static_cast<uint64_t>(gx);
+  auto j = static_cast<uint64_t>(gy);
+  if (i >= n) i = n - 1;
+  if (j >= n) j = n - 1;
+  const double fx = gx - static_cast<double>(i);
+  const double fy = gy - static_cast<double>(j);
+  return {i, j, (1 - fx) * (1 - fy), fx * (1 - fy), (1 - fx) * fy, fx * fy};
+}
+
+/// E = -grad(phi) at (x, y), cloud-in-cell consistent with deposition.
+void field_at(const GridLevel& phi, double x, double y, double* ex,
+              double* ey) {
+  const uint64_t n = phi.n;
+  const CellWeights w = weights_of(x, y, n);
+  const double h = 1.0 / static_cast<double>(n);
+  const double fy = w.w01 + w.w11;  // fractional y within the cell
+  const double fx = w.w10 + w.w11;
+  *ex = -((1 - fy) * (phi.at(w.i + 1, w.j) - phi.at(w.i, w.j)) +
+          fy * (phi.at(w.i + 1, w.j + 1) - phi.at(w.i, w.j + 1))) /
+        h;
+  *ey = -((1 - fx) * (phi.at(w.i, w.j + 1) - phi.at(w.i, w.j)) +
+          fx * (phi.at(w.i + 1, w.j + 1) - phi.at(w.i + 1, w.j))) /
+        h;
+}
+
+void push_particle(Particles& p, uint64_t k, const GridLevel& phi,
+                   double dt) {
+  double ex, ey;
+  field_at(phi, p.x[k], p.y[k], &ex, &ey);
+  p.vx[k] += p.charge[k] * ex * dt;
+  p.vy[k] += p.charge[k] * ey * dt;
+  p.x[k] += p.vx[k] * dt;
+  p.y[k] += p.vy[k] * dt;
+  // Reflect off the walls (stay strictly interior).
+  constexpr double kEps = 1e-6;
+  if (p.x[k] < kEps) {
+    p.x[k] = 2 * kEps - p.x[k];
+    p.vx[k] = -p.vx[k];
+  }
+  if (p.x[k] > 1 - kEps) {
+    p.x[k] = 2 * (1 - kEps) - p.x[k];
+    p.vx[k] = -p.vx[k];
+  }
+  if (p.y[k] < kEps) {
+    p.y[k] = 2 * kEps - p.y[k];
+    p.vy[k] = -p.vy[k];
+  }
+  if (p.y[k] > 1 - kEps) {
+    p.y[k] = 2 * (1 - kEps) - p.y[k];
+    p.vy[k] = -p.vy[k];
+  }
+}
+
+}  // namespace
+
+GridLevel deposit_serial(const Particles& particles, uint64_t grid) {
+  GridLevel rho = make_level(grid);
+  for (uint64_t k = 0; k < particles.size(); ++k) {
+    const CellWeights w = weights_of(particles.x[k], particles.y[k], grid);
+    const double q = particles.charge[k];
+    rho.at(w.i, w.j) += q * w.w00;
+    rho.at(w.i + 1, w.j) += q * w.w10;
+    rho.at(w.i, w.j + 1) += q * w.w01;
+    rho.at(w.i + 1, w.j + 1) += q * w.w11;
+  }
+  return rho;
+}
+
+double total_charge(const GridLevel& rho) {
+  double acc = 0;
+  for (double v : rho.values) acc += v;
+  return acc;
+}
+
+void simulate_serial(Particles& particles, const PicOptions& options) {
+  const multigrid::MgOptions mg{};
+  for (int s = 0; s < options.steps; ++s) {
+    const GridLevel rho = deposit_serial(particles, options.grid);
+    GridLevel phi = make_level(options.grid);
+    for (int c = 0; c < options.mg_cycles; ++c) {
+      multigrid::vcycle_serial(phi, rho, mg);
+    }
+    for (uint64_t k = 0; k < particles.size(); ++k) {
+      push_particle(particles, k, phi, options.dt);
+    }
+  }
+}
+
+void simulate_ppm(Env& env, Particles& particles,
+                  const PicOptions& options) {
+  const uint64_t n_particles = particles.size();
+  const uint64_t grid = options.grid;
+  const uint64_t vertices = (grid + 1) * (grid + 1);
+  const multigrid::MgOptions mg{};
+
+  // Block-distribute the particles: each node owns a contiguous slice.
+  const auto nodes = static_cast<uint64_t>(env.node_count());
+  const uint64_t chunk = (n_particles + nodes - 1) / nodes;
+  const uint64_t begin =
+      std::min(n_particles, chunk * static_cast<uint64_t>(env.node_id()));
+  const uint64_t end = std::min(n_particles, begin + chunk);
+
+  auto rho = env.global_array<double>(vertices);
+
+  for (int s = 0; s < options.steps; ++s) {
+    // Zero the charge grid (owner-computes), then scatter: every particle
+    // VP adds its weighted charge into 4 vertices — conflicting
+    // accumulate-writes, bundled by the runtime.
+    {
+      auto zero = env.ppm_do(rho.local_end() - rho.local_begin());
+      const uint64_t base = rho.local_begin();
+      zero.global_phase([&](Vp& vp) { rho.set(base + vp.node_rank(), 0.0); });
+    }
+    {
+      auto scatter = env.ppm_do(end - begin);
+      const uint64_t stride = grid + 1;
+      scatter.global_phase([&](Vp& vp) {
+        const uint64_t k = begin + vp.node_rank();
+        const CellWeights w = weights_of(particles.x[k], particles.y[k],
+                                         grid);
+        const double q = particles.charge[k];
+        rho.add(w.i * stride + w.j, q * w.w00);
+        rho.add((w.i + 1) * stride + w.j, q * w.w10);
+        rho.add(w.i * stride + w.j + 1, q * w.w01);
+        rho.add((w.i + 1) * stride + w.j + 1, q * w.w11);
+      });
+    }
+
+    // Assemble rho (row-major (i, j) = i * stride + j matches GridLevel),
+    // solve the field with the PPM multigrid, and push own particles.
+    GridLevel rho_grid = make_level(grid);
+    {
+      auto probe = env.ppm_do(env.node_id() == 0 ? 1 : 0);
+      probe.global_phase([&](Vp&) {
+        std::vector<uint64_t> idx(vertices);
+        for (uint64_t e = 0; e < vertices; ++e) idx[e] = e;
+        rho_grid.values = rho.gather(idx);
+      });
+      env.broadcast(rho_grid.values, /*root=*/0);
+    }
+    GridLevel phi;
+    (void)multigrid::solve_mg_ppm(env, rho_grid, options.mg_cycles, mg,
+                                  &phi);
+    for (uint64_t k = begin; k < end; ++k) {
+      push_particle(particles, k, phi, options.dt);
+    }
+  }
+
+  // Everyone ends with the full particle state: exchange the slices
+  // through a shared array whose block distribution matches the particle
+  // slices by construction (same ceil-chunk formula).
+  for (auto* field :
+       {&particles.x, &particles.y, &particles.vx, &particles.vy}) {
+    auto buf = env.global_array<double>(std::max<uint64_t>(1, n_particles));
+    PPM_CHECK(buf.local_begin() == begin && buf.local_end() == end,
+              "particle slice does not match the array distribution");
+    for (uint64_t k = begin; k < end; ++k) {
+      buf.set(k, (*field)[k]);  // immediate local writes
+    }
+    env.barrier();
+    std::vector<double> full;
+    auto probe = env.ppm_do(env.node_id() == 0 ? 1 : 0);
+    probe.global_phase([&](Vp&) {
+      std::vector<uint64_t> idx(n_particles);
+      for (uint64_t e = 0; e < n_particles; ++e) idx[e] = e;
+      full = buf.gather(idx);
+    });
+    env.broadcast(full, /*root=*/0);
+    *field = std::move(full);
+  }
+}
+
+}  // namespace ppm::apps::pic

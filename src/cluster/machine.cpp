@@ -1,0 +1,67 @@
+#include "cluster/machine.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace ppm::cluster {
+
+Machine::Machine(MachineConfig config) : config_(config) {
+  PPM_CHECK(config_.nodes > 0, "machine needs at least one node");
+  PPM_CHECK(config_.cores_per_node > 0,
+            "machine needs at least one core per node");
+  engine_ = std::make_unique<sim::Engine>(config_.engine);
+  net::FabricConfig fc;
+  fc.num_nodes = config_.nodes;
+  fc.ports_per_node = config_.cores_per_node + 1;  // +1 runtime service port
+  fc.network = config_.network;
+  fc.intranode = config_.intranode;
+  fabric_ = std::make_unique<net::Fabric>(*engine_, fc);
+}
+
+void Machine::run_per_core(const std::function<void(const Place&)>& body) {
+  const int64_t t_start = engine_->engine_now_ns();
+  int64_t t_end = t_start;
+  for (int n = 0; n < config_.nodes; ++n) {
+    for (int c = 0; c < config_.cores_per_node; ++c) {
+      const Place place{n, c};
+      engine_->spawn(
+          strfmt("n%d.c%d", n, c),
+          [this, body, place, &t_end] {
+            body(place);
+            t_end = std::max(t_end, engine_->now_ns());
+          },
+          t_start);
+    }
+  }
+  engine_->run();
+  last_run_duration_ns_ = t_end - t_start;
+}
+
+void Machine::run_per_node(const std::function<void(int node)>& body) {
+  const int64_t t_start = engine_->engine_now_ns();
+  int64_t t_end = t_start;
+  for (int n = 0; n < config_.nodes; ++n) {
+    engine_->spawn(
+        strfmt("n%d.main", n),
+        [this, body, n, &t_end] {
+          body(n);
+          t_end = std::max(t_end, engine_->now_ns());
+        },
+        t_start);
+  }
+  engine_->run();
+  last_run_duration_ns_ = t_end - t_start;
+}
+
+sim::Fiber::Id Machine::spawn_at(const Place& place, std::string name,
+                                 std::function<void()> body) {
+  PPM_CHECK(place.node >= 0 && place.node < config_.nodes &&
+                place.core >= 0 && place.core < config_.cores_per_node,
+            "spawn_at: bad place n%d.c%d", place.node, place.core);
+  const int64_t start =
+      engine_->on_fiber() ? engine_->now_ns() : engine_->engine_now_ns();
+  return engine_->spawn(std::move(name), std::move(body), start);
+}
+
+}  // namespace ppm::cluster

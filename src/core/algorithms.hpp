@@ -1,0 +1,100 @@
+// Utility algorithms written *in* PPM (the paper's §3.1 "utility functions
+// ... such as reduction, parallel prefix"). They double as reference
+// examples of phase-style programming.
+#pragma once
+
+#include "core/env.hpp"
+#include "core/shared_array.hpp"
+
+namespace ppm {
+
+/// Inclusive parallel prefix (scan) of a global shared array, in place.
+/// Hillis–Steele over log2(n) global phases: the phase-start read snapshot
+/// provides the double buffering for free.
+template <typename T>
+void prefix_sum(Env& env, GlobalShared<T>& x) {
+  const uint64_t n = x.size();
+  // Each node runs VPs for its own chunk (owner-computes).
+  const uint64_t k_local = x.local_end() - x.local_begin();
+  auto vps = env.ppm_do(k_local);
+  const uint64_t base = x.local_begin();
+  for (uint64_t d = 1; d < n; d *= 2) {
+    vps.global_phase([&, d](Vp& vp) {
+      const uint64_t i = base + vp.node_rank();
+      if (i >= d) {
+        x.set(i, x.get(i) + x.get(i - d));
+      }
+    });
+  }
+}
+
+/// Reduce a global shared array to a single value with a commutative,
+/// associative op; every node receives the result. Local chunks are folded
+/// in place, then combined with one node-level collective.
+template <typename T, typename Op>
+T reduce_array(Env& env, const GlobalShared<T>& x, T init, Op op) {
+  T acc = init;
+  for (const T& v : x.local_span()) acc = op(acc, v);
+  return env.allreduce(acc, op);
+}
+
+/// Dot product of two identically distributed global arrays.
+template <typename T>
+T dot(Env& env, const GlobalShared<T>& a, const GlobalShared<T>& b) {
+  PPM_CHECK(a.size() == b.size(), "dot: size mismatch (%llu vs %llu)",
+            static_cast<unsigned long long>(a.size()),
+            static_cast<unsigned long long>(b.size()));
+  T acc{};
+  const auto as = a.local_span();
+  const auto bs = b.local_span();
+  for (size_t i = 0; i < as.size(); ++i) acc += as[i] * bs[i];
+  return env.allreduce(acc, [](T u, T v) { return u + v; });
+}
+
+/// Fill a global array by formula, owner-computes: x[i] = f(i).
+template <typename T, typename F>
+void fill(Env& env, GlobalShared<T>& x, F f) {
+  const uint64_t k_local = x.local_end() - x.local_begin();
+  auto vps = env.ppm_do(k_local);
+  const uint64_t base = x.local_begin();
+  vps.global_phase([&](Vp& vp) {
+    const uint64_t i = base + vp.node_rank();
+    x.set(i, f(i));
+  });
+}
+
+/// Copy this node's chunk of a (block-distributed) global array into a
+/// node-shared array — the paper's "casting" from global to node-level
+/// physical space. `local.size()` must cover the chunk. No network
+/// traffic; immediate (call outside phases).
+template <typename T>
+void localize(Env& env, const GlobalShared<T>& global, NodeShared<T>& local) {
+  (void)env;
+  const auto chunk = global.local_span();
+  PPM_CHECK(local.size() >= chunk.size(),
+            "localize: node array too small (%llu < %zu)",
+            static_cast<unsigned long long>(local.size()), chunk.size());
+  for (size_t i = 0; i < chunk.size(); ++i) {
+    local.set(i, chunk[i]);  // immediate node-local writes outside phases
+  }
+}
+
+/// Copy a node-shared array back into this node's chunk of a global array
+/// — the inverse cast. Immediate local writes; all nodes should call it
+/// (followed by a barrier or phase) before remote readers rely on it.
+template <typename T>
+void publish(Env& env, const NodeShared<T>& local, GlobalShared<T>& global) {
+  (void)env;
+  const uint64_t base = global.local_begin();
+  const uint64_t len = global.local_end() - base;
+  PPM_CHECK(local.size() >= len,
+            "publish: node array too small (%llu < %llu)",
+            static_cast<unsigned long long>(local.size()),
+            static_cast<unsigned long long>(len));
+  const auto values = local.span();
+  for (uint64_t i = 0; i < len; ++i) {
+    global.set(base + i, values[i]);
+  }
+}
+
+}  // namespace ppm

@@ -1,0 +1,180 @@
+// ppm::Env — what a PPM node program sees — and ppm::VpGroup — the
+// PPM_do(K) construct with its global/node phases.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/runtime.hpp"
+#include "core/shared_array.hpp"
+
+namespace ppm {
+
+/// A group of K virtual processors started on this node by PPM_do(K).
+///
+/// Phases are the paper's PPM_global_phase / PPM_node_phase constructs: the
+/// body runs once per VP (folded into loops over the node's cores) with an
+/// implicit barrier and write commit at the end. Multiple phases on the
+/// same group correspond to a PPM function containing several phase
+/// constructs; per-VP state that must survive across phases lives in arrays
+/// indexed by vp.node_rank() (the compiler's scalar-expansion
+/// transformation, done by hand in the embedded DSL).
+class VpGroup {
+ public:
+  /// VPs started on this node.
+  uint64_t size() const { return k_local_; }
+  /// VPs across all nodes of the group (k_local summed; collective groups
+  /// only).
+  uint64_t global_size() const { return k_total_; }
+  /// Global rank of this node's VP 0.
+  uint64_t global_offset() const { return k_offset_; }
+
+  /// Cluster-wide phase: synchronizes and commits across all nodes.
+  void global_phase(const std::function<void(Vp&)>& body) {
+    PPM_CHECK(collective_,
+              "global phase on an async (node-local) VP group");
+    rt_->run_phase(/*global=*/true, k_local_, k_offset_, body);
+  }
+
+  /// Node-level phase: synchronizes only this node's cores; commits only
+  /// node-shared writes. Global shared writes are rejected inside it.
+  void node_phase(const std::function<void(Vp&)>& body) {
+    rt_->run_phase(/*global=*/false, k_local_, k_offset_, body);
+  }
+
+ private:
+  friend class Env;
+  VpGroup(NodeRuntime* rt, uint64_t k_local, uint64_t k_offset,
+          uint64_t k_total, bool collective)
+      : rt_(rt), k_local_(k_local), k_offset_(k_offset), k_total_(k_total),
+        collective_(collective) {}
+
+  NodeRuntime* rt_;
+  uint64_t k_local_;
+  uint64_t k_offset_;
+  uint64_t k_total_;
+  bool collective_;
+};
+
+/// The per-node PPM programming environment handed to the node program.
+class Env {
+ public:
+  explicit Env(NodeRuntime& rt) : rt_(&rt) {}
+
+  // ---- System variables (§3.1 item 5) ----
+
+  int node_id() const { return rt_->node_id(); }
+  int node_count() const { return rt_->node_count(); }
+  int cores_per_node() const { return rt_->cores_per_node(); }
+
+  // ---- Shared variable declaration / dynamic allocation ----
+
+  /// Allocate a globally shared array of n elements (zero-initialized).
+  /// SPMD-collective: every node must allocate in the same order.
+  /// Distribution::kBlock keeps contiguous chunks per node; kCyclic deals
+  /// elements round-robin (spreads irregular hot spots).
+  template <typename T>
+  GlobalShared<T> global_array(uint64_t n,
+                               Distribution dist = Distribution::kBlock) {
+    const uint32_t id =
+        rt_->create_array(true, n, detail::elem_ops<T>(), dist);
+    return GlobalShared<T>(rt_, id, n);
+  }
+
+  /// Allocate a node-shared array of n elements (one instance per node).
+  template <typename T>
+  NodeShared<T> node_array(uint64_t n) {
+    const uint32_t id = rt_->create_array(false, n, detail::elem_ops<T>());
+    return NodeShared<T>(rt_, id, n);
+  }
+
+  // ---- PPM_do ----
+
+  /// Start K virtual processors on this node, coordinated with all other
+  /// nodes (K may differ per node; global VP ranks are consistent).
+  VpGroup ppm_do(uint64_t k) {
+    const auto [offset, total] = rt_->coordinate_group(k);
+    return VpGroup(rt_, k, offset, total, /*collective=*/true);
+  }
+
+  /// Start K virtual processors on this node only, with no cross-node
+  /// coordination (the paper's asynchronous mode). Only node phases are
+  /// allowed on the returned group.
+  VpGroup ppm_do_async(uint64_t k) {
+    return VpGroup(rt_, k, 0, k, /*collective=*/false);
+  }
+
+  // ---- Utility functions (§3.1 item 6) ----
+
+  void barrier() { rt_->barrier_global(); }
+
+  /// Reduction over one value per node; every node gets the result.
+  template <typename T, typename Op>
+    requires std::is_trivially_copyable_v<T>
+  T allreduce(T value, Op op) {
+    ByteWriter w;
+    w.put(value);
+    const auto all = rt_->allgather_bytes(std::move(w).take());
+    T acc{};
+    bool first = true;
+    for (const Bytes& b : all) {
+      ByteReader r(b);
+      const T v = r.get<T>();
+      acc = first ? v : op(acc, v);
+      first = false;
+    }
+    return acc;
+  }
+
+  /// One value per node, gathered everywhere, indexed by node.
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  std::vector<T> allgather(T value) {
+    ByteWriter w;
+    w.put(value);
+    const auto all = rt_->allgather_bytes(std::move(w).take());
+    std::vector<T> out;
+    out.reserve(all.size());
+    for (const Bytes& b : all) {
+      ByteReader r(b);
+      out.push_back(r.get<T>());
+    }
+    return out;
+  }
+
+  /// Broadcast a vector from `root` to all nodes.
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void broadcast(std::vector<T>& data, int root) {
+    ByteWriter w;
+    if (node_id() == root) w.put_vector(data);
+    const auto all = rt_->allgather_bytes(std::move(w).take());
+    ByteReader r(all[static_cast<size_t>(root)]);
+    data = r.get_vector<T>();
+  }
+
+  /// Inclusive prefix combine over nodes (node 0 gets its own value).
+  template <typename T, typename Op>
+    requires std::is_trivially_copyable_v<T>
+  T scan_inclusive(T value, Op op) {
+    ByteWriter w;
+    w.put(value);
+    const auto all = rt_->allgather_bytes(std::move(w).take());
+    T acc{};
+    for (int n = 0; n <= node_id(); ++n) {
+      ByteReader r(all[static_cast<size_t>(n)]);
+      const T v = r.get<T>();
+      acc = (n == 0) ? v : op(acc, v);
+    }
+    return acc;
+  }
+
+  /// Access to the underlying runtime (tests, benches, advanced use).
+  NodeRuntime& runtime() { return *rt_; }
+
+ private:
+  NodeRuntime* rt_;
+};
+
+}  // namespace ppm

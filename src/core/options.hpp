@@ -1,0 +1,74 @@
+// Configuration of the PPM runtime and the ppm::run entry point.
+#pragma once
+
+#include <cstdint>
+
+#include "cluster/machine.hpp"
+
+namespace ppm {
+
+/// VP-to-core scheduling policy ("conversion of virtual processors into
+/// loops", §3.4 of the paper).
+enum class SchedulePolicy : uint8_t {
+  kStatic,   // contiguous K/C chunks per core
+  kDynamic,  // cores grab chunks from a shared counter (load balancing)
+};
+
+/// Tunables of the runtime optimizations the paper describes in §3.3.
+/// The ablation benches flip these switches.
+struct RuntimeOptions {
+  /// Bundle fine-grained remote reads: fetch cache blocks instead of single
+  /// elements and combine concurrent requests for the same block.
+  bool bundle_reads = true;
+  /// Bytes per read cache block (rounded down to a whole number of
+  /// elements, minimum one element).
+  uint32_t read_block_bytes = 2048;
+
+  /// Stream write bundles to their destination while the phase is still
+  /// computing (communication/computation overlap). When false all write
+  /// traffic is sent at the end-of-phase commit.
+  bool eager_flush = true;
+  /// Flush a destination's write buffer once it exceeds this many bytes.
+  uint32_t flush_threshold_bytes = 64 * 1024;
+
+  SchedulePolicy schedule = SchedulePolicy::kDynamic;
+  /// VPs per scheduling chunk; 0 chooses max(1, K / (cores * 8)).
+  uint64_t chunk_size = 0;
+
+  /// Record a per-phase timing/traffic profile on every node (see
+  /// NodeRuntime::phase_profiles). Small constant overhead per phase.
+  bool profile_phases = false;
+
+  /// Modeled per-shared-access software overhead, charged to the accessing
+  /// core's virtual clock. Models the paper's observation that "accesses to
+  /// the PPM shared variables go through the PPM runtime library, which
+  /// will bring in some overhead". Zero disables the modeled component
+  /// (the real code cost still shows up under measured calibration).
+  int64_t access_overhead_ns = 0;
+};
+
+struct PpmConfig {
+  cluster::MachineConfig machine{};
+  RuntimeOptions runtime{};
+};
+
+/// Aggregate results of one ppm::run, for benches and tests.
+struct RunResult {
+  /// Virtual time from program start to the last node finishing.
+  int64_t duration_ns = 0;
+  uint64_t network_messages = 0;
+  uint64_t network_bytes = 0;
+  uint64_t intranode_messages = 0;
+  uint64_t intranode_bytes = 0;
+  /// Runtime counters summed over nodes.
+  uint64_t global_phases = 0;
+  uint64_t node_phases = 0;
+  uint64_t remote_blocks_fetched = 0;
+  uint64_t remote_reads_served_from_cache = 0;
+  uint64_t write_entries = 0;
+  uint64_t bundles_sent = 0;
+
+  double duration_s() const { return static_cast<double>(duration_ns) * 1e-9; }
+};
+
+}  // namespace ppm

@@ -1,0 +1,41 @@
+// Public umbrella header of the Parallel Phase Model library.
+//
+// Quick tour (see README.md for the full story):
+//
+//   ppm::PpmConfig cfg;
+//   cfg.machine.nodes = 4;
+//   cfg.machine.cores_per_node = 4;
+//   ppm::RunResult r = ppm::run(cfg, [](ppm::Env& env) {
+//     auto a = env.global_array<double>(1'000'000);   // PPM_global_shared
+//     auto vps = env.ppm_do(1'000'000);               // PPM_do(K)
+//     vps.global_phase([&](ppm::Vp& vp) {             // PPM_global_phase
+//       a.set(vp.global_rank(), 1.0);                 // deferred write
+//     });
+//     vps.global_phase([&](ppm::Vp& vp) {
+//       double x = a.get(vp.global_rank());           // phase-start value
+//       (void)x;
+//     });
+//   });
+#pragma once
+
+#include <functional>
+
+#include "core/env.hpp"
+#include "core/options.hpp"
+#include "core/runtime.hpp"
+#include "core/shared_array.hpp"
+
+namespace ppm {
+
+/// Execute a PPM node program on a simulated machine. The program runs
+/// SPMD: once per node, each instance receiving its node's Env. Returns
+/// timing and traffic statistics of the run.
+RunResult run(const PpmConfig& config,
+              const std::function<void(Env&)>& node_program);
+
+/// Same, but on a caller-owned machine (lets benches reuse one machine or
+/// inspect it afterwards).
+RunResult run_on(cluster::Machine& machine, const RuntimeOptions& options,
+                 const std::function<void(Env&)>& node_program);
+
+}  // namespace ppm

@@ -1,0 +1,919 @@
+#include "core/runtime.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace ppm {
+
+namespace {
+
+/// Node-collective token channels.
+constexpr uint32_t kChBarrier = 0;
+constexpr uint32_t kChColl = 1;
+
+/// Chunk size of an owner's block distribution: ceil(n / nodes).
+uint64_t chunk_of(uint64_t n, int nodes) {
+  return (n + static_cast<uint64_t>(nodes) - 1) / static_cast<uint64_t>(nodes);
+}
+
+struct ParsedEntry {
+  uint64_t vp_rank;
+  uint32_t seq;
+  uint32_t array;
+  uint8_t op;
+  uint64_t index;
+  const std::byte* value;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Runtime (cluster-wide)
+// ---------------------------------------------------------------------------
+
+Runtime::Runtime(cluster::Machine& machine, RuntimeOptions options)
+    : machine_(machine), options_(options) {
+  nodes_.reserve(static_cast<size_t>(machine.nodes()));
+  for (int n = 0; n < machine.nodes(); ++n) {
+    nodes_.push_back(std::unique_ptr<NodeRuntime>(new NodeRuntime(*this, n)));
+  }
+}
+
+Runtime::~Runtime() = default;
+
+NodeRuntime& Runtime::node(int node_id) {
+  PPM_CHECK(node_id >= 0 && node_id < static_cast<int>(nodes_.size()),
+            "bad node id %d", node_id);
+  return *nodes_[static_cast<size_t>(node_id)];
+}
+
+RunResult Runtime::collect() const {
+  RunResult r;
+  r.duration_ns = machine_.last_run_duration_ns();
+  const auto& fs = machine_.fabric().stats();
+  r.network_messages = fs.inter_messages.value();
+  r.network_bytes = fs.inter_bytes.value();
+  r.intranode_messages = fs.intra_messages.value();
+  r.intranode_bytes = fs.intra_bytes.value();
+  for (const auto& n : nodes_) {
+    const auto& c = n->counters();
+    r.global_phases += c.global_phases;
+    r.node_phases += c.node_phases;
+    r.remote_blocks_fetched += c.blocks_fetched;
+    r.remote_reads_served_from_cache += c.reads_from_cache;
+    r.write_entries += c.write_entries;
+    r.bundles_sent += c.bundles_sent;
+  }
+  // Phases are counted per node; report cluster-wide phase counts.
+  r.global_phases /= static_cast<uint64_t>(std::max(1, machine_.nodes()));
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// NodeRuntime: lifecycle
+// ---------------------------------------------------------------------------
+
+NodeRuntime::NodeRuntime(Runtime& shared, int node_id)
+    : shared_(shared), node_(node_id), opts_(shared.options()),
+      engine_(&shared.machine().engine()) {}
+
+int NodeRuntime::node_count() const { return shared_.machine().nodes(); }
+int NodeRuntime::cores_per_node() const {
+  return shared_.machine().cores_per_node();
+}
+
+void NodeRuntime::start() {
+  PPM_CHECK(!started_, "NodeRuntime::start called twice");
+  auto& machine = shared_.machine();
+  task_cv_ = std::make_unique<sim::ConditionVar>(machine.engine());
+  arrivals_cv_ = std::make_unique<sim::ConditionVar>(machine.engine());
+  dest_buffers_.resize(static_cast<size_t>(node_count()));
+
+  machine.spawn_at({node_, 0}, strfmt("n%d.svc", node_),
+                   [this] { service_loop(); });
+  for (int core = 1; core < cores_per_node(); ++core) {
+    machine.spawn_at({node_, core}, strfmt("n%d.w%d", node_, core),
+                     [this, core] {
+                       uint64_t seen = 0;
+                       for (;;) {
+                         task_cv_->wait([&] {
+                           return task_.shutdown || task_.generation != seen;
+                         });
+                         if (task_.shutdown) return;
+                         seen = task_.generation;
+                         run_chunks(core);
+                         ++task_.workers_done;
+                         task_cv_->notify_all();
+                       }
+                     });
+  }
+  started_ = true;
+}
+
+void NodeRuntime::finish() {
+  PPM_CHECK(started_, "NodeRuntime::finish without start");
+  PPM_CHECK(phase_scope_ == PhaseScope::kNone, "finish inside a phase");
+  // Quiesce: after this barrier no peer will address this node again.
+  barrier_global();
+  task_.shutdown = true;
+  task_cv_->notify_all();
+  rt_send(node_, detail::rt_kind(detail::RtMsg::kShutdown), Bytes{});
+}
+
+// ---------------------------------------------------------------------------
+// Shared-array directory
+// ---------------------------------------------------------------------------
+
+uint32_t NodeRuntime::create_array(bool global, uint64_t n,
+                                   detail::ElemOps ops, Distribution dist) {
+  PPM_CHECK(started_, "create array before NodeRuntime::start");
+  PPM_CHECK(phase_scope_ == PhaseScope::kNone,
+            "shared arrays must be created outside phases");
+  PPM_CHECK(n > 0, "shared array needs at least one element");
+  detail::ArrayRecord rec;
+  rec.id = static_cast<uint32_t>(arrays_.size());
+  rec.global = global;
+  rec.n = n;
+  rec.ops = ops;
+  rec.dist = dist;
+  rec.nodes = node_count();
+  if (global) {
+    rec.chunk = chunk_of(n, node_count());
+    if (dist == Distribution::kBlock) {
+      rec.chunk_base = std::min(n, rec.chunk * static_cast<uint64_t>(node_));
+      rec.chunk_len = std::min(rec.chunk, n - rec.chunk_base);
+    } else {
+      rec.chunk_base = 0;
+      rec.chunk_len = rec.owner_len(node_);
+    }
+    if (options().bundle_reads) {
+      rec.block_elems =
+          std::max<uint64_t>(1, options().read_block_bytes / ops.size);
+      rec.blocks_per_chunk =
+          (rec.chunk + rec.block_elems - 1) / rec.block_elems;
+      rec.remote_block_ptr.assign(
+          rec.blocks_per_chunk * static_cast<uint64_t>(node_count()),
+          nullptr);
+    }
+  } else {
+    rec.chunk = n;
+    rec.chunk_base = 0;
+    rec.chunk_len = n;
+  }
+  rec.storage.assign(rec.chunk_len * ops.size, std::byte{0});
+  arrays_.push_back(std::move(rec));
+  return arrays_.back().id;
+}
+
+const detail::ArrayRecord& NodeRuntime::array(uint32_t id) const {
+  PPM_CHECK(id < arrays_.size(), "unknown shared array id %u", id);
+  return arrays_[id];
+}
+
+std::span<const std::byte> NodeRuntime::committed_bytes(uint32_t id) const {
+  const auto& rec = array(id);
+  return {rec.storage.data(), rec.storage.size()};
+}
+
+int NodeRuntime::owner_of(uint32_t id, uint64_t index) const {
+  const auto& rec = array(id);
+  PPM_CHECK(index < rec.n, "index %llu out of range (array size %llu)",
+            static_cast<unsigned long long>(index),
+            static_cast<unsigned long long>(rec.n));
+  return rec.global ? rec.owner_of(index) : node_;
+}
+
+// ---------------------------------------------------------------------------
+// Element access
+// ---------------------------------------------------------------------------
+
+Vp* NodeRuntime::current_vp() const {
+  if (!engine_->on_fiber()) return nullptr;
+  const uint32_t fid = engine_->current_fiber_id();
+  return fid < vp_by_fiber_.size() ? vp_by_fiber_[fid] : nullptr;
+}
+
+uint64_t NodeRuntime::request_epoch() const {
+  return phase_scope_ == PhaseScope::kGlobal ? epoch_ : detail::kAsyncEpoch;
+}
+
+void NodeRuntime::read_elem(uint32_t id, uint64_t index, std::byte* out) {
+  const auto& rec = array(id);
+  PPM_CHECK(index < rec.n, "read index %llu out of range (size %llu)",
+            static_cast<unsigned long long>(index),
+            static_cast<unsigned long long>(rec.n));
+  if (opts_.access_overhead_ns > 0) {
+    engine_->advance_ns(opts_.access_overhead_ns);
+  }
+  // Committed storage holds phase-start values during a phase (writes are
+  // deferred), so local reads are plain loads.
+  if (!rec.global || rec.owner_of(index) == node_) {
+    const uint64_t local = rec.global ? rec.local_of(index) : index;
+    std::memcpy(out, rec.storage.data() + local * rec.ops.size,
+                rec.ops.size);
+    return;
+  }
+  std::memcpy(out, remote_ref(rec, index), rec.ops.size);
+}
+
+const std::byte* NodeRuntime::read_ref(uint32_t id, uint64_t index) {
+  const auto& rec = array(id);
+  PPM_CHECK(index < rec.n, "read index %llu out of range (size %llu)",
+            static_cast<unsigned long long>(index),
+            static_cast<unsigned long long>(rec.n));
+  charge_access();
+  if (!rec.global || rec.owner_of(index) == node_) {
+    const uint64_t local = rec.global ? rec.local_of(index) : index;
+    return rec.storage.data() + local * rec.ops.size;
+  }
+  return remote_ref(rec, index);
+}
+
+const std::byte* NodeRuntime::remote_ref(const detail::ArrayRecord& rec,
+                                         uint64_t index) {
+  // All coordinates on the wire are owner-local, which keeps the protocol
+  // identical for every distribution.
+  const bool bundle = options().bundle_reads && rec.block_elems > 0;
+  const int owner = rec.owner_of(index);
+  const uint64_t llocal = rec.local_of(index);
+  const uint64_t olen = rec.owner_len(owner);
+  const uint64_t block_elems = bundle ? rec.block_elems : 1;
+  const uint64_t first = (llocal / block_elems) * block_elems;
+  const uint64_t count = std::min(block_elems, olen - first);
+  const BlockKey key{rec.id,
+                     (static_cast<uint64_t>(owner) << 40) | first};
+
+  auto elem_of = [&](const Bytes& data) -> const std::byte* {
+    PPM_CHECK(data.size() == count * rec.ops.size,
+              "short get response (%zu bytes for %llu elements)", data.size(),
+              static_cast<unsigned long long>(count));
+    return data.data() + (llocal - first) * rec.ops.size;
+  };
+
+  if (bundle) {
+    if (const auto it = block_cache_.find(key); it != block_cache_.end()) {
+      ++counters_.reads_from_cache;
+      return elem_of(it->second);
+    }
+    if (const auto it = pending_blocks_.find(key);
+        it != pending_blocks_.end()) {
+      // Request combining: another core already asked for this block; wait
+      // for the in-flight fetch and serve from the freshly cached block.
+      auto slot = it->second;
+      arrivals_cv_->wait([&] { return slot->done; });
+      ++counters_.reads_from_cache;
+      const auto cached = block_cache_.find(key);
+      PPM_CHECK(cached != block_cache_.end(),
+                "combined fetch did not populate the block cache");
+      return elem_of(cached->second);
+    }
+  }
+
+  auto slot = std::make_shared<FetchSlot>();
+  slot->cache_on_arrival = bundle;
+  slot->key = key;
+  if (bundle) {
+    slot->record = &arrays_[rec.id];
+    slot->block_slot = rec.block_slot(index);
+  }
+  const uint64_t req_id = next_req_id();
+  outstanding_[req_id] = slot;
+  if (bundle) pending_blocks_[key] = slot;
+
+  ByteWriter w;
+  w.put(rec.id);
+  w.put(first);
+  w.put(count);
+  w.put(req_id);
+  w.put(request_epoch());
+  rt_send(owner, detail::rt_kind(detail::RtMsg::kGetBlock),
+          std::move(w).take());
+  ++counters_.blocks_fetched;
+
+  arrivals_cv_->wait([&] { return slot->done; });
+  outstanding_.erase(req_id);
+  if (bundle) {
+    // The service fiber placed the payload in the cache on arrival.
+    pending_blocks_.erase(key);
+    const auto it = block_cache_.find(key);
+    PPM_CHECK(it != block_cache_.end(), "fetched block missing from cache");
+    return elem_of(it->second);
+  }
+  // Unbundled single-element fetch: park the payload in the phase arena so
+  // view() pointers stay valid until commit.
+  unbundled_arena_.push_back(std::move(slot->data));
+  return elem_of(unbundled_arena_.back());
+}
+
+void NodeRuntime::gather_elems(uint32_t id,
+                               std::span<const uint64_t> indices,
+                               std::byte* out) {
+  const auto& rec = array(id);
+  if (opts_.access_overhead_ns > 0) {
+    engine_->advance_ns(
+        opts_.access_overhead_ns *
+        static_cast<int64_t>(std::max<size_t>(1, indices.size() / 8)));
+  }
+  // Partition by owner; local indices are copied directly, remote owners
+  // each get exactly one indexed-get request (explicit bundling).
+  struct Group {
+    std::vector<uint64_t> positions;
+    std::vector<uint64_t> indices;  // owner-local coordinates
+  };
+  std::map<int, Group> groups;
+  for (size_t pos = 0; pos < indices.size(); ++pos) {
+    const uint64_t index = indices[pos];
+    PPM_CHECK(index < rec.n, "gather index %llu out of range",
+              static_cast<unsigned long long>(index));
+    const int owner = rec.global ? rec.owner_of(index) : node_;
+    if (owner == node_) {
+      const uint64_t local = rec.global ? rec.local_of(index) : index;
+      std::memcpy(out + pos * rec.ops.size,
+                  rec.storage.data() + local * rec.ops.size, rec.ops.size);
+    } else {
+      auto& g = groups[owner];
+      g.positions.push_back(pos);
+      g.indices.push_back(rec.local_of(index));
+    }
+  }
+  std::vector<std::pair<const Group*, std::shared_ptr<FetchSlot>>> waits;
+  for (const auto& [owner, group] : groups) {
+    auto slot = std::make_shared<FetchSlot>();
+    const uint64_t req_id = next_req_id();
+    outstanding_[req_id] = slot;
+    ByteWriter w;
+    w.put(rec.id);
+    w.put(req_id);
+    w.put(request_epoch());
+    w.put_vector(group.indices);
+    rt_send(owner, detail::rt_kind(detail::RtMsg::kGetIndexed),
+            std::move(w).take());
+    ++counters_.blocks_fetched;
+    waits.emplace_back(&group, std::move(slot));
+  }
+  for (auto& [group, slot] : waits) {
+    arrivals_cv_->wait([&] { return slot->done; });
+    PPM_CHECK(slot->data.size() == group->indices.size() * rec.ops.size,
+              "short indexed-get response");
+    for (size_t j = 0; j < group->positions.size(); ++j) {
+      std::memcpy(out + group->positions[j] * rec.ops.size,
+                  slot->data.data() + j * rec.ops.size, rec.ops.size);
+    }
+  }
+  // Erasing by value of slot pointer: remove completed requests.
+  for (auto it = outstanding_.begin(); it != outstanding_.end();) {
+    it = it->second->done ? outstanding_.erase(it) : std::next(it);
+  }
+}
+
+void NodeRuntime::write_elem(uint32_t id, uint64_t index,
+                             const std::byte* value, detail::WriteOp op) {
+  auto& rec = arrays_[id];
+  PPM_CHECK(id < arrays_.size(), "unknown shared array id %u", id);
+  PPM_CHECK(index < rec.n, "write index %llu out of range (size %llu)",
+            static_cast<unsigned long long>(index),
+            static_cast<unsigned long long>(rec.n));
+  if (opts_.access_overhead_ns > 0) {
+    engine_->advance_ns(opts_.access_overhead_ns);
+  }
+
+  if (phase_scope_ == PhaseScope::kNone) {
+    // Outside phases only the node program runs; writes apply immediately.
+    // Remote global writes are not allowed here — data exchange between
+    // nodes happens through phases.
+    if (rec.global) {
+      PPM_CHECK(rec.owner_of(index) == node_,
+                "write to remote global element outside a phase");
+      rec.ops.apply(rec.storage.data() + rec.local_of(index) * rec.ops.size,
+                    value, op);
+    } else {
+      rec.ops.apply(rec.storage.data() + index * rec.ops.size, value, op);
+    }
+    return;
+  }
+
+  PPM_CHECK(!(phase_scope_ == PhaseScope::kNode && rec.global),
+            "global shared write inside a node phase");
+  Vp* vp = current_vp();
+  PPM_CHECK(vp != nullptr, "shared write inside a phase but outside a VP");
+  detail::WireEntryHeader hdr{id, static_cast<uint8_t>(op), index,
+                              vp->global_rank_, vp->next_seq_++};
+  ++counters_.write_entries;
+
+  if (rec.global) {
+    const int owner = rec.owner_of(index);
+    if (owner != node_) {
+      detail::put_entry(dest_buffer(owner), hdr, value, rec.ops.size);
+      maybe_eager_flush(owner);
+      return;
+    }
+  }
+  detail::put_entry(local_log_, hdr, value, rec.ops.size);
+}
+
+ByteWriter& NodeRuntime::dest_buffer(int dest_node) {
+  return dest_buffers_[static_cast<size_t>(dest_node)];
+}
+
+void NodeRuntime::maybe_eager_flush(int dest_node) {
+  if (!options().eager_flush) return;
+  ByteWriter& buf = dest_buffer(dest_node);
+  if (buf.size() < options().flush_threshold_bytes) return;
+  // Stream a fragment now so the transfer overlaps remaining computation.
+  ByteWriter w;
+  w.put(epoch_);
+  w.put<uint8_t>(0);  // not the last fragment
+  w.put_raw(buf.bytes().data(), buf.size());
+  buf = ByteWriter{};
+  rt_send(dest_node, detail::rt_kind(detail::RtMsg::kBundle),
+          std::move(w).take());
+  ++counters_.bundles_sent;
+}
+
+void NodeRuntime::flush_all_bundles_final() {
+  for (int dest = 0; dest < node_count(); ++dest) {
+    if (dest == node_) continue;
+    ByteWriter& buf = dest_buffer(dest);
+    ByteWriter w;
+    w.put(epoch_);
+    w.put<uint8_t>(1);  // last fragment: carries the end-of-phase marker
+    w.put_raw(buf.bytes().data(), buf.size());
+    buf = ByteWriter{};
+    rt_send(dest, detail::rt_kind(detail::RtMsg::kBundle),
+            std::move(w).take());
+    ++counters_.bundles_sent;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Phases
+// ---------------------------------------------------------------------------
+
+std::pair<uint64_t, uint64_t> NodeRuntime::coordinate_group(
+    uint64_t k_local) {
+  ByteWriter w;
+  w.put(k_local);
+  const auto all = allgather_bytes(std::move(w).take());
+  uint64_t offset = 0, total = 0;
+  for (int n = 0; n < node_count(); ++n) {
+    ByteReader r(all[static_cast<size_t>(n)]);
+    const auto k = r.get<uint64_t>();
+    if (n < node_) offset += k;
+    total += k;
+  }
+  return {offset, total};
+}
+
+void NodeRuntime::run_phase(bool global, uint64_t k_local, uint64_t k_offset,
+                            const std::function<void(Vp&)>& body) {
+  PPM_CHECK(started_, "phase before NodeRuntime::start");
+  PPM_CHECK(phase_scope_ == PhaseScope::kNone, "phases cannot nest");
+  phase_scope_ = global ? PhaseScope::kGlobal : PhaseScope::kNode;
+
+  PhaseProfile profile;
+  const bool profiling = opts_.profile_phases;
+  if (profiling) {
+    profile.global = global;
+    profile.k_local = k_local;
+    profile.start_ns = engine_->now_ns();
+    profile.write_entries = counters_.write_entries;
+    profile.blocks_fetched = counters_.blocks_fetched;
+    profile.bundles_sent = counters_.bundles_sent;
+  }
+
+  task_.body = &body;
+  task_.k_local = k_local;
+  task_.k_offset = k_offset;
+  task_.next = 0;
+  const uint64_t cores = static_cast<uint64_t>(cores_per_node());
+  task_.chunk = options().chunk_size != 0
+                    ? options().chunk_size
+                    : std::max<uint64_t>(1, k_local / (cores * 8));
+  task_.workers_done = 0;
+  ++task_.generation;
+  task_cv_->notify_all();
+
+  run_chunks(/*core_index=*/0);
+  task_cv_->wait(
+      [&] { return task_.workers_done == cores_per_node() - 1; });
+  task_.body = nullptr;
+
+  phase_scope_ = PhaseScope::kNone;
+  if (profiling) profile.compute_done_ns = engine_->now_ns();
+  if (global) {
+    commit_global();
+    ++counters_.global_phases;
+  } else {
+    commit_node();
+    ++counters_.node_phases;
+  }
+  if (profiling) {
+    profile.committed_ns = engine_->now_ns();
+    profile.write_entries = counters_.write_entries - profile.write_entries;
+    profile.blocks_fetched =
+        counters_.blocks_fetched - profile.blocks_fetched;
+    profile.bundles_sent = counters_.bundles_sent - profile.bundles_sent;
+    phase_profiles_.push_back(profile);
+  }
+}
+
+void NodeRuntime::run_chunks(int core_index) {
+  const uint64_t k = task_.k_local;
+  if (k == 0) return;
+  const uint32_t fid = engine_->current_fiber_id();
+  Vp vp;
+  if (fid >= vp_by_fiber_.size()) vp_by_fiber_.resize(fid + 1, nullptr);
+  vp_by_fiber_[fid] = &vp;
+
+  auto run_range = [&](uint64_t begin, uint64_t end) {
+    for (uint64_t i = begin; i < end; ++i) {
+      vp.node_rank_ = i;
+      vp.global_rank_ = task_.k_offset + i;
+      vp.next_seq_ = 0;
+      (*task_.body)(vp);
+    }
+  };
+
+  if (options().schedule == SchedulePolicy::kStatic) {
+    const uint64_t cores = static_cast<uint64_t>(cores_per_node());
+    const uint64_t per_core = (k + cores - 1) / cores;
+    const uint64_t begin =
+        std::min(k, per_core * static_cast<uint64_t>(core_index));
+    run_range(begin, std::min(k, begin + per_core));
+  } else {
+    for (;;) {
+      const uint64_t begin = task_.next;
+      if (begin >= k) break;
+      const uint64_t end = std::min(k, begin + task_.chunk);
+      task_.next = end;  // no yield between read and update: atomic enough
+      run_range(begin, end);
+      // Let the other core fibers grab chunks: without this, a body that
+      // never blocks would drain the whole queue in one host slice and the
+      // phase would execute serially in virtual time.
+      engine_->yield();
+    }
+  }
+  vp_by_fiber_[fid] = nullptr;
+}
+
+void NodeRuntime::commit_global() {
+  // 1. Ship the remaining write entries; every peer gets exactly one
+  //    last-marker fragment per phase (possibly empty).
+  flush_all_bundles_final();
+
+  // 2. Wait until every peer's last-marker for this epoch arrived.
+  if (node_count() > 1) {
+    arrivals_cv_->wait(
+        [&] { return staged_last_markers_[epoch_] == node_count() - 1; });
+  }
+
+  // 3. Global barrier: after it, no node still reads phase-start values
+  //    (reads are synchronous within the VP loop) and all bundles are
+  //    staged everywhere.
+  barrier_global();
+
+  // 4. Apply local log + staged fragments in deterministic order.
+  std::vector<std::span<const std::byte>> buffers;
+  buffers.emplace_back(local_log_.bytes());
+  auto staged = staged_bundles_.find(epoch_);
+  if (staged != staged_bundles_.end()) {
+    for (const Bytes& b : staged->second) buffers.emplace_back(b);
+  }
+  apply_staged_entries(std::move(buffers));
+  local_log_ = ByteWriter{};
+  if (staged != staged_bundles_.end()) staged_bundles_.erase(staged);
+  staged_last_markers_.erase(epoch_);
+
+  // 5. New epoch: phase-start snapshot changes, so the read cache dies.
+  ++epoch_;
+  if (!block_cache_.empty()) {
+    for (auto& rec : arrays_) {
+      if (!rec.remote_block_ptr.empty()) {
+        std::fill(rec.remote_block_ptr.begin(), rec.remote_block_ptr.end(),
+                  nullptr);
+      }
+    }
+  }
+  block_cache_.clear();
+  unbundled_arena_.clear();
+  PPM_CHECK(pending_blocks_.empty(),
+            "reads still pending at end-of-phase commit");
+
+  // 6. Serve get requests from nodes that raced ahead into the next phase.
+  serve_deferred_gets();
+}
+
+void NodeRuntime::commit_node() {
+  std::vector<std::span<const std::byte>> buffers;
+  buffers.emplace_back(local_log_.bytes());
+  apply_staged_entries(std::move(buffers));
+  local_log_ = ByteWriter{};
+  unbundled_arena_.clear();  // view() pointers die with the phase
+}
+
+void NodeRuntime::apply_staged_entries(
+    std::vector<std::span<const std::byte>> buffers) {
+  std::vector<ParsedEntry> entries;
+  uint8_t op_mask = 0;  // bit per WriteOp value seen in this batch
+  for (const auto& buf : buffers) {
+    ByteReader r(buf);
+    while (!r.exhausted()) {
+      ParsedEntry e{};
+      e.array = r.get<uint32_t>();
+      e.op = r.get<uint8_t>();
+      e.index = r.get<uint64_t>();
+      e.vp_rank = r.get<uint64_t>();
+      e.seq = r.get<uint32_t>();
+      PPM_CHECK(e.array < arrays_.size(),
+                "write bundle names unknown array %u", e.array);
+      const auto value = r.view(arrays_[e.array].ops.size);
+      e.value = value.data();
+      op_mask |= static_cast<uint8_t>(1u << e.op);
+      entries.push_back(e);
+    }
+  }
+  // Deterministic conflict resolution: ascending (global VP rank, VP-local
+  // sequence); plain sets resolve to the highest-ranked writer's last
+  // write. A batch that uses exactly one accumulate op (all-adds, or
+  // all-mins, ...) — the common histogram/BFS/relaxation shape — skips the
+  // sort: a single commutative op yields the same result in any order.
+  // Mixed op kinds do NOT commute with each other (min after add differs
+  // from add after min), so they take the ordered path. (vp_rank, seq)
+  // pairs are unique, so plain sort is deterministic.
+  const bool single_commutative_op =
+      (op_mask & (op_mask - 1)) == 0 &&
+      (op_mask & (1u << static_cast<uint8_t>(detail::WriteOp::kSet))) == 0;
+  if (!single_commutative_op) {
+    std::sort(entries.begin(), entries.end(),
+              [](const ParsedEntry& a, const ParsedEntry& b) {
+                return a.vp_rank != b.vp_rank ? a.vp_rank < b.vp_rank
+                                              : a.seq < b.seq;
+              });
+  }
+  for (const ParsedEntry& e : entries) {
+    auto& rec = arrays_[e.array];
+    PPM_CHECK(!rec.global || rec.owner_of(e.index) == node_,
+              "write entry for element %llu not owned by node %d",
+              static_cast<unsigned long long>(e.index), node_);
+    const uint64_t local = rec.global ? rec.local_of(e.index) : e.index;
+    PPM_CHECK(local < rec.chunk_len,
+              "write entry for element %llu out of local range",
+              static_cast<unsigned long long>(e.index));
+    rec.ops.apply(rec.storage.data() + local * rec.ops.size, e.value,
+                  static_cast<detail::WriteOp>(e.op));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Service fiber
+// ---------------------------------------------------------------------------
+
+void NodeRuntime::rt_send(int dst_node, uint64_t kind, Bytes payload) {
+  net::Message m;
+  m.src_node = node_;
+  m.src_port = shared_.machine().service_port();
+  m.dst_node = dst_node;
+  m.dst_port = shared_.machine().service_port();
+  m.kind = kind;
+  m.payload = std::move(payload);
+  shared_.machine().fabric().send(std::move(m));
+}
+
+void NodeRuntime::service_loop() {
+  auto& endpoint = shared_.machine().fabric().endpoint(
+      node_, shared_.machine().service_port());
+  for (;;) {
+    net::Message msg = endpoint.recv();
+    switch (detail::rt_class(msg.kind)) {
+      case detail::RtMsg::kGetBlock:
+      case detail::RtMsg::kGetIndexed:
+        handle_get(std::move(msg));
+        break;
+      case detail::RtMsg::kGetResp: {
+        ByteReader r(msg.payload);
+        const auto req_id = r.get<uint64_t>();
+        const auto it = outstanding_.find(req_id);
+        PPM_CHECK(it != outstanding_.end(),
+                  "get response for unknown request %llu",
+                  static_cast<unsigned long long>(req_id));
+        Bytes payload(msg.payload.begin() + sizeof(uint64_t),
+                      msg.payload.end());
+        if (it->second->cache_on_arrival) {
+          // Populate the block cache here so combined waiters can be woken
+          // in any order relative to the initiating fiber, and publish the
+          // block in the array's direct-mapped table for inline reads.
+          Bytes& cached = block_cache_[it->second->key];
+          cached = std::move(payload);
+          it->second->record->remote_block_ptr[it->second->block_slot] =
+              cached.data();
+        } else {
+          it->second->data = std::move(payload);
+        }
+        it->second->done = true;
+        arrivals_cv_->notify_all();
+        break;
+      }
+      case detail::RtMsg::kBundle:
+        handle_bundle(std::move(msg));
+        break;
+      case detail::RtMsg::kToken:
+        handle_token(std::move(msg));
+        break;
+      case detail::RtMsg::kShutdown:
+        return;
+    }
+  }
+}
+
+void NodeRuntime::handle_get(net::Message msg) {
+  // Peek the requester's epoch (layout differs between the two kinds).
+  ByteReader r(msg.payload);
+  uint64_t req_epoch;
+  if (detail::rt_class(msg.kind) == detail::RtMsg::kGetBlock) {
+    (void)r.get<uint32_t>();  // array
+    (void)r.get<uint64_t>();  // first
+    (void)r.get<uint64_t>();  // count
+    (void)r.get<uint64_t>();  // req id
+    req_epoch = r.get<uint64_t>();
+  } else {
+    (void)r.get<uint32_t>();  // array
+    (void)r.get<uint64_t>();  // req id
+    req_epoch = r.get<uint64_t>();
+  }
+  if (req_epoch != detail::kAsyncEpoch) {
+    PPM_CHECK(req_epoch >= epoch_,
+              "get request for already-committed epoch %llu (at %llu)",
+              static_cast<unsigned long long>(req_epoch),
+              static_cast<unsigned long long>(epoch_));
+    if (req_epoch > epoch_) {
+      // Requester already passed the barrier we have not committed past:
+      // serve after our commit so it sees the new phase-start snapshot.
+      deferred_gets_.push_back(std::move(msg));
+      return;
+    }
+  }
+  serve_get(msg);
+}
+
+void NodeRuntime::serve_get(const net::Message& msg) {
+  ByteReader r(msg.payload);
+  ByteWriter reply;
+  // All request coordinates are owner-local (i.e. indices into this
+  // node's committed storage), for every distribution.
+  if (detail::rt_class(msg.kind) == detail::RtMsg::kGetBlock) {
+    const auto id = r.get<uint32_t>();
+    const auto first = r.get<uint64_t>();
+    const auto count = r.get<uint64_t>();
+    const auto req_id = r.get<uint64_t>();
+    const auto& rec = array(id);
+    PPM_CHECK(first + count <= rec.chunk_len,
+              "get request [%llu, +%llu) outside node %d's storage",
+              static_cast<unsigned long long>(first),
+              static_cast<unsigned long long>(count), node_);
+    reply.put(req_id);
+    reply.put_raw(rec.storage.data() + first * rec.ops.size,
+                  count * rec.ops.size);
+  } else {
+    const auto id = r.get<uint32_t>();
+    const auto req_id = r.get<uint64_t>();
+    (void)r.get<uint64_t>();  // epoch (already checked)
+    const auto indices = r.get_vector<uint64_t>();
+    const auto& rec = array(id);
+    reply.put(req_id);
+    for (const uint64_t index : indices) {
+      PPM_CHECK(index < rec.chunk_len,
+                "indexed get for local element %llu outside node %d's "
+                "storage",
+                static_cast<unsigned long long>(index), node_);
+      reply.put_raw(rec.storage.data() + index * rec.ops.size, rec.ops.size);
+    }
+  }
+  rt_send(msg.src_node, detail::rt_kind(detail::RtMsg::kGetResp),
+          std::move(reply).take());
+}
+
+void NodeRuntime::serve_deferred_gets() {
+  std::vector<net::Message> still_deferred;
+  for (auto& msg : deferred_gets_) {
+    ByteReader r(msg.payload);
+    uint64_t req_epoch;
+    if (detail::rt_class(msg.kind) == detail::RtMsg::kGetBlock) {
+      (void)r.get<uint32_t>();
+      (void)r.get<uint64_t>();
+      (void)r.get<uint64_t>();
+      (void)r.get<uint64_t>();
+      req_epoch = r.get<uint64_t>();
+    } else {
+      (void)r.get<uint32_t>();
+      (void)r.get<uint64_t>();
+      req_epoch = r.get<uint64_t>();
+    }
+    if (req_epoch <= epoch_) {
+      serve_get(msg);
+    } else {
+      still_deferred.push_back(std::move(msg));
+    }
+  }
+  deferred_gets_ = std::move(still_deferred);
+}
+
+void NodeRuntime::handle_bundle(net::Message msg) {
+  ByteReader r(msg.payload);
+  const auto epoch = r.get<uint64_t>();
+  const auto last = r.get<uint8_t>();
+  const auto entries = r.view(r.remaining());
+  staged_bundles_[epoch].emplace_back(entries.begin(), entries.end());
+  if (last != 0) {
+    ++staged_last_markers_[epoch];
+    arrivals_cv_->notify_all();
+  }
+}
+
+void NodeRuntime::handle_token(net::Message msg) {
+  ByteReader r(msg.payload);
+  TokenKey key{};
+  key.src = msg.src_node;
+  key.channel = r.get<uint32_t>();
+  key.seq = r.get<uint64_t>();
+  key.round = r.get<uint32_t>();
+  const auto body = r.view(r.remaining());
+  tokens_[key] = Bytes(body.begin(), body.end());
+  arrivals_cv_->notify_all();
+}
+
+// ---------------------------------------------------------------------------
+// Node-level collectives
+// ---------------------------------------------------------------------------
+
+void NodeRuntime::token_send(int dst_node, uint32_t channel, uint64_t seq,
+                             uint32_t round, Bytes payload) {
+  ByteWriter w;
+  w.put(channel);
+  w.put(seq);
+  w.put(round);
+  w.put_raw(payload.data(), payload.size());
+  rt_send(dst_node, detail::rt_kind(detail::RtMsg::kToken),
+          std::move(w).take());
+}
+
+Bytes NodeRuntime::token_recv(int src_node, uint32_t channel, uint64_t seq,
+                              uint32_t round) {
+  const TokenKey key{src_node, channel, seq, round};
+  arrivals_cv_->wait([&] { return tokens_.count(key) != 0; });
+  Bytes payload = std::move(tokens_[key]);
+  tokens_.erase(key);
+  return payload;
+}
+
+void NodeRuntime::barrier_global() {
+  const int p = node_count();
+  if (p == 1) return;
+  const uint64_t seq = barrier_seq_++;
+  uint32_t round = 0;
+  for (int offset = 1; offset < p; offset *= 2, ++round) {
+    token_send((node_ + offset) % p, kChBarrier, seq, round, Bytes{});
+    (void)token_recv((node_ - offset % p + p) % p, kChBarrier, seq, round);
+  }
+}
+
+std::vector<Bytes> NodeRuntime::allgather_bytes(Bytes mine) {
+  const int p = node_count();
+  std::vector<Bytes> result(static_cast<size_t>(p));
+  if (p == 1) {
+    result[0] = std::move(mine);
+    return result;
+  }
+  const uint64_t seq = coll_seq_++;
+  if (node_ != 0) {
+    token_send(0, kChColl, seq, 0, std::move(mine));
+    const Bytes packed = token_recv(0, kChColl, seq, 1);
+    ByteReader r(packed);
+    for (int n = 0; n < p; ++n) {
+      result[static_cast<size_t>(n)] = [&] {
+        auto v = r.get_vector<char>();
+        Bytes b(v.size());
+        std::memcpy(b.data(), v.data(), v.size());
+        return b;
+      }();
+    }
+    return result;
+  }
+  result[0] = std::move(mine);
+  for (int n = 1; n < p; ++n) {
+    result[static_cast<size_t>(n)] = token_recv(n, kChColl, seq, 0);
+  }
+  ByteWriter packed;
+  for (int n = 0; n < p; ++n) {
+    packed.put_span(std::span<const char>(
+        reinterpret_cast<const char*>(result[static_cast<size_t>(n)].data()),
+        result[static_cast<size_t>(n)].size()));
+  }
+  const Bytes packed_bytes = std::move(packed).take();
+  for (int n = 1; n < p; ++n) {
+    token_send(n, kChColl, seq, 1, packed_bytes);
+  }
+  return result;
+}
+
+}  // namespace ppm

@@ -1,0 +1,415 @@
+// The PPM runtime library (§3.4 of the paper).
+//
+// One NodeRuntime instance lives on every node of the simulated machine.
+// It owns:
+//   * the node's shared-array directory and committed storage,
+//   * the phase engine — deferred-write logs, the end-of-phase commit
+//     protocol, and the deterministic application order,
+//   * the remote-read engine — per-phase block cache and request combining
+//     ("bundling up fine-grained remote shared data accesses into
+//     coarse-grained packages"),
+//   * eager write-bundle streaming (communication/computation overlap),
+//   * the worker-core pool that folds K virtual processors into loops, and
+//   * a service fiber that answers remote requests on the node's service
+//     port (gets, bundle staging, barrier/collective tokens).
+//
+// Public programs never use this class directly; they go through ppm::Env,
+// ppm::VpGroup and the shared-array handles in shared_array.hpp.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/machine.hpp"
+#include "core/options.hpp"
+#include "core/wire.hpp"
+#include "sim/sync.hpp"
+
+namespace ppm {
+
+class Env;
+
+/// Identity of one virtual processor within a phase body.
+class Vp {
+ public:
+  /// Rank among the VPs started on this node (0 .. K_local-1).
+  uint64_t node_rank() const { return node_rank_; }
+  /// Rank across all nodes of the group (offset by the node's share).
+  uint64_t global_rank() const { return global_rank_; }
+
+ private:
+  friend class NodeRuntime;
+  uint64_t node_rank_ = 0;
+  uint64_t global_rank_ = 0;
+  uint32_t next_seq_ = 0;  // per-VP write sequence counter
+};
+
+/// How a global shared array's elements map onto nodes ("automatic data
+/// distribution", §3). Block keeps contiguous chunks together (good for
+/// owner-computes stencils); cyclic deals elements round-robin (spreads
+/// irregular hot spots).
+enum class Distribution : uint8_t {
+  kBlock,
+  kCyclic,
+};
+
+namespace detail {
+
+/// Type-erased element operations for a shared array.
+struct ElemOps {
+  uint32_t size = 0;
+  void (*apply)(std::byte* elem, const std::byte* value, WriteOp op) =
+      nullptr;
+};
+
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+ElemOps elem_ops() {
+  ElemOps ops;
+  ops.size = sizeof(T);
+  ops.apply = [](std::byte* elem, const std::byte* value, WriteOp op) {
+    if (op == WriteOp::kSet) {
+      std::memcpy(elem, value, sizeof(T));
+      return;
+    }
+    if constexpr (std::is_arithmetic_v<T>) {
+      T cur, val;
+      std::memcpy(&cur, elem, sizeof(T));
+      std::memcpy(&val, value, sizeof(T));
+      switch (op) {
+        case WriteOp::kAdd: cur = cur + val; break;
+        case WriteOp::kMin: cur = std::min(cur, val); break;
+        case WriteOp::kMax: cur = std::max(cur, val); break;
+        case WriteOp::kSet: break;
+      }
+      std::memcpy(elem, &cur, sizeof(T));
+    } else {
+      PPM_CHECK(false, "accumulate op on non-arithmetic element type");
+    }
+  };
+  return ops;
+}
+
+struct ArrayRecord {
+  uint32_t id = 0;
+  bool global = false;
+  uint64_t n = 0;
+  ElemOps ops;
+  Distribution dist = Distribution::kBlock;
+  int nodes = 1;
+  // Block distribution: the contiguous chunk this node owns. Cyclic:
+  // chunk_base is 0 and chunk_len is this node's element count.
+  uint64_t chunk_base = 0;
+  uint64_t chunk_len = 0;
+  uint64_t chunk = 0;  // max elements per owner (ceil(n / nodes))
+  std::vector<std::byte> storage;  // committed values (zero-initialized)
+
+  /// Node owning global element i.
+  int owner_of(uint64_t i) const {
+    return dist == Distribution::kBlock
+               ? static_cast<int>(i / chunk)
+               : static_cast<int>(i % static_cast<uint64_t>(nodes));
+  }
+  /// Owner-local storage index of global element i.
+  uint64_t local_of(uint64_t i) const {
+    return dist == Distribution::kBlock
+               ? i % chunk
+               : i / static_cast<uint64_t>(nodes);
+  }
+  /// Element count stored by `owner`.
+  uint64_t owner_len(int owner) const {
+    if (!global) return n;
+    if (dist == Distribution::kBlock) {
+      const uint64_t base = std::min(n, chunk * static_cast<uint64_t>(owner));
+      return std::min(chunk, n - base);
+    }
+    return (n + static_cast<uint64_t>(nodes) - 1 -
+            static_cast<uint64_t>(owner)) /
+           static_cast<uint64_t>(nodes);
+  }
+
+  // Remote-read fast path (global arrays with bundling enabled): a
+  // direct-mapped table with one slot per cache block of the whole array;
+  // a non-null slot points at the block's bytes inside the requester's
+  // block cache. Filled by the service fiber on fetch completion, wiped at
+  // every global commit. Shared handles consult it inline.
+  uint64_t block_elems = 0;        // elements per cache block
+  uint64_t blocks_per_chunk = 0;   // blocks within one owner's chunk
+  std::vector<const std::byte*> remote_block_ptr;
+
+  /// Slot index of the block containing global element i (valid only for
+  /// remote global elements).
+  uint64_t block_slot(uint64_t i) const {
+    return static_cast<uint64_t>(owner_of(i)) * blocks_per_chunk +
+           local_of(i) / block_elems;
+  }
+};
+
+}  // namespace detail
+
+class NodeRuntime;
+
+/// Cluster-wide runtime: one NodeRuntime per node plus shared options.
+class Runtime {
+ public:
+  Runtime(cluster::Machine& machine, RuntimeOptions options);
+  ~Runtime();
+
+  NodeRuntime& node(int node_id);
+  cluster::Machine& machine() { return machine_; }
+  const RuntimeOptions& options() const { return options_; }
+
+  /// Sum per-node counters and fabric stats into a RunResult.
+  RunResult collect() const;
+
+ private:
+  cluster::Machine& machine_;
+  RuntimeOptions options_;
+  std::vector<std::unique_ptr<NodeRuntime>> nodes_;
+};
+
+class NodeRuntime {
+ public:
+  NodeRuntime(Runtime& shared, int node_id);
+
+  int node_id() const { return node_; }
+  int node_count() const;
+  int cores_per_node() const;
+  const RuntimeOptions& options() const { return opts_; }
+  uint64_t epoch() const { return epoch_; }
+
+  /// Spawn the service fiber and the worker-core fibers. Must be called on
+  /// the node's main fiber before any other operation.
+  void start();
+  /// Final global barrier, then stop service fiber and workers. Must be the
+  /// last runtime call of the node program.
+  void finish();
+
+  // ---- Shared-array directory ----
+
+  /// Create a shared array (SPMD-collective: all nodes must create arrays
+  /// in the same order). Storage starts zeroed. Must be called outside
+  /// phases.
+  uint32_t create_array(bool global, uint64_t n, detail::ElemOps ops,
+                        Distribution dist = Distribution::kBlock);
+
+  const detail::ArrayRecord& array(uint32_t id) const;
+
+  /// Charge the modeled per-access software overhead to the calling core.
+  /// Inline: it sits on the fast path of every shared read.
+  void charge_access() {
+    if (opts_.access_overhead_ns > 0) {
+      engine_->advance_ns(opts_.access_overhead_ns);
+    }
+  }
+
+  /// Bump the bundling counter from the handles' inline cached-read path.
+  void note_cache_hit() { ++counters_.reads_from_cache; }
+
+  /// Read-only view of this node's committed chunk (global arrays) or the
+  /// whole committed array (node-shared) — the paper's node/global space
+  /// "casting" utility.
+  std::span<const std::byte> committed_bytes(uint32_t id) const;
+
+  // ---- Element access (phase-start read / deferred write semantics) ----
+
+  void read_elem(uint32_t id, uint64_t index, std::byte* out);
+  /// Zero-copy read: pointer to the element's phase-start bytes, valid
+  /// until the current phase commits (local storage or a cached block).
+  const std::byte* read_ref(uint32_t id, uint64_t index);
+  void write_elem(uint32_t id, uint64_t index, const std::byte* value,
+                  detail::WriteOp op);
+  /// Bundled multi-element read: one request per owner node.
+  void gather_elems(uint32_t id, std::span<const uint64_t> indices,
+                    std::byte* out);
+
+  int owner_of(uint32_t id, uint64_t index) const;
+
+  // ---- Virtual processor groups and phases ----
+
+  /// Coordinate a collective ppm_do across nodes: returns {global rank
+  /// offset of this node's VPs, total K across nodes}.
+  std::pair<uint64_t, uint64_t> coordinate_group(uint64_t k_local);
+
+  /// Run one phase: execute body for VPs [0, k_local) folded into loops
+  /// over this node's cores, then commit deferred writes. Global phases
+  /// additionally exchange write bundles and synchronize all nodes.
+  void run_phase(bool global, uint64_t k_local, uint64_t k_offset,
+                 const std::function<void(Vp&)>& body);
+
+  // ---- Node-level collectives (used by Env and the commit protocol) ----
+
+  void barrier_global();
+  /// Allgather of byte blobs over nodes; result indexed by node.
+  std::vector<Bytes> allgather_bytes(Bytes mine);
+
+  // ---- Counters (exposed for tests/benches) ----
+
+  struct Counters {
+    uint64_t global_phases = 0;
+    uint64_t node_phases = 0;
+    uint64_t blocks_fetched = 0;
+    uint64_t reads_from_cache = 0;
+    uint64_t write_entries = 0;
+    uint64_t bundles_sent = 0;
+  };
+  const Counters& counters() const { return counters_; }
+
+  /// One record per executed phase (only when options().profile_phases).
+  struct PhaseProfile {
+    bool global = false;
+    uint64_t k_local = 0;
+    int64_t start_ns = 0;         // virtual time at phase entry
+    int64_t compute_done_ns = 0;  // all VPs finished (pre-commit)
+    int64_t committed_ns = 0;     // commit complete
+    uint64_t write_entries = 0;   // entries logged during this phase
+    uint64_t blocks_fetched = 0;  // remote blocks fetched during it
+    uint64_t bundles_sent = 0;
+
+    int64_t compute_ns() const { return compute_done_ns - start_ns; }
+    int64_t commit_ns() const { return committed_ns - compute_done_ns; }
+  };
+  const std::vector<PhaseProfile>& phase_profiles() const {
+    return phase_profiles_;
+  }
+
+ private:
+  friend class Runtime;
+
+  enum class PhaseScope : uint8_t { kNone, kGlobal, kNode };
+
+  struct PhaseTask {
+    const std::function<void(Vp&)>* body = nullptr;
+    uint64_t k_local = 0;
+    uint64_t k_offset = 0;
+    uint64_t next = 0;  // dynamic scheduling cursor
+    uint64_t chunk = 1;
+    uint64_t generation = 0;
+    int workers_done = 0;
+    bool shutdown = false;
+  };
+
+  struct BlockKey {
+    uint32_t array;
+    uint64_t block;
+    bool operator==(const BlockKey&) const = default;
+  };
+
+  struct FetchSlot {
+    bool done = false;
+    Bytes data;
+    // Block fetches: the service fiber inserts the payload straight into
+    // the block cache under this key (and publishes it in the array's
+    // direct-mapped block table), so combined waiters can be woken in any
+    // order.
+    bool cache_on_arrival = false;
+    BlockKey key{};
+    detail::ArrayRecord* record = nullptr;
+    uint64_t block_slot = 0;
+  };
+
+  struct TokenKey {
+    int src;
+    uint32_t channel;
+    uint64_t seq;
+    uint32_t round;
+    auto operator<=>(const TokenKey&) const = default;
+  };
+
+  // Service-side handlers.
+  void service_loop();
+  void handle_get(net::Message msg);
+  void serve_get(const net::Message& msg);
+  void handle_bundle(net::Message msg);
+  void handle_token(net::Message msg);
+  void serve_deferred_gets();
+
+  // Requester-side read engine. Returns a pointer to the element's bytes,
+  // valid until the phase commits.
+  const std::byte* remote_ref(const detail::ArrayRecord& rec,
+                              uint64_t index);
+  uint64_t request_epoch() const;
+  uint64_t next_req_id() { return req_id_counter_++; }
+
+  // Write engine.
+  ByteWriter& dest_buffer(int dest_node);
+  void maybe_eager_flush(int dest_node);
+  void flush_all_bundles_final();
+
+  // Phase engine.
+  void run_vp_loop(const std::function<void(Vp&)>& body);
+  void run_chunks(int core_index);
+  void commit_global();
+  void commit_node();
+  void apply_staged_entries(std::vector<std::span<const std::byte>> buffers);
+
+  // Token transport.
+  void token_send(int dst_node, uint32_t channel, uint64_t seq,
+                  uint32_t round, Bytes payload);
+  Bytes token_recv(int src_node, uint32_t channel, uint64_t seq,
+                   uint32_t round);
+  void rt_send(int dst_node, uint64_t kind, Bytes payload);
+
+  Vp* current_vp() const;
+
+  Runtime& shared_;
+  int node_;
+  bool started_ = false;
+  // Hot-path caches (every shared access goes through read/write_elem).
+  RuntimeOptions opts_;
+  sim::Engine* engine_ = nullptr;
+
+  std::deque<detail::ArrayRecord> arrays_;  // deque: records stay put
+
+  // Phase state.
+  PhaseScope phase_scope_ = PhaseScope::kNone;
+  uint64_t epoch_ = 0;
+  PhaseTask task_;
+  std::unique_ptr<sim::ConditionVar> task_cv_;
+  std::vector<Vp*> vp_by_fiber_;  // indexed by fiber id (dense, small)
+
+  // Write buffers: per destination node (remote) + local log.
+  std::vector<ByteWriter> dest_buffers_;
+  ByteWriter local_log_;
+
+  // Read engine state (cleared every global commit).
+  struct BlockKeyHash {
+    size_t operator()(const BlockKey& k) const {
+      return std::hash<uint64_t>()((static_cast<uint64_t>(k.array) << 48) ^
+                                   k.block * 0x9e3779b97f4a7c15ULL);
+    }
+  };
+  std::unordered_map<BlockKey, Bytes, BlockKeyHash> block_cache_;
+  std::unordered_map<BlockKey, std::shared_ptr<FetchSlot>, BlockKeyHash>
+      pending_blocks_;
+  std::vector<Bytes> unbundled_arena_;  // single-element fetches for views
+  std::unordered_map<uint64_t, std::shared_ptr<FetchSlot>> outstanding_;
+  std::unique_ptr<sim::ConditionVar> arrivals_cv_;
+  uint64_t req_id_counter_ = 1;
+
+  // Bundle staging (service side), keyed by epoch.
+  std::map<uint64_t, std::vector<Bytes>> staged_bundles_;
+  std::map<uint64_t, int> staged_last_markers_;
+
+  // Deferred get requests from nodes ahead of our commit.
+  std::vector<net::Message> deferred_gets_;
+
+  // Token mailbox.
+  std::map<TokenKey, Bytes> tokens_;
+  uint64_t barrier_seq_ = 0;
+  uint64_t coll_seq_ = 0;
+  uint64_t group_seq_ = 0;
+
+  Counters counters_;
+  std::vector<PhaseProfile> phase_profiles_;
+};
+
+}  // namespace ppm

@@ -1,0 +1,217 @@
+// Typed shared-variable handles: the PPM_global_shared / PPM_node_shared
+// declarations of the paper, as C++ value handles.
+//
+// Handles are cheap to copy and node-local: under the SPMD model each node's
+// program instance allocates the same arrays in the same order, producing
+// handles with matching ids that denote one logical distributed array
+// (GlobalShared) or the node's own instance (NodeShared).
+//
+// Semantics (see DESIGN.md §5): inside a phase, get() returns the value the
+// element had when the phase started; set()/add()/... take effect when the
+// phase commits, applied in ascending (global VP rank, per-VP sequence)
+// order. Outside phases, access is immediate and restricted to locally
+// stored elements.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/runtime.hpp"
+
+namespace ppm {
+
+/// One logical array distributed block-wise across all nodes
+/// (PPM_global_shared).
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+class GlobalShared {
+ public:
+  GlobalShared() = default;
+
+  uint64_t size() const { return n_; }
+
+  /// Phase-start value of element i (local: direct load; remote: served by
+  /// the runtime's bundling read engine).
+  ///
+  /// Locally owned elements take an inline fast path: committed storage is
+  /// allocated once and never moves, and deferred writes leave it frozen
+  /// for the whole phase, so a plain load through a cached pointer is
+  /// exactly the phase-start value.
+  T get(uint64_t i) const { return view(i); }
+
+  /// Deferred write; last writer (highest global VP rank, then latest
+  /// program order) wins on conflicts.
+  void set(uint64_t i, const T& v) {
+    rt_->write_elem(id_, i, reinterpret_cast<const std::byte*>(&v),
+                    detail::WriteOp::kSet);
+  }
+
+  /// Commutative accumulate-writes (well-defined under any conflict).
+  void add(uint64_t i, const T& v) {
+    rt_->write_elem(id_, i, reinterpret_cast<const std::byte*>(&v),
+                    detail::WriteOp::kAdd);
+  }
+  void min_update(uint64_t i, const T& v) {
+    rt_->write_elem(id_, i, reinterpret_cast<const std::byte*>(&v),
+                    detail::WriteOp::kMin);
+  }
+  void max_update(uint64_t i, const T& v) {
+    rt_->write_elem(id_, i, reinterpret_cast<const std::byte*>(&v),
+                    detail::WriteOp::kMax);
+  }
+
+  /// Zero-copy read: a reference to the element's phase-start value,
+  /// valid until the current phase commits. Remote elements resolve into
+  /// the runtime's block cache, so large PODs (e.g. tree nodes) can be
+  /// walked without copying.
+  const T& view(uint64_t i) const {
+    // Block-distribution local fast path (chunk_len_ is zeroed for other
+    // distributions, so this branch cannot trigger for them).
+    const uint64_t rel = i - chunk_base_;
+    if (rel < chunk_len_) [[likely]] {
+      rt_->charge_access();
+      return local_data_[rel];
+    }
+    if (i < n_) {
+      // Cyclic local elements.
+      if (rec_->dist == Distribution::kCyclic &&
+          rec_->owner_of(i) == rt_->node_id()) {
+        rt_->charge_access();
+        return local_data_[rec_->local_of(i)];
+      }
+      // Remote element: consult the array's direct-mapped block table; a
+      // hit resolves into the runtime's block cache without a call.
+      if (!rec_->remote_block_ptr.empty()) {
+        const std::byte* block = rec_->remote_block_ptr[rec_->block_slot(i)];
+        if (block != nullptr) {
+          rt_->charge_access();
+          rt_->note_cache_hit();
+          const uint64_t in_block = rec_->local_of(i) % rec_->block_elems;
+          return *reinterpret_cast<const T*>(block + in_block * sizeof(T));
+        }
+      }
+    }
+    return *reinterpret_cast<const T*>(rt_->read_ref(id_, i));
+  }
+
+  /// Bundled multi-element read: one runtime request per owner node.
+  std::vector<T> gather(std::span<const uint64_t> indices) const {
+    std::vector<T> out(indices.size());
+    rt_->gather_elems(id_, indices,
+                      reinterpret_cast<std::byte*>(out.data()));
+    return out;
+  }
+
+  // -- Locality utilities (the paper's node/global "casting" functions) --
+
+  /// First global index owned by this node (block distribution only).
+  uint64_t local_begin() const {
+    PPM_CHECK(rec_->dist == Distribution::kBlock,
+              "local_begin/local_end are block-distribution concepts");
+    return rec_->chunk_base;
+  }
+  /// One past the last global index owned by this node (block only).
+  uint64_t local_end() const {
+    PPM_CHECK(rec_->dist == Distribution::kBlock,
+              "local_begin/local_end are block-distribution concepts");
+    return rec_->chunk_base + rec_->chunk_len;
+  }
+  /// Node that owns element i.
+  int owner(uint64_t i) const { return rt_->owner_of(id_, i); }
+  /// This array's distribution.
+  Distribution distribution() const { return rec_->dist; }
+  /// Number of elements stored locally (any distribution).
+  uint64_t local_count() const { return rec_->chunk_len; }
+
+  /// Read-only view of this node's committed chunk (phase-start values
+  /// during a phase).
+  std::span<const T> local_span() const {
+    const auto bytes = rt_->committed_bytes(id_);
+    return {reinterpret_cast<const T*>(bytes.data()),
+            bytes.size() / sizeof(T)};
+  }
+
+  uint32_t id() const { return id_; }
+
+ private:
+  friend class Env;
+  GlobalShared(NodeRuntime* rt, uint32_t id, uint64_t n)
+      : rt_(rt), id_(id), n_(n) {
+    const auto& rec = rt->array(id);
+    rec_ = &rec;  // stable: records live in a deque
+    if (rec.dist == Distribution::kBlock) {
+      chunk_base_ = rec.chunk_base;
+      chunk_len_ = rec.chunk_len;
+    }
+    local_data_ = reinterpret_cast<const T*>(rec.storage.data());
+  }
+
+  NodeRuntime* rt_ = nullptr;
+  uint32_t id_ = 0;
+  uint64_t n_ = 0;
+  uint64_t chunk_base_ = 0;
+  uint64_t chunk_len_ = 0;
+  const T* local_data_ = nullptr;  // stable: storage never reallocates
+  const detail::ArrayRecord* rec_ = nullptr;
+};
+
+/// One array instance per node, stored in that node's physical shared
+/// memory (PPM_node_shared). Same phase semantics, no network traffic.
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+class NodeShared {
+ public:
+  NodeShared() = default;
+
+  uint64_t size() const { return n_; }
+
+  T get(uint64_t i) const {
+    if (i < n_) [[likely]] {
+      rt_->charge_access();
+      return data_[i];  // committed storage: phase-start values
+    }
+    T out;
+    rt_->read_elem(id_, i, reinterpret_cast<std::byte*>(&out));
+    return out;
+  }
+
+  void set(uint64_t i, const T& v) {
+    rt_->write_elem(id_, i, reinterpret_cast<const std::byte*>(&v),
+                    detail::WriteOp::kSet);
+  }
+  void add(uint64_t i, const T& v) {
+    rt_->write_elem(id_, i, reinterpret_cast<const std::byte*>(&v),
+                    detail::WriteOp::kAdd);
+  }
+  void min_update(uint64_t i, const T& v) {
+    rt_->write_elem(id_, i, reinterpret_cast<const std::byte*>(&v),
+                    detail::WriteOp::kMin);
+  }
+  void max_update(uint64_t i, const T& v) {
+    rt_->write_elem(id_, i, reinterpret_cast<const std::byte*>(&v),
+                    detail::WriteOp::kMax);
+  }
+
+  /// Read-only view of the committed array (phase-start values during a
+  /// phase).
+  std::span<const T> span() const {
+    const auto bytes = rt_->committed_bytes(id_);
+    return {reinterpret_cast<const T*>(bytes.data()),
+            bytes.size() / sizeof(T)};
+  }
+
+  uint32_t id() const { return id_; }
+
+ private:
+  friend class Env;
+  NodeShared(NodeRuntime* rt, uint32_t id, uint64_t n)
+      : rt_(rt), id_(id), n_(n),
+        data_(reinterpret_cast<const T*>(rt->array(id).storage.data())) {}
+
+  NodeRuntime* rt_ = nullptr;
+  uint32_t id_ = 0;
+  uint64_t n_ = 0;
+  const T* data_ = nullptr;  // stable: storage never reallocates
+};
+
+}  // namespace ppm

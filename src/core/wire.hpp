@@ -1,0 +1,78 @@
+// Wire protocol of the PPM runtime: message kinds carried over each node's
+// service port, and the serialized write-entry format used in bundles.
+//
+// The runtime is the only consumer of the service port, so these kinds
+// cannot collide with mp:: traffic (which uses the per-core rank ports).
+#pragma once
+
+#include <cstdint>
+
+#include "util/byte_buffer.hpp"
+
+namespace ppm::detail {
+
+/// Runtime message classes (top byte of net::Message::kind).
+enum class RtMsg : uint8_t {
+  kGetBlock = 1,   // fetch a contiguous element range of a global array
+  kGetIndexed = 2, // fetch an explicit index list (gather)
+  kGetResp = 3,    // response to either fetch
+  kBundle = 4,     // write bundle fragment for the current global phase
+  kToken = 5,      // keyed control message (barriers, node collectives)
+  kShutdown = 6,   // node program finished; service loop may exit
+};
+
+inline uint64_t rt_kind(RtMsg m) {
+  return static_cast<uint64_t>(m) << 56;
+}
+inline RtMsg rt_class(uint64_t kind) {
+  return static_cast<RtMsg>(kind >> 56);
+}
+
+/// Requests carry the requester's epoch so an owner that has not yet
+/// committed the phase the requester already finished can defer serving
+/// (phase-start snapshot semantics). kAsyncEpoch marks reads that want the
+/// owner's latest committed values (reads outside global phases).
+inline constexpr uint64_t kAsyncEpoch = ~uint64_t{0};
+
+/// Write operations a VP can perform on a shared element.
+enum class WriteOp : uint8_t {
+  kSet = 0,  // last-writer-wins, ordered by (global VP rank, VP-local seq)
+  kAdd = 1,  // commutative accumulate
+  kMin = 2,
+  kMax = 3,
+};
+
+/// Serialized write-entry header; followed by elem_size value bytes.
+struct WireEntryHeader {
+  uint32_t array_id;
+  uint8_t op;
+  uint64_t index;
+  uint64_t vp_rank;
+  uint32_t seq;  // per-VP write sequence (program order within the VP)
+};
+
+/// Serialized entry header size (fields written individually — the struct
+/// itself has padding and is never memcpy'd as a whole).
+inline constexpr size_t kEntryHeaderBytes =
+    sizeof(uint32_t) + sizeof(uint8_t) + sizeof(uint64_t) +
+    sizeof(uint64_t) + sizeof(uint32_t);
+
+inline void put_entry(ByteWriter& w, const WireEntryHeader& h,
+                      const std::byte* value, uint32_t elem_size) {
+  // One growth operation per entry: this sits on the hot path of every
+  // shared write.
+  std::byte* out = w.extend(kEntryHeaderBytes + elem_size);
+  std::memcpy(out, &h.array_id, sizeof(h.array_id));
+  out += sizeof(h.array_id);
+  std::memcpy(out, &h.op, sizeof(h.op));
+  out += sizeof(h.op);
+  std::memcpy(out, &h.index, sizeof(h.index));
+  out += sizeof(h.index);
+  std::memcpy(out, &h.vp_rank, sizeof(h.vp_rank));
+  out += sizeof(h.vp_rank);
+  std::memcpy(out, &h.seq, sizeof(h.seq));
+  out += sizeof(h.seq);
+  std::memcpy(out, value, elem_size);
+}
+
+}  // namespace ppm::detail

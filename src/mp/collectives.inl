@@ -1,0 +1,179 @@
+// Template collective implementations for mp::Comm. Included at the end of
+// comm.hpp; not a standalone header.
+#pragma once
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace ppm::mp {
+
+namespace detail {
+template <typename T>
+Bytes pack_vec(std::span<const T> values) {
+  ByteWriter w;
+  w.put_span(values);
+  return std::move(w).take();
+}
+
+template <typename T>
+std::vector<T> unpack_vec(const Bytes& data) {
+  ByteReader r(data);
+  auto v = r.get_vector<T>();
+  PPM_CHECK(r.exhausted(), "collective payload has trailing bytes");
+  return v;
+}
+}  // namespace detail
+
+template <typename T>
+void Comm::bcast(std::vector<T>& data, int root) {
+  const int p = size();
+  PPM_CHECK(root >= 0 && root < p, "bcast: bad root %d", root);
+  if (p == 1) return;
+  const uint64_t seq = next_collective_seq();
+  const int vr = (rank() - root + p) % p;  // rank relative to the root
+  // Binomial tree: in round k (mask = 2^k) ranks below the mask forward to
+  // rank+mask; a rank first appears as a receiver in the round of its MSB.
+  uint32_t round = 0;
+  for (int mask = 1; mask < p; mask <<= 1, ++round) {
+    if (vr < mask) {
+      const int dst_vr = vr + mask;
+      if (dst_vr < p) {
+        const int dst = (dst_vr + root) % p;
+        send_raw(to_world(dst), collective_kind(seq, round),
+                 detail::pack_vec(std::span<const T>(data)));
+      }
+    } else if (vr < 2 * mask) {
+      const int src = (vr - mask + root) % p;
+      data = detail::unpack_vec<T>(
+          recv_kind(to_world(src), collective_kind(seq, round)));
+    }
+  }
+}
+
+template <typename T, typename Op>
+std::vector<T> Comm::reduce(std::span<const T> local, Op op, int root) {
+  const int p = size();
+  PPM_CHECK(root >= 0 && root < p, "reduce: bad root %d", root);
+  std::vector<T> acc(local.begin(), local.end());
+  if (p == 1) return acc;
+  const uint64_t seq = next_collective_seq();
+  const int vr = (rank() - root + p) % p;
+  uint32_t round = 0;
+  for (int mask = 1; mask < p; mask <<= 1, ++round) {
+    if ((vr & mask) != 0) {
+      // Hand the partial to the parent and leave the tree.
+      const int dst = (vr - mask + root) % p;
+      send_raw(to_world(dst), collective_kind(seq, round),
+               detail::pack_vec(std::span<const T>(acc)));
+      acc.clear();
+      break;
+    }
+    const int src_vr = vr + mask;
+    if (src_vr < p) {
+      const int src = (src_vr + root) % p;
+      const auto partial = detail::unpack_vec<T>(
+          recv_kind(to_world(src), collective_kind(seq, round)));
+      PPM_CHECK(partial.size() == acc.size(),
+                "reduce: mismatched contribution sizes (%zu vs %zu)",
+                partial.size(), acc.size());
+      for (size_t i = 0; i < acc.size(); ++i) acc[i] = op(acc[i], partial[i]);
+    }
+  }
+  return rank() == root ? acc : std::vector<T>{};
+}
+
+template <typename T, typename Op>
+std::vector<T> Comm::allreduce(std::span<const T> local, Op op) {
+  std::vector<T> result = reduce(local, op, /*root=*/0);
+  if (rank() != 0) result.resize(local.size());
+  bcast(result, /*root=*/0);
+  return result;
+}
+
+template <typename T>
+std::vector<std::vector<T>> Comm::gatherv(std::span<const T> local,
+                                          int root) {
+  const int p = size();
+  PPM_CHECK(root >= 0 && root < p, "gatherv: bad root %d", root);
+  const uint64_t seq = next_collective_seq();
+  if (rank() != root) {
+    send_raw(to_world(root), collective_kind(seq, 0),
+             detail::pack_vec(local));
+    return {};
+  }
+  std::vector<std::vector<T>> out(static_cast<size_t>(p));
+  out[static_cast<size_t>(root)].assign(local.begin(), local.end());
+  for (int src = 0; src < p; ++src) {
+    if (src == root) continue;
+    out[static_cast<size_t>(src)] = detail::unpack_vec<T>(
+        recv_kind(to_world(src), collective_kind(seq, 0)));
+  }
+  return out;
+}
+
+template <typename T>
+std::vector<std::vector<T>> Comm::allgatherv(std::span<const T> local) {
+  const int p = size();
+  std::vector<std::vector<T>> out(static_cast<size_t>(p));
+  out[static_cast<size_t>(rank())].assign(local.begin(), local.end());
+  if (p == 1) return out;
+  const uint64_t seq = next_collective_seq();
+  // Ring: in step s, pass along the block that originated s-1 hops back.
+  const int right = (rank() + 1) % p;
+  const int left = (rank() - 1 + p) % p;
+  for (int s = 1; s < p; ++s) {
+    const int send_idx = (rank() - s + 1 + p) % p;
+    const int recv_idx = (rank() - s + p) % p;
+    send_raw(to_world(right), collective_kind(seq, static_cast<uint32_t>(s)),
+             detail::pack_vec(
+                 std::span<const T>(out[static_cast<size_t>(send_idx)])));
+    out[static_cast<size_t>(recv_idx)] = detail::unpack_vec<T>(recv_kind(
+        to_world(left), collective_kind(seq, static_cast<uint32_t>(s))));
+  }
+  return out;
+}
+
+template <typename T>
+std::vector<std::vector<T>> Comm::alltoallv(
+    const std::vector<std::vector<T>>& blocks) {
+  const int p = size();
+  PPM_CHECK(static_cast<int>(blocks.size()) == p,
+            "alltoallv: need exactly one block per rank (%zu given, p=%d)",
+            blocks.size(), p);
+  std::vector<std::vector<T>> out(static_cast<size_t>(p));
+  out[static_cast<size_t>(rank())] = blocks[static_cast<size_t>(rank())];
+  if (p == 1) return out;
+  const uint64_t seq = next_collective_seq();
+  // Rotational pairwise exchange: round r talks to rank +- r.
+  for (int r = 1; r < p; ++r) {
+    const int dst = (rank() + r) % p;
+    const int src = (rank() - r + p) % p;
+    send_raw(to_world(dst), collective_kind(seq, static_cast<uint32_t>(r)),
+             detail::pack_vec(
+                 std::span<const T>(blocks[static_cast<size_t>(dst)])));
+    out[static_cast<size_t>(src)] = detail::unpack_vec<T>(recv_kind(
+        to_world(src), collective_kind(seq, static_cast<uint32_t>(r))));
+  }
+  return out;
+}
+
+template <typename T, typename Op>
+T Comm::scan_inclusive(T value, Op op) {
+  const int p = size();
+  const uint64_t seq = next_collective_seq();
+  T acc = value;
+  if (rank() > 0) {
+    const auto prev = detail::unpack_vec<T>(
+        recv_kind(to_world(rank() - 1), collective_kind(seq, 0)));
+    PPM_CHECK(prev.size() == 1, "scan: malformed partial");
+    acc = op(prev[0], value);
+  }
+  if (rank() + 1 < p) {
+    send_raw(to_world(rank() + 1), collective_kind(seq, 0),
+             detail::pack_vec(std::span<const T>(&acc, 1)));
+  }
+  return acc;
+}
+
+}  // namespace ppm::mp

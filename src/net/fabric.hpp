@@ -1,0 +1,127 @@
+// Simulated cluster interconnect.
+//
+// The fabric connects (node, port) endpoints. Port assignment is owned by
+// the layers above: the message-passing library uses one port per simulated
+// core (one "rank" per core, as on the paper's Cray XT4), and the PPM
+// runtime uses one dedicated service port per node.
+//
+// Timing follows a LogGP-style model:
+//   * per-message sender software overhead (charged to the sending fiber's
+//     CPU via sim::advance),
+//   * egress serialization — a node's NIC transmits one message at a time,
+//     occupying the link for bytes/bandwidth. This is what makes many cores
+//     of one node *contend* for the network, an effect the paper's runtime
+//     explicitly schedules around;
+//   * wire latency;
+//   * ingress serialization at the destination NIC;
+//   * per-message receiver software overhead.
+// Messages between endpoints of the same node travel a separate intra-node
+// fabric (lower latency, higher bandwidth, no NIC occupancy) modeling
+// shared-memory transports of MPI implementations — still paying a
+// per-message software cost, which the paper calls out (its SmartMap
+// footnote).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/sync.hpp"
+#include "util/byte_buffer.hpp"
+#include "util/stats.hpp"
+
+namespace ppm::net {
+
+struct LinkParams {
+  int64_t latency_ns = 5'000;        // wire latency per message
+  double bytes_per_ns = 2.0;          // bandwidth (2 bytes/ns = 2 GB/s)
+  int64_t send_overhead_ns = 500;     // sender-side software cost
+  int64_t recv_overhead_ns = 500;     // receiver-side software cost
+};
+
+struct FabricConfig {
+  int num_nodes = 1;
+  int ports_per_node = 1;
+  LinkParams network{};  // inter-node path (through the NICs)
+  LinkParams intranode{.latency_ns = 400,
+                       .bytes_per_ns = 6.0,
+                       .send_overhead_ns = 150,
+                       .recv_overhead_ns = 150};
+};
+
+struct Message {
+  int32_t src_node = 0;
+  int32_t src_port = 0;
+  int32_t dst_node = 0;
+  int32_t dst_port = 0;
+  uint64_t kind = 0;  // multiplexing tag interpreted by the layer above
+  Bytes payload;
+};
+
+/// Aggregate traffic accounting, queryable by benches and tests.
+struct FabricStats {
+  Counter inter_messages;
+  Counter inter_bytes;
+  Counter intra_messages;
+  Counter intra_bytes;
+
+  void reset() {
+    inter_messages.reset();
+    inter_bytes.reset();
+    intra_messages.reset();
+    intra_bytes.reset();
+  }
+};
+
+/// Receiving side of a (node, port) address: a FIFO of delivered messages.
+class Endpoint {
+ public:
+  Endpoint(sim::Engine& engine, int node, int port)
+      : node_(node), port_(port), inbox_(engine) {}
+
+  /// Blocking receive (fiber only).
+  Message recv() { return inbox_.pop(); }
+
+  /// Non-blocking receive.
+  bool try_recv(Message* out) { return inbox_.try_pop(out); }
+
+  bool has_pending() const { return !inbox_.empty(); }
+  int node() const { return node_; }
+  int port() const { return port_; }
+
+ private:
+  friend class Fabric;
+  int node_;
+  int port_;
+  sim::Channel<Message> inbox_;
+};
+
+class Fabric {
+ public:
+  Fabric(sim::Engine& engine, FabricConfig config);
+
+  /// Send from the current fiber. Charges sender software overhead to the
+  /// calling fiber, then schedules delivery into the destination endpoint.
+  void send(Message msg);
+
+  Endpoint& endpoint(int node, int port);
+
+  const FabricConfig& config() const { return config_; }
+  const FabricStats& stats() const { return stats_; }
+  FabricStats& mutable_stats() { return stats_; }
+
+  /// Virtual time at which a `bytes`-sized inter-node message completes,
+  /// ignoring contention — useful for tests and analytic baselines.
+  int64_t uncontended_network_time_ns(size_t bytes) const;
+
+ private:
+  sim::Engine& engine_;
+  FabricConfig config_;
+  std::vector<std::unique_ptr<Endpoint>> endpoints_;  // node-major
+  std::vector<int64_t> egress_free_ns_;   // per node
+  std::vector<int64_t> ingress_free_ns_;  // per node
+  FabricStats stats_;
+};
+
+}  // namespace ppm::net

@@ -1,0 +1,66 @@
+#include "sim/fiber.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "sim/engine.hpp"
+#include "util/error.hpp"
+
+namespace ppm::sim {
+
+namespace {
+size_t page_size() {
+  static const size_t kPage = static_cast<size_t>(sysconf(_SC_PAGESIZE));
+  return kPage;
+}
+
+size_t round_up(size_t n, size_t align) {
+  return (n + align - 1) / align * align;
+}
+}  // namespace
+
+Fiber::Fiber(Engine* engine, Id id, std::string name,
+             std::function<void()> entry, size_t stack_bytes)
+    : engine_(engine), id_(id), name_(std::move(name)),
+      entry_(std::move(entry)) {
+  stack_bytes_ = round_up(stack_bytes, page_size());
+  map_bytes_ = stack_bytes_ + page_size();  // +1 guard page at the bottom
+  void* mem = ::mmap(nullptr, map_bytes_, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  PPM_CHECK(mem != MAP_FAILED, "fiber stack mmap of %zu bytes failed",
+            map_bytes_);
+  // Stacks grow downward: protect the lowest page so overflow faults loudly
+  // instead of corrupting a neighboring fiber's stack.
+  PPM_CHECK(::mprotect(mem, page_size(), PROT_NONE) == 0,
+            "fiber guard page mprotect failed");
+  stack_ = mem;
+
+  PPM_CHECK(getcontext(&context_) == 0, "getcontext failed");
+  context_.uc_stack.ss_sp = static_cast<char*>(mem) + page_size();
+  context_.uc_stack.ss_size = stack_bytes_;
+  context_.uc_link = nullptr;  // fibers never fall off; trampoline exits
+  makecontext(&context_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 0);
+}
+
+Fiber::~Fiber() {
+  if (stack_ != nullptr) {
+    ::munmap(stack_, map_bytes_);
+  }
+}
+
+void Fiber::trampoline() {
+  // The engine sets current_ before swapping in, so the running fiber finds
+  // itself through its engine (Fiber is a friend of Engine).
+  Engine* engine = current_engine();
+  Fiber* self = engine->current_;
+  try {
+    self->entry_();
+  } catch (...) {
+    self->error_ = std::current_exception();
+  }
+  engine->fiber_exit();
+}
+
+}  // namespace ppm::sim

@@ -1,0 +1,167 @@
+// Blocking primitives for fibers: condition variables, barriers, semaphores
+// and timed channels. These model *simulated* synchronization — there is no
+// host-thread concurrency to protect against (the engine runs one fiber at
+// a time), so these classes only manage virtual-time ordering and wakeups.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "util/error.hpp"
+
+namespace ppm::sim {
+
+/// Virtual time "now" usable both on fibers and in event callbacks.
+inline int64_t current_time_ns(Engine& engine) {
+  return engine.on_fiber() ? engine.now_ns() : engine.engine_now_ns();
+}
+
+/// Condition variable with predicate-style waits.
+///
+/// Unlike std::condition_variable there is no mutex: fibers are cooperative,
+/// so predicate checks are atomic by construction. A waiter resumes no
+/// earlier than the notifier's virtual time (information cannot travel
+/// backwards in time).
+class ConditionVar {
+ public:
+  explicit ConditionVar(Engine& engine) : engine_(engine) {}
+
+  template <typename Pred>
+  void wait(Pred&& pred) {
+    while (!pred()) {
+      waiters_.push_back(engine_.current_fiber_id());
+      engine_.suspend_current();
+    }
+  }
+
+  void notify_all() {
+    const int64_t t = current_time_ns(engine_);
+    std::vector<Fiber::Id> woken;
+    woken.swap(waiters_);
+    for (Fiber::Id id : woken) engine_.wake(id, t);
+  }
+
+  void notify_one() {
+    if (waiters_.empty()) return;
+    const int64_t t = current_time_ns(engine_);
+    const Fiber::Id id = waiters_.front();
+    waiters_.erase(waiters_.begin());
+    engine_.wake(id, t);
+  }
+
+  size_t num_waiters() const { return waiters_.size(); }
+
+ private:
+  Engine& engine_;
+  std::vector<Fiber::Id> waiters_;
+};
+
+/// Reusable barrier for a fixed number of participants. The release time is
+/// the maximum arrival time, which is exactly the BSP superstep rule.
+class Barrier {
+ public:
+  Barrier(Engine& engine, int participants)
+      : engine_(engine), participants_(participants), cv_(engine) {
+    PPM_CHECK(participants > 0, "barrier needs at least one participant");
+  }
+
+  void arrive_and_wait() {
+    const uint64_t my_generation = generation_;
+    ++arrived_;
+    if (arrived_ == participants_) {
+      arrived_ = 0;
+      ++generation_;
+      cv_.notify_all();
+      return;
+    }
+    cv_.wait([&] { return generation_ != my_generation; });
+  }
+
+  int participants() const { return participants_; }
+
+ private:
+  Engine& engine_;
+  int participants_;
+  int arrived_ = 0;
+  uint64_t generation_ = 0;
+  ConditionVar cv_;
+};
+
+/// Counting semaphore.
+class Semaphore {
+ public:
+  Semaphore(Engine& engine, int64_t initial) : count_(initial), cv_(engine) {
+    PPM_CHECK(initial >= 0, "semaphore count must be non-negative");
+  }
+
+  void acquire(int64_t n = 1) {
+    cv_.wait([&] { return count_ >= n; });
+    count_ -= n;
+  }
+
+  void release(int64_t n = 1) {
+    count_ += n;
+    cv_.notify_all();
+  }
+
+  int64_t count() const { return count_; }
+
+ private:
+  int64_t count_;
+  ConditionVar cv_;
+};
+
+/// FIFO channel carrying values stamped with the virtual time at which they
+/// become visible. Producers may be fibers or event callbacks (e.g. network
+/// delivery events); consumers are fibers.
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(Engine& engine) : engine_(engine), cv_(engine) {}
+
+  /// Push visible at the producer's current virtual time.
+  void push(T value) { push_at(current_time_ns(engine_), std::move(value)); }
+
+  /// Push visible at explicit virtual time `t_ns` (>= producer time).
+  void push_at(int64_t t_ns, T value) {
+    queue_.emplace_back(t_ns, std::move(value));
+    cv_.notify_all();
+  }
+
+  /// Blocking pop; the consumer resumes no earlier than the value's stamp.
+  T pop() {
+    cv_.wait([&] { return !queue_.empty(); });
+    auto [t, value] = std::move(queue_.front());
+    queue_.pop_front();
+    // If the value's visibility time is ahead of the consumer, the consumer
+    // waits for it (models the receiver being ready before the data).
+    Engine& e = engine_;
+    if (t > e.now_ns()) e.sleep_until_ns(t);
+    return std::move(value);
+  }
+
+  bool try_pop(T* out) {
+    if (queue_.empty()) return false;
+    auto [t, value] = std::move(queue_.front());
+    queue_.pop_front();
+    if (engine_.on_fiber() && t > engine_.now_ns()) {
+      engine_.sleep_until_ns(t);
+    }
+    *out = std::move(value);
+    return true;
+  }
+
+  bool empty() const { return queue_.empty(); }
+  size_t size() const { return queue_.size(); }
+
+ private:
+  Engine& engine_;
+  ConditionVar cv_;
+  std::deque<std::pair<int64_t, T>> queue_;
+};
+
+}  // namespace ppm::sim

@@ -1,0 +1,5 @@
+#include "util/byte_buffer.hpp"
+
+// Header-only in practice; this TU pins the vtable-less templates into the
+// library and keeps a place for future non-template helpers.
+namespace ppm {}  // namespace ppm

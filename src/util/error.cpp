@@ -1,0 +1,39 @@
+#include "util/error.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+#include <vector>
+
+namespace ppm {
+
+std::string strfmt(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args2;
+  va_copy(args2, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  if (n <= 0) {
+    va_end(args2);
+    return {};
+  }
+  std::string out(static_cast<size_t>(n), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args2);
+  va_end(args2);
+  return out;
+}
+
+namespace detail {
+
+void throw_check_failure(const char* expr, const char* file, int line,
+                         const std::string& msg) {
+  std::string what = strfmt("PPM_CHECK failed: %s at %s:%d", expr, file, line);
+  if (!msg.empty()) {
+    what += ": ";
+    what += msg;
+  }
+  throw Error(what);
+}
+
+}  // namespace detail
+}  // namespace ppm

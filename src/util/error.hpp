@@ -1,0 +1,39 @@
+// Error handling primitives shared by every PPM module.
+//
+// The library reports contract violations and runtime failures by throwing
+// ppm::Error. PPM_CHECK is used for conditions that depend on user input
+// (misuse of the API, malformed messages); assert() remains for internal
+// invariants that should be impossible to violate.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ppm {
+
+/// Exception type thrown for all PPM library errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(std::string what) : std::runtime_error(std::move(what)) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_check_failure(const char* expr, const char* file,
+                                      int line, const std::string& msg);
+}  // namespace detail
+
+/// Format helper: tiny printf-style formatter used across the library
+/// (gcc 12 lacks std::format).
+std::string strfmt(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace ppm
+
+/// Check a condition that can be violated by API misuse or bad input.
+/// Throws ppm::Error with location info and an optional formatted message.
+#define PPM_CHECK(cond, ...)                                              \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::ppm::detail::throw_check_failure(#cond, __FILE__, __LINE__,       \
+                                         ::ppm::strfmt("" __VA_ARGS__)); \
+    }                                                                     \
+  } while (0)

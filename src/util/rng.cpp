@@ -1,0 +1,90 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace ppm {
+
+uint64_t SplitMix64::next() {
+  uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t mix64(uint64_t x) {
+  SplitMix64 sm(x);
+  return sm.next();
+}
+
+namespace {
+inline uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& s : s_) s = sm.next();
+}
+
+uint64_t Rng::next_u64() {
+  const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::next_below(uint64_t bound) {
+  if (bound == 0) return 0;
+  // Lemire's multiply-shift rejection method: unbiased and branch-light.
+  uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<uint64_t>(m);
+  if (lo < bound) {
+    const uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::next_in(int64_t lo, int64_t hi) {
+  const auto span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(next_below(span));
+}
+
+double Rng::next_double() {
+  // 53 random mantissa bits -> uniform in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::next_double_in(double lo, double hi) {
+  return lo + (hi - lo) * next_double();
+}
+
+double Rng::next_normal() {
+  if (have_spare_normal_) {
+    have_spare_normal_ = false;
+    return spare_normal_;
+  }
+  double u, v, s;
+  do {
+    u = next_double_in(-1.0, 1.0);
+    v = next_double_in(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double k = std::sqrt(-2.0 * std::log(s) / s);
+  spare_normal_ = v * k;
+  have_spare_normal_ = true;
+  return u * k;
+}
+
+Rng Rng::split() { return Rng(next_u64()); }
+
+}  // namespace ppm

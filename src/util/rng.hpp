@@ -1,0 +1,60 @@
+// Deterministic random number generation.
+//
+// All stochastic pieces of the library (workload generators, dynamic VP
+// scheduling jitter, property tests) draw from these generators so that
+// every run is reproducible from a single 64-bit seed.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace ppm {
+
+/// SplitMix64: tiny generator used for seeding and cheap hashing.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t next();
+
+ private:
+  uint64_t state_;
+};
+
+/// xoshiro256** 1.0 — the library's workhorse PRNG.
+/// Fast, 256-bit state, passes BigCrush; seeded via SplitMix64.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit word.
+  uint64_t next_u64();
+
+  /// Uniform in [0, bound) without modulo bias (Lemire's method).
+  uint64_t next_below(uint64_t bound);
+
+  /// Uniform integer in the inclusive range [lo, hi].
+  int64_t next_in(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform double in [lo, hi).
+  double next_double_in(double lo, double hi);
+
+  /// Standard normal variate (Marsaglia polar method).
+  double next_normal();
+
+  /// Split off an independent stream (for per-node / per-VP generators).
+  Rng split();
+
+ private:
+  uint64_t s_[4];
+  bool have_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+/// 64-bit mix function usable as a hash for integers.
+uint64_t mix64(uint64_t x);
+
+}  // namespace ppm

@@ -1,0 +1,100 @@
+#include "util/stats.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ppm {
+
+void RunningStat::add(double x) {
+  ++n_;
+  sum_ += x;
+  if (n_ == 1) {
+    mean_ = x;
+    m2_ = 0.0;
+    min_ = max_ = x;
+    return;
+  }
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStat::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+void RunningStat::merge(const RunningStat& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  PPM_CHECK(!bounds_.empty(), "histogram needs at least one bucket boundary");
+  PPM_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()),
+            "histogram boundaries must be sorted");
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::add(double x) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  ++counts_[static_cast<size_t>(it - bounds_.begin())];
+  ++total_;
+}
+
+double Histogram::quantile(double q) const {
+  if (total_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_);
+  double cum = 0.0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cum + static_cast<double>(counts_[i]);
+    if (next >= target) {
+      // Interpolate within bucket i.
+      const double lo = (i == 0) ? bounds_.front() : bounds_[i - 1];
+      const double hi = (i >= bounds_.size()) ? bounds_.back() : bounds_[i];
+      if (counts_[i] == 0 || hi <= lo) return hi;
+      const double frac = (target - cum) / static_cast<double>(counts_[i]);
+      return lo + frac * (hi - lo);
+    }
+    cum = next;
+  }
+  return bounds_.back();
+}
+
+std::string Histogram::to_string() const {
+  std::string out;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    const char* prefix = (i == 0) ? "(-inf" : nullptr;
+    if (prefix != nullptr) {
+      out += strfmt("(-inf, %.3g]: %llu\n", bounds_[0],
+                    static_cast<unsigned long long>(counts_[0]));
+    } else if (i < bounds_.size()) {
+      out += strfmt("(%.3g, %.3g]: %llu\n", bounds_[i - 1], bounds_[i],
+                    static_cast<unsigned long long>(counts_[i]));
+    } else {
+      out += strfmt("(%.3g, +inf): %llu\n", bounds_.back(),
+                    static_cast<unsigned long long>(counts_[i]));
+    }
+  }
+  return out;
+}
+
+}  // namespace ppm

@@ -1,0 +1,137 @@
+// Dense matmul: serial reference, PPM row-block version, SUMMA on a 2D
+// rank grid with split communicators.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/dense/dense.hpp"
+
+namespace ppm::apps::dense {
+namespace {
+
+void expect_equal(const Matrix& got, const Matrix& want, double tol) {
+  ASSERT_EQ(got.n, want.n);
+  for (uint64_t i = 0; i < got.n; ++i) {
+    for (uint64_t j = 0; j < got.n; ++j) {
+      ASSERT_NEAR(got.at(i, j), want.at(i, j), tol)
+          << "C(" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(DenseSerial, IdentityIsNeutral) {
+  const uint64_t n = 12;
+  Matrix eye;
+  eye.n = n;
+  eye.data.assign(n * n, 0.0);
+  for (uint64_t i = 0; i < n; ++i) eye.at(i, i) = 1.0;
+  const Matrix a = make_matrix(n, 3);
+  expect_equal(matmul_serial(a, eye), a, 1e-15);
+  expect_equal(matmul_serial(eye, a), a, 1e-15);
+}
+
+TEST(DenseSerial, MatchesNaiveTripleLoop) {
+  const uint64_t n = 9;
+  const Matrix a = make_matrix(n, 1);
+  const Matrix b = make_matrix(n, 2);
+  const Matrix c = matmul_serial(a, b);
+  for (uint64_t i = 0; i < n; ++i) {
+    for (uint64_t j = 0; j < n; ++j) {
+      double acc = 0;
+      for (uint64_t k = 0; k < n; ++k) acc += a.at(i, k) * b.at(k, j);
+      EXPECT_NEAR(c.at(i, j), acc, 1e-14);
+    }
+  }
+}
+
+struct Shape {
+  int nodes;
+  int cores;
+  uint64_t n;
+};
+
+class DensePpm : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(DensePpm, MatchesSerial) {
+  const Matrix a = make_matrix(GetParam().n, 10);
+  const Matrix b = make_matrix(GetParam().n, 20);
+  const Matrix expect = matmul_serial(a, b);
+
+  PpmConfig cfg;
+  cfg.machine.nodes = GetParam().nodes;
+  cfg.machine.cores_per_node = GetParam().cores;
+  std::vector<Matrix> results;
+  run(cfg, [&](Env& env) { results.push_back(matmul_ppm(env, a, b)); });
+  for (const Matrix& c : results) expect_equal(c, expect, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, DensePpm,
+    ::testing::Values(Shape{1, 2, 16}, Shape{2, 2, 24}, Shape{3, 1, 20},
+                      Shape{4, 2, 32}, Shape{5, 2, 17}),
+    [](const ::testing::TestParamInfo<Shape>& info) {
+      return "n" + std::to_string(info.param.nodes) + "c" +
+             std::to_string(info.param.cores) + "s" +
+             std::to_string(info.param.n);
+    });
+
+struct SummaShape {
+  int nodes;
+  int cores;  // total ranks must be a perfect square
+  uint64_t n;
+};
+
+class DenseSumma : public ::testing::TestWithParam<SummaShape> {};
+
+TEST_P(DenseSumma, MatchesSerial) {
+  const Matrix a = make_matrix(GetParam().n, 30);
+  const Matrix b = make_matrix(GetParam().n, 40);
+  const Matrix expect = matmul_serial(a, b);
+
+  cluster::Machine machine(
+      {.nodes = GetParam().nodes, .cores_per_node = GetParam().cores});
+  mp::World world(machine);
+  std::vector<Matrix> results;
+  machine.run_per_core([&](const cluster::Place& place) {
+    mp::Comm comm = world.comm_at(place);
+    results.push_back(matmul_mpi_summa(comm, a, b));
+  });
+  for (const Matrix& c : results) expect_equal(c, expect, 1e-12);
+}
+
+TEST(DenseSumma, RejectsNonSquareRankCount) {
+  cluster::Machine machine({.nodes = 3, .cores_per_node = 1});
+  mp::World world(machine);
+  const Matrix a = make_matrix(12, 1);
+  EXPECT_THROW(machine.run_per_core([&](const cluster::Place& place) {
+    mp::Comm comm = world.comm_at(place);
+    (void)matmul_mpi_summa(comm, a, a);
+  }),
+               Error);
+}
+
+TEST(DenseSumma, RejectsIndivisibleMatrix) {
+  cluster::Machine machine({.nodes = 2, .cores_per_node = 2});
+  mp::World world(machine);
+  const Matrix a = make_matrix(15, 1);  // 2x2 grid, 15 % 2 != 0
+  EXPECT_THROW(machine.run_per_core([&](const cluster::Place& place) {
+    mp::Comm comm = world.comm_at(place);
+    (void)matmul_mpi_summa(comm, a, a);
+  }),
+               Error);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, DenseSumma,
+    ::testing::Values(SummaShape{1, 1, 12},   // 1x1 grid
+                      SummaShape{2, 2, 24},   // 2x2 grid
+                      SummaShape{1, 4, 16},   // 2x2 grid on one node
+                      SummaShape{4, 4, 32}),  // 4x4 grid
+    [](const ::testing::TestParamInfo<SummaShape>& info) {
+      return "n" + std::to_string(info.param.nodes) + "c" +
+             std::to_string(info.param.cores) + "s" +
+             std::to_string(info.param.n);
+    });
+
+}  // namespace
+}  // namespace ppm::apps::dense

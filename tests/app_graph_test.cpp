@@ -1,0 +1,170 @@
+// Graph application family: generators, serial references, and agreement
+// of the PPM and MPI implementations across machine shapes and both data
+// distributions.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "apps/graph/graph.hpp"
+#include "apps/graph/graph_mpi.hpp"
+#include "apps/graph/graph_ppm.hpp"
+
+namespace ppm::apps::graph {
+namespace {
+
+TEST(GraphGen, UniformIsSymmetricAndDeduplicated) {
+  const Graph g = make_uniform_graph(200, 6.0, 11);
+  EXPECT_EQ(g.num_vertices, 200u);
+  EXPECT_GT(g.num_edges(), 200u);
+  std::set<std::pair<uint64_t, uint64_t>> seen;
+  for (uint64_t u = 0; u < g.num_vertices; ++u) {
+    for (uint64_t k = g.row_ptr[u]; k < g.row_ptr[u + 1]; ++k) {
+      const uint64_t v = g.adjacency[k];
+      EXPECT_NE(u, v) << "self loop";
+      EXPECT_TRUE(seen.insert({u, v}).second) << "duplicate edge";
+    }
+  }
+  // Symmetry: (u,v) present iff (v,u) present.
+  for (const auto& [u, v] : seen) {
+    EXPECT_TRUE(seen.count({v, u})) << u << "," << v;
+  }
+}
+
+TEST(GraphGen, RmatHasSkewedDegrees) {
+  const Graph g = make_rmat_graph(512, 8.0, 5);
+  uint64_t max_degree = 0;
+  double mean = 0;
+  for (uint64_t v = 0; v < g.num_vertices; ++v) {
+    max_degree = std::max(max_degree, g.degree(v));
+    mean += static_cast<double>(g.degree(v));
+  }
+  mean /= static_cast<double>(g.num_vertices);
+  EXPECT_GT(static_cast<double>(max_degree), 4 * mean)
+      << "power-law graph should have hubs";
+}
+
+TEST(GraphGen, DeterministicFromSeed) {
+  const Graph a = make_rmat_graph(128, 4.0, 77);
+  const Graph b = make_rmat_graph(128, 4.0, 77);
+  EXPECT_EQ(a.adjacency, b.adjacency);
+  const Graph c = make_rmat_graph(128, 4.0, 78);
+  EXPECT_NE(a.adjacency, c.adjacency);
+}
+
+TEST(GraphGen, RowSliceKeepsGlobalIds) {
+  const Graph g = make_uniform_graph(100, 5.0, 3);
+  const Graph s = g.row_slice(40, 60);
+  for (uint64_t lu = 0; lu < 20; ++lu) {
+    EXPECT_EQ(s.row_ptr[lu + 1] - s.row_ptr[lu], g.degree(40 + lu));
+  }
+}
+
+TEST(SerialGraph, BfsDistancesAreValid) {
+  const Graph g = make_uniform_graph(300, 4.0, 21);
+  const auto dist = bfs_serial(g, 0);
+  EXPECT_EQ(dist[0], 0);
+  // Triangle inequality along every edge.
+  for (uint64_t u = 0; u < g.num_vertices; ++u) {
+    if (dist[u] == kUnreached) continue;
+    for (uint64_t k = g.row_ptr[u]; k < g.row_ptr[u + 1]; ++k) {
+      const uint64_t v = g.adjacency[k];
+      ASSERT_NE(dist[v], kUnreached);
+      EXPECT_LE(std::abs(dist[u] - dist[v]), 1);
+    }
+  }
+}
+
+TEST(SerialGraph, ComponentsPartitionTheGraph) {
+  const Graph g = make_uniform_graph(300, 1.5, 9);  // sparse: several comps
+  const auto label = components_serial(g);
+  // Same component <=> connected: every edge joins equal labels, and each
+  // label is the minimum vertex id of its members.
+  for (uint64_t u = 0; u < g.num_vertices; ++u) {
+    for (uint64_t k = g.row_ptr[u]; k < g.row_ptr[u + 1]; ++k) {
+      EXPECT_EQ(label[u], label[g.adjacency[k]]);
+    }
+    EXPECT_LE(label[u], static_cast<int64_t>(u));
+    EXPECT_EQ(label[static_cast<uint64_t>(label[u])], label[u]);
+  }
+}
+
+struct Shape {
+  int nodes;
+  int cores;
+  Distribution dist;
+};
+
+class DistributedGraph : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(DistributedGraph, PpmBfsMatchesSerial) {
+  const Graph g = make_rmat_graph(400, 6.0, 31);
+  const auto expect = bfs_serial(g, 2);
+  PpmConfig cfg;
+  cfg.machine.nodes = GetParam().nodes;
+  cfg.machine.cores_per_node = GetParam().cores;
+  std::vector<std::vector<int64_t>> got;
+  run(cfg, [&](Env& env) {
+    got.push_back(bfs_ppm(env, g, 2, GetParam().dist));
+  });
+  for (const auto& d : got) EXPECT_EQ(d, expect);
+}
+
+TEST_P(DistributedGraph, PpmComponentsMatchSerial) {
+  const Graph g = make_uniform_graph(350, 1.8, 13);
+  const auto expect = components_serial(g);
+  PpmConfig cfg;
+  cfg.machine.nodes = GetParam().nodes;
+  cfg.machine.cores_per_node = GetParam().cores;
+  std::vector<std::vector<int64_t>> got;
+  run(cfg, [&](Env& env) {
+    got.push_back(components_ppm(env, g, GetParam().dist));
+  });
+  for (const auto& labels : got) EXPECT_EQ(labels, expect);
+}
+
+TEST_P(DistributedGraph, MpiBfsMatchesSerial) {
+  const Graph g = make_rmat_graph(400, 6.0, 31);
+  const auto expect = bfs_serial(g, 2);
+  cluster::Machine machine(
+      {.nodes = GetParam().nodes, .cores_per_node = GetParam().cores});
+  mp::World world(machine);
+  std::vector<std::vector<int64_t>> got;
+  machine.run_per_core([&](const cluster::Place& place) {
+    mp::Comm comm = world.comm_at(place);
+    got.push_back(bfs_mpi(comm, g, 2));
+  });
+  for (const auto& d : got) EXPECT_EQ(d, expect);
+}
+
+TEST_P(DistributedGraph, BfsFromEverySourceOnSmallGraph) {
+  const Graph g = make_uniform_graph(40, 3.0, 17);
+  PpmConfig cfg;
+  cfg.machine.nodes = GetParam().nodes;
+  cfg.machine.cores_per_node = GetParam().cores;
+  for (uint64_t src = 0; src < g.num_vertices; src += 7) {
+    const auto expect = bfs_serial(g, src);
+    std::vector<int64_t> got;
+    run(cfg, [&](Env& env) {
+      auto d = bfs_ppm(env, g, src, GetParam().dist);
+      if (env.node_id() == 0) got = d;
+    });
+    EXPECT_EQ(got, expect) << "source " << src;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, DistributedGraph,
+    ::testing::Values(Shape{1, 2, Distribution::kBlock},
+                      Shape{2, 2, Distribution::kBlock},
+                      Shape{4, 1, Distribution::kBlock},
+                      Shape{3, 2, Distribution::kCyclic},
+                      Shape{4, 2, Distribution::kCyclic}),
+    [](const ::testing::TestParamInfo<Shape>& info) {
+      return "n" + std::to_string(info.param.nodes) + "c" +
+             std::to_string(info.param.cores) +
+             (info.param.dist == Distribution::kCyclic ? "_cyclic"
+                                                       : "_block");
+    });
+
+}  // namespace
+}  // namespace ppm::apps::graph

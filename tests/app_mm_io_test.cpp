@@ -1,0 +1,113 @@
+// MatrixMarket import/export.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+
+#include "apps/cg/csr.hpp"
+#include "apps/cg/mm_io.hpp"
+#include "util/error.hpp"
+
+namespace ppm::apps::cg {
+namespace {
+
+TEST(MatrixMarket, RoundTripChimneyMatrix) {
+  const CsrMatrix a = build_chimney_matrix({.nx = 4, .ny = 4, .nz = 6});
+  std::stringstream buf;
+  write_matrix_market(a, buf);
+  const CsrMatrix b = read_matrix_market(buf);
+  EXPECT_EQ(b.n, a.n);
+  ASSERT_EQ(b.row_ptr, a.row_ptr);
+  // Columns within a row may be reordered (reader sorts); compare as maps.
+  for (uint64_t i = 0; i < a.n; ++i) {
+    std::map<uint64_t, double> ra, rb;
+    for (uint64_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
+      ra[a.col_idx[k]] = a.values[k];
+    }
+    for (uint64_t k = b.row_ptr[i]; k < b.row_ptr[i + 1]; ++k) {
+      rb[b.col_idx[k]] = b.values[k];
+    }
+    EXPECT_EQ(ra, rb) << "row " << i;
+  }
+}
+
+TEST(MatrixMarket, SymmetricFilesAreExpanded) {
+  std::stringstream in(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "% lower triangle only\n"
+      "3 3 4\n"
+      "1 1 2.0\n"
+      "2 1 -1.0\n"
+      "2 2 2.0\n"
+      "3 3 1.5\n");
+  const CsrMatrix m = read_matrix_market(in);
+  EXPECT_EQ(m.n, 3u);
+  EXPECT_EQ(m.nnz(), 5u);  // (1,2) mirrored from (2,1)
+  // Row 0: (0,0)=2, (0,1)=-1.
+  EXPECT_EQ(m.row_ptr[1] - m.row_ptr[0], 2u);
+  EXPECT_DOUBLE_EQ(m.values[1], -1.0);
+  EXPECT_EQ(m.col_idx[1], 1u);
+}
+
+TEST(MatrixMarket, ValuesSurviveWithFullPrecision) {
+  CsrMatrix a;
+  a.n = 2;
+  a.row_ptr = {0, 1, 2};
+  a.col_idx = {0, 1};
+  a.values = {1.0 / 3.0, 2.0e-17};
+  std::stringstream buf;
+  write_matrix_market(a, buf);
+  const CsrMatrix b = read_matrix_market(buf);
+  EXPECT_EQ(b.values[0], a.values[0]);
+  EXPECT_EQ(b.values[1], a.values[1]);
+}
+
+TEST(MatrixMarket, RejectsMissingBanner) {
+  std::stringstream in("3 3 1\n1 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(in), Error);
+}
+
+TEST(MatrixMarket, RejectsNonSquare) {
+  std::stringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 3 1\n"
+      "1 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(in), Error);
+}
+
+TEST(MatrixMarket, RejectsOutOfBoundsEntry) {
+  std::stringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n"
+      "3 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(in), Error);
+}
+
+TEST(MatrixMarket, RejectsTruncatedEntries) {
+  std::stringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 3\n"
+      "1 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(in), Error);
+}
+
+TEST(MatrixMarket, RejectsUnsupportedFormats) {
+  std::stringstream arr(
+      "%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n");
+  EXPECT_THROW(read_matrix_market(arr), Error);
+  std::stringstream cplx(
+      "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n");
+  EXPECT_THROW(read_matrix_market(cplx), Error);
+}
+
+TEST(MatrixMarket, FileRoundTrip) {
+  const CsrMatrix a = build_chimney_matrix({.nx = 3, .ny = 3, .nz = 4});
+  const std::string path = ::testing::TempDir() + "/ppm_mm_test.mtx";
+  write_matrix_market_file(a, path);
+  const CsrMatrix b = read_matrix_market_file(path);
+  EXPECT_EQ(b.nnz(), a.nnz());
+  EXPECT_THROW(read_matrix_market_file("/nonexistent/nowhere.mtx"), Error);
+}
+
+}  // namespace
+}  // namespace ppm::apps::cg

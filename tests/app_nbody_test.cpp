@@ -1,0 +1,227 @@
+// Correctness of the Barnes–Hut family: octree invariants, force accuracy
+// against the O(n^2) direct sum, and agreement of the PPM and MPI versions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "apps/nbody/nbody_mpi.hpp"
+#include "apps/nbody/nbody_ppm.hpp"
+#include "apps/nbody/nbody_serial.hpp"
+
+namespace ppm::apps::nbody {
+namespace {
+
+constexpr uint64_t kN = 300;
+constexpr uint64_t kSeed = 777;
+const NbodyOptions kOpts{.theta = 0.4, .eps = 0.02, .dt = 0.002, .steps = 3};
+
+double rel_err(const Vec3& got, const Vec3& want) {
+  const double d = std::sqrt((got - want).norm2());
+  const double w = std::sqrt(want.norm2());
+  return d / (w + 1e-12);
+}
+
+TEST(BodySet, GeneratorsAreDeterministicAndBounded) {
+  const BodySet a = make_plummer(kN, kSeed);
+  const BodySet b = make_plummer(kN, kSeed);
+  EXPECT_EQ(a.px, b.px);
+  EXPECT_EQ(a.vz, b.vz);
+  for (uint64_t i = 0; i < kN; ++i) {
+    EXPECT_LT(a.position(i).norm2(), 4.0);
+    EXPECT_GT(a.mass[i], 0.0);
+  }
+  const BodySet c = make_two_clusters(kN, kSeed);
+  EXPECT_NE(c.px, a.px);
+}
+
+TEST(Octree, MassIsConserved) {
+  const BodySet bodies = make_plummer(kN, kSeed);
+  std::vector<int64_t> ids(kN);
+  std::iota(ids.begin(), ids.end(), 0);
+  Octree tree;
+  tree.build(bodies.px, bodies.py, bodies.pz, bodies.mass, ids);
+  ASSERT_FALSE(tree.empty());
+  double total = 0;
+  for (double m : bodies.mass) total += m;
+  EXPECT_NEAR(tree.nodes()[0].mass, total, 1e-12);
+}
+
+TEST(Octree, EveryParticleLandsInExactlyOneLeaf) {
+  const BodySet bodies = make_two_clusters(kN, kSeed);
+  std::vector<int64_t> ids(kN);
+  std::iota(ids.begin(), ids.end(), 0);
+  Octree tree;
+  tree.build(bodies.px, bodies.py, bodies.pz, bodies.mass, ids);
+  std::vector<int> seen(kN, 0);
+  for (const TreeNode& node : tree.nodes()) {
+    if (!node.is_leaf()) continue;
+    for (int i = 0; i < node.leaf_count; ++i) {
+      ASSERT_GE(node.leaf[i].id, 0);
+      ASSERT_LT(node.leaf[i].id, static_cast<int64_t>(kN));
+      ++seen[static_cast<size_t>(node.leaf[i].id)];
+    }
+  }
+  for (uint64_t i = 0; i < kN; ++i) EXPECT_EQ(seen[i], 1) << "particle " << i;
+}
+
+TEST(Octree, ChildrenLieInsideParents) {
+  const BodySet bodies = make_plummer(kN, kSeed);
+  std::vector<int64_t> ids(kN);
+  std::iota(ids.begin(), ids.end(), 0);
+  Octree tree;
+  tree.build(bodies.px, bodies.py, bodies.pz, bodies.mass, ids);
+  for (const TreeNode& node : tree.nodes()) {
+    if (node.is_leaf()) continue;
+    for (int32_t c : node.child) {
+      if (c < 0) continue;
+      EXPECT_LT(tree.nodes()[static_cast<size_t>(c)].half, node.half);
+    }
+  }
+}
+
+TEST(Octree, CoincidentParticlesDoNotExplode) {
+  BodySet bodies;
+  bodies.resize(20);
+  for (uint64_t i = 0; i < 20; ++i) {
+    bodies.px[i] = bodies.py[i] = bodies.pz[i] = 0.5;  // all identical
+    bodies.mass[i] = 1.0;
+  }
+  std::vector<int64_t> ids(20);
+  std::iota(ids.begin(), ids.end(), 0);
+  Octree tree;
+  tree.build(bodies.px, bodies.py, bodies.pz, bodies.mass, ids);
+  EXPECT_LT(tree.nodes().size(), 10'000u);  // terminated
+  EXPECT_NEAR(tree.nodes()[0].mass, 20.0, 1e-9);
+}
+
+TEST(SerialBh, ForcesMatchDirectSum) {
+  const BodySet bodies = make_plummer(kN, kSeed);
+  const auto direct = accelerations_direct(bodies, kOpts.eps);
+  const auto bh = accelerations_serial_bh(bodies, kOpts);
+  double rms = 0;
+  for (uint64_t i = 0; i < kN; ++i) {
+    const double e = rel_err(bh[i], direct[i]);
+    EXPECT_LT(e, 0.12) << "particle " << i;
+    rms += e * e;
+  }
+  EXPECT_LT(std::sqrt(rms / kN), 0.03);  // aggregate accuracy at theta=0.4
+}
+
+TEST(SerialBh, SmallerThetaIsMoreAccurate) {
+  const BodySet bodies = make_plummer(kN, kSeed);
+  const auto direct = accelerations_direct(bodies, kOpts.eps);
+  double rms_loose = 0, rms_tight = 0;
+  NbodyOptions loose = kOpts, tight = kOpts;
+  loose.theta = 0.9;
+  tight.theta = 0.2;
+  const auto a_loose = accelerations_serial_bh(bodies, loose);
+  const auto a_tight = accelerations_serial_bh(bodies, tight);
+  for (uint64_t i = 0; i < kN; ++i) {
+    rms_loose += rel_err(a_loose[i], direct[i]) * rel_err(a_loose[i], direct[i]);
+    rms_tight += rel_err(a_tight[i], direct[i]) * rel_err(a_tight[i], direct[i]);
+  }
+  EXPECT_LT(rms_tight, rms_loose);
+}
+
+TEST(SerialBh, EnergyApproximatelyConservedOverShortRun) {
+  BodySet bodies = make_plummer(kN, kSeed);
+  const double e0 = total_energy(bodies, kOpts.eps);
+  NbodyOptions opts = kOpts;
+  opts.steps = 10;
+  simulate_serial_bh(bodies, opts);
+  const double e1 = total_energy(bodies, kOpts.eps);
+  EXPECT_LT(std::fabs(e1 - e0) / std::fabs(e0), 0.05);
+}
+
+struct Shape {
+  int nodes;
+  int cores;
+};
+
+class DistributedNbody : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(DistributedNbody, PpmForcesMatchDirectSum) {
+  const BodySet bodies = make_two_clusters(kN, kSeed);
+  const auto direct = accelerations_direct(bodies, kOpts.eps);
+  PpmConfig cfg;
+  cfg.machine.nodes = GetParam().nodes;
+  cfg.machine.cores_per_node = GetParam().cores;
+  std::vector<Vec3> all(kN);
+  run(cfg, [&](Env& env) {
+    auto st = setup_nbody_ppm(env, bodies);
+    const auto acc = accelerations_ppm(env, st, kOpts);
+    const uint64_t b = st.px.local_begin();
+    for (uint64_t i = 0; i < acc.size(); ++i) all[b + i] = acc[i];
+  });
+  double rms = 0;
+  for (uint64_t i = 0; i < kN; ++i) {
+    const double e = rel_err(all[i], direct[i]);
+    EXPECT_LT(e, 0.15) << "particle " << i;
+    rms += e * e;
+  }
+  EXPECT_LT(std::sqrt(rms / kN), 0.04);
+}
+
+TEST_P(DistributedNbody, MpiForcesMatchDirectSum) {
+  const BodySet bodies = make_two_clusters(kN, kSeed);
+  const auto direct = accelerations_direct(bodies, kOpts.eps);
+  cluster::Machine machine(
+      {.nodes = GetParam().nodes, .cores_per_node = GetParam().cores});
+  mp::World world(machine);
+  std::vector<Vec3> all(kN);
+  machine.run_per_core([&](const cluster::Place& place) {
+    mp::Comm comm = world.comm_at(place);
+    auto st = setup_nbody_mpi(comm, bodies);
+    const auto acc = accelerations_mpi(comm, st, kOpts);
+    for (uint64_t i = 0; i < acc.size(); ++i) all[st.begin + i] = acc[i];
+  });
+  double rms = 0;
+  for (uint64_t i = 0; i < kN; ++i) {
+    const double e = rel_err(all[i], direct[i]);
+    EXPECT_LT(e, 0.15) << "particle " << i;
+    rms += e * e;
+  }
+  EXPECT_LT(std::sqrt(rms / kN), 0.04);
+}
+
+TEST_P(DistributedNbody, PpmAndMpiTrajectoriesStayClose) {
+  // Both decompose identically (per node vs per rank differ), so compare
+  // trajectories loosely after a short simulation: same physics, slightly
+  // different tree partitions.
+  const BodySet init = make_plummer(kN, kSeed);
+
+  PpmConfig cfg;
+  cfg.machine.nodes = GetParam().nodes;
+  cfg.machine.cores_per_node = GetParam().cores;
+  BodySet ppm_final;
+  run(cfg, [&](Env& env) {
+    auto st = setup_nbody_ppm(env, init);
+    simulate_ppm(env, st, kOpts);
+    if (env.node_id() == 0) ppm_final = snapshot_ppm(env, st);
+    else (void)snapshot_ppm(env, st);
+  });
+
+  BodySet serial = init;
+  simulate_serial_bh(serial, kOpts);
+
+  ASSERT_EQ(ppm_final.size(), kN);
+  double max_dev = 0;
+  for (uint64_t i = 0; i < kN; ++i) {
+    const Vec3 d = ppm_final.position(i) - serial.position(i);
+    max_dev = std::max(max_dev, std::sqrt(d.norm2()));
+  }
+  // Short horizon, theta-level approximation differences only.
+  EXPECT_LT(max_dev, 5e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, DistributedNbody,
+    ::testing::Values(Shape{1, 1}, Shape{2, 2}, Shape{3, 1}, Shape{4, 2}),
+    [](const ::testing::TestParamInfo<Shape>& info) {
+      return "n" + std::to_string(info.param.nodes) + "c" +
+             std::to_string(info.param.cores);
+    });
+
+}  // namespace
+}  // namespace ppm::apps::nbody

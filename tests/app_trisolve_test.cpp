@@ -1,0 +1,184 @@
+// Level-scheduled sparse triangular solve: schedule analysis, the serial
+// reference, and PPM agreement across machine shapes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/cg/cg_ppm.hpp"
+#include "apps/cg/cg_serial.hpp"
+#include "apps/cg/csr.hpp"
+#include "apps/cg/trisolve.hpp"
+
+namespace ppm::apps::cg {
+namespace {
+
+const ChimneyProblem kProblem{.nx = 5, .ny = 5, .nz = 8};
+
+TEST(TriSolve, LowerTriangleExtraction) {
+  const CsrMatrix a = build_chimney_matrix(kProblem);
+  const CsrMatrix l = lower_triangle(a);
+  EXPECT_EQ(l.n, a.n);
+  EXPECT_LT(l.nnz(), a.nnz());
+  for (uint64_t i = 0; i < l.n; ++i) {
+    bool has_diag = false;
+    for (uint64_t k = l.row_ptr[i]; k < l.row_ptr[i + 1]; ++k) {
+      EXPECT_LE(l.col_idx[k], i);
+      has_diag |= (l.col_idx[k] == i);
+    }
+    EXPECT_TRUE(has_diag) << "row " << i;
+  }
+}
+
+TEST(TriSolve, DependencyLevelsRespectStructure) {
+  const CsrMatrix l = lower_triangle(build_chimney_matrix(kProblem));
+  const auto levels = dependency_levels(l);
+  // Every sub-diagonal dependency must come from a strictly lower level.
+  for (uint64_t i = 0; i < l.n; ++i) {
+    for (uint64_t k = l.row_ptr[i]; k < l.row_ptr[i + 1]; ++k) {
+      const uint64_t j = l.col_idx[k];
+      if (j < i) {
+        EXPECT_LT(levels[j], levels[i]);
+      }
+    }
+  }
+  // Level scheduling must expose real parallelism: far fewer levels than
+  // rows for a 3D stencil factor.
+  const uint32_t max_level = *std::max_element(levels.begin(), levels.end());
+  EXPECT_LT(max_level, l.n / 2);
+  EXPECT_EQ(levels[0], 0u);
+}
+
+TEST(TriSolve, DependencyLevelsRejectUpperEntries) {
+  CsrMatrix bad;
+  bad.n = 2;
+  bad.row_ptr = {0, 2, 3};
+  bad.col_idx = {0, 1, 1};  // (0,1) above the diagonal
+  bad.values = {1, 1, 1};
+  EXPECT_THROW(dependency_levels(bad), Error);
+}
+
+TEST(TriSolve, SerialSolveSatisfiesSystem) {
+  const CsrMatrix l = lower_triangle(build_chimney_matrix(kProblem));
+  const auto b = build_chimney_rhs(kProblem);
+  const auto y = trisolve_serial(l, b);
+  // Verify L y = b.
+  std::vector<double> ly(l.n, 0.0);
+  for (uint64_t i = 0; i < l.n; ++i) {
+    for (uint64_t k = l.row_ptr[i]; k < l.row_ptr[i + 1]; ++k) {
+      ly[i] += l.values[k] * y[l.col_idx[k]];
+    }
+  }
+  for (uint64_t i = 0; i < l.n; ++i) {
+    EXPECT_NEAR(ly[i], b[i], 1e-9 * (1 + std::fabs(b[i]))) << "row " << i;
+  }
+}
+
+TEST(TriSolve, SerialRejectsZeroDiagonal) {
+  CsrMatrix l;
+  l.n = 2;
+  l.row_ptr = {0, 1, 3};
+  l.col_idx = {0, 0, 1};
+  l.values = {1.0, 2.0, 0.0};  // zero diagonal in row 1
+  EXPECT_THROW(trisolve_serial(l, std::vector<double>{1, 1}), Error);
+}
+
+struct Shape {
+  int nodes;
+  int cores;
+};
+
+class DistributedTriSolve : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(DistributedTriSolve, PpmMatchesSerial) {
+  const CsrMatrix l = lower_triangle(build_chimney_matrix(kProblem));
+  const auto b = build_chimney_rhs(kProblem);
+  const auto expect = trisolve_serial(l, b);
+
+  PpmConfig cfg;
+  cfg.machine.nodes = GetParam().nodes;
+  cfg.machine.cores_per_node = GetParam().cores;
+  std::vector<std::vector<double>> got;
+  run(cfg, [&](Env& env) { got.push_back(trisolve_ppm(env, l, b)); });
+  for (const auto& y : got) {
+    ASSERT_EQ(y.size(), expect.size());
+    for (uint64_t i = 0; i < expect.size(); ++i) {
+      EXPECT_NEAR(y[i], expect[i], 1e-12 * (1 + std::fabs(expect[i])))
+          << "row " << i;
+    }
+  }
+}
+
+TEST_P(DistributedTriSolve, UpperSerialSolveSatisfiesSystem) {
+  const CsrMatrix u = upper_triangle(build_chimney_matrix(kProblem));
+  const auto b = build_chimney_rhs(kProblem);
+  const auto y = trisolve_upper_serial(u, b);
+  std::vector<double> uy(u.n, 0.0);
+  for (uint64_t i = 0; i < u.n; ++i) {
+    for (uint64_t k = u.row_ptr[i]; k < u.row_ptr[i + 1]; ++k) {
+      uy[i] += u.values[k] * y[u.col_idx[k]];
+    }
+  }
+  for (uint64_t i = 0; i < u.n; ++i) {
+    EXPECT_NEAR(uy[i], b[i], 1e-9 * (1 + std::fabs(b[i])));
+  }
+}
+
+TEST_P(DistributedTriSolve, SsorPcgConvergesFasterThanPlainCg) {
+  PpmConfig cfg;
+  cfg.machine.nodes = GetParam().nodes;
+  cfg.machine.cores_per_node = GetParam().cores;
+  const CgOptions opts{.max_iterations = 200, .tolerance = 1e-8};
+  int plain_iters = 0, pcg_iters = 0;
+  bool plain_ok = false, pcg_ok = false;
+  run(cfg, [&](Env& env) {
+    auto plain = cg_solve_ppm(env, kProblem, opts);
+    auto pcg = cg_solve_ppm_ssor(env, kProblem, opts);
+    if (env.node_id() == 0) {
+      plain_iters = plain.iterations;
+      pcg_iters = pcg.iterations;
+      plain_ok = plain.converged;
+      pcg_ok = pcg.converged;
+    }
+  });
+  EXPECT_TRUE(plain_ok);
+  EXPECT_TRUE(pcg_ok);
+  EXPECT_LT(pcg_iters, plain_iters)
+      << "SSOR preconditioning should reduce the iteration count";
+}
+
+TEST_P(DistributedTriSolve, SsorPcgSolutionMatchesSerialCg) {
+  PpmConfig cfg;
+  cfg.machine.nodes = GetParam().nodes;
+  cfg.machine.cores_per_node = GetParam().cores;
+  const CgOptions opts{.max_iterations = 300, .tolerance = 1e-10};
+  const auto serial =
+      cg_solve_serial(build_chimney_matrix(kProblem),
+                      build_chimney_rhs(kProblem), opts);
+  std::vector<double> x_local;
+  uint64_t base = 0;
+  run(cfg, [&](Env& env) {
+    auto out = cg_solve_ppm_ssor(env, kProblem, opts);
+    if (env.node_id() == 0) {
+      base = out.x.local_begin();
+      for (uint64_t i = out.x.local_begin(); i < out.x.local_end(); ++i) {
+        x_local.push_back(out.x.get(i));
+      }
+    }
+  });
+  for (size_t i = 0; i < x_local.size(); ++i) {
+    EXPECT_NEAR(x_local[i], serial.x[base + i], 1e-7)
+        << "x[" << base + i << "]";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, DistributedTriSolve,
+    ::testing::Values(Shape{1, 1}, Shape{1, 4}, Shape{2, 2}, Shape{3, 1},
+                      Shape{4, 2}),
+    [](const ::testing::TestParamInfo<Shape>& info) {
+      return "n" + std::to_string(info.param.nodes) + "c" +
+             std::to_string(info.param.cores);
+    });
+
+}  // namespace
+}  // namespace ppm::apps::cg

@@ -1,0 +1,167 @@
+// PPM-written utility algorithms (parallel prefix, reductions, fill, dot).
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "core/algorithms.hpp"
+#include "core/ppm.hpp"
+
+namespace ppm {
+namespace {
+
+struct Shape {
+  int nodes;
+  int cores;
+  uint64_t n;
+};
+
+class Algorithms : public ::testing::TestWithParam<Shape> {
+ protected:
+  PpmConfig config() const {
+    PpmConfig c;
+    c.machine.nodes = GetParam().nodes;
+    c.machine.cores_per_node = GetParam().cores;
+    return c;
+  }
+};
+
+TEST_P(Algorithms, PrefixSumMatchesSequentialScan) {
+  const uint64_t n = GetParam().n;
+  std::vector<int64_t> got;
+  run(config(), [&](Env& env) {
+    auto x = env.global_array<int64_t>(n);
+    fill(env, x, [](uint64_t i) { return static_cast<int64_t>(i % 7 + 1); });
+    prefix_sum(env, x);
+    if (env.node_id() == 0) {
+      auto vps = env.ppm_do(1);
+      vps.global_phase([&](Vp& vp) {
+        (void)vp;
+        for (uint64_t i = 0; i < n; ++i) got.push_back(x.get(i));
+      });
+    } else {
+      auto vps = env.ppm_do(0);
+      vps.global_phase([](Vp&) {});
+    }
+  });
+  std::vector<int64_t> expect(n);
+  for (uint64_t i = 0; i < n; ++i) expect[i] = static_cast<int64_t>(i % 7 + 1);
+  std::partial_sum(expect.begin(), expect.end(), expect.begin());
+  EXPECT_EQ(got, expect);
+}
+
+TEST_P(Algorithms, ReduceArraySum) {
+  const uint64_t n = GetParam().n;
+  std::vector<int64_t> results;
+  run(config(), [&](Env& env) {
+    auto x = env.global_array<int64_t>(n);
+    fill(env, x, [](uint64_t i) { return static_cast<int64_t>(i); });
+    results.push_back(
+        reduce_array(env, x, int64_t{0},
+                     [](int64_t a, int64_t b) { return a + b; }));
+  });
+  const auto expect = static_cast<int64_t>(n * (n - 1) / 2);
+  ASSERT_EQ(results.size(), static_cast<size_t>(GetParam().nodes));
+  for (int64_t r : results) EXPECT_EQ(r, expect);
+}
+
+TEST_P(Algorithms, ReduceArrayMax) {
+  const uint64_t n = GetParam().n;
+  std::vector<int64_t> results;
+  run(config(), [&](Env& env) {
+    auto x = env.global_array<int64_t>(n);
+    fill(env, x, [n](uint64_t i) {
+      return static_cast<int64_t>((i * 37) % n);  // max is n-1 somewhere
+    });
+    results.push_back(reduce_array(
+        env, x, std::numeric_limits<int64_t>::min(),
+        [](int64_t a, int64_t b) { return std::max(a, b); }));
+  });
+  for (int64_t r : results) {
+    int64_t expect = 0;
+    for (uint64_t i = 0; i < n; ++i) {
+      expect = std::max(expect, static_cast<int64_t>((i * 37) % n));
+    }
+    EXPECT_EQ(r, expect);
+  }
+}
+
+TEST_P(Algorithms, DotProduct) {
+  const uint64_t n = GetParam().n;
+  std::vector<double> results;
+  run(config(), [&](Env& env) {
+    auto a = env.global_array<double>(n);
+    auto b = env.global_array<double>(n);
+    fill(env, a, [](uint64_t i) { return static_cast<double>(i + 1); });
+    fill(env, b, [](uint64_t) { return 2.0; });
+    results.push_back(dot(env, a, b));
+  });
+  const double expect = static_cast<double>(n) * (n + 1);
+  for (double r : results) EXPECT_DOUBLE_EQ(r, expect);
+}
+
+TEST_P(Algorithms, DotRejectsMismatchedSizes) {
+  EXPECT_THROW(run(config(),
+                   [&](Env& env) {
+                     auto a = env.global_array<double>(GetParam().n);
+                     auto b = env.global_array<double>(GetParam().n + 1);
+                     (void)dot(env, a, b);
+                   }),
+               Error);
+}
+
+TEST_P(Algorithms, LocalizeAndPublishRoundTrip) {
+  const uint64_t n = GetParam().n;
+  std::vector<double> got;
+  run(config(), [&](Env& env) {
+    auto g = env.global_array<double>(n);
+    fill(env, g, [](uint64_t i) { return static_cast<double>(i) * 1.25; });
+    // Cast down to node space, transform there, cast back up.
+    auto local = env.node_array<double>(g.local_end() - g.local_begin());
+    localize(env, g, local);
+    auto vps = env.ppm_do_async(local.size());
+    vps.node_phase([&](Vp& vp) {
+      local.set(vp.node_rank(), local.get(vp.node_rank()) + 1000.0);
+    });
+    publish(env, local, g);
+    env.barrier();
+    if (env.node_id() == 0) {
+      auto probe = env.ppm_do(1);
+      probe.global_phase([&](Vp&) {
+        for (uint64_t i = 0; i < n; ++i) got.push_back(g.get(i));
+      });
+    } else {
+      auto probe = env.ppm_do(0);
+      probe.global_phase([](Vp&) {});
+    }
+  });
+  ASSERT_EQ(got.size(), n);
+  for (uint64_t i = 0; i < n; ++i) {
+    EXPECT_DOUBLE_EQ(got[i], static_cast<double>(i) * 1.25 + 1000.0);
+  }
+}
+
+TEST_P(Algorithms, LocalizeRejectsUndersizedTarget) {
+  run(config(), [&](Env& env) {
+    auto g = env.global_array<double>(GetParam().n + 64);
+    const uint64_t len = g.local_end() - g.local_begin();
+    if (len > 1) {
+      auto tiny = env.node_array<double>(len - 1);
+      EXPECT_THROW(localize(env, g, tiny), Error);
+    }
+    env.barrier();
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, Algorithms,
+    ::testing::Values(Shape{1, 1, 16}, Shape{1, 4, 33}, Shape{2, 2, 64},
+                      Shape{3, 2, 100}, Shape{4, 4, 128}, Shape{5, 1, 17}),
+    [](const ::testing::TestParamInfo<Shape>& info) {
+      return "n" + std::to_string(info.param.nodes) + "c" +
+             std::to_string(info.param.cores) + "s" +
+             std::to_string(info.param.n);
+    });
+
+}  // namespace
+}  // namespace ppm

@@ -1,0 +1,174 @@
+// Cyclic vs block data distribution of global shared arrays.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/ppm.hpp"
+
+namespace ppm {
+namespace {
+
+PpmConfig cfg(int nodes, int cores = 2) {
+  PpmConfig c;
+  c.machine.nodes = nodes;
+  c.machine.cores_per_node = cores;
+  return c;
+}
+
+struct Shape {
+  int nodes;
+  int cores;
+  bool bundle;
+};
+
+class CyclicDistribution : public ::testing::TestWithParam<Shape> {
+ protected:
+  PpmConfig config() const {
+    PpmConfig c = cfg(GetParam().nodes, GetParam().cores);
+    c.runtime.bundle_reads = GetParam().bundle;
+    return c;
+  }
+};
+
+TEST_P(CyclicDistribution, OwnershipIsRoundRobin) {
+  run(config(), [&](Env& env) {
+    auto a = env.global_array<double>(23, Distribution::kCyclic);
+    for (uint64_t i = 0; i < 23; ++i) {
+      EXPECT_EQ(a.owner(i), static_cast<int>(i % env.node_count()));
+    }
+    EXPECT_EQ(a.distribution(), Distribution::kCyclic);
+    // local_count: elements i with i % nodes == node_id.
+    uint64_t expect = 0;
+    for (uint64_t i = 0; i < 23; ++i) {
+      if (static_cast<int>(i % env.node_count()) == env.node_id()) ++expect;
+    }
+    EXPECT_EQ(a.local_count(), expect);
+    EXPECT_THROW((void)a.local_begin(), Error);
+  });
+}
+
+TEST_P(CyclicDistribution, ReadWriteRoundTripAllElements) {
+  const uint64_t n = 57;
+  std::vector<int64_t> got;
+  run(config(), [&](Env& env) {
+    auto a = env.global_array<int64_t>(n, Distribution::kCyclic);
+    // Cover every element with VPs spread evenly over nodes.
+    const auto nodes = static_cast<uint64_t>(env.node_count());
+    const auto me = static_cast<uint64_t>(env.node_id());
+    const uint64_t k = n / nodes + (me < n % nodes ? 1 : 0);
+    auto vps = env.ppm_do(k);
+    vps.global_phase([&](Vp& vp) {
+      a.set(vp.global_rank(), static_cast<int64_t>(vp.global_rank() * 3));
+    });
+    vps.global_phase([&](Vp& vp) {
+      if (env.node_id() == 0 && vp.node_rank() == 0) {
+        for (uint64_t i = 0; i < n; ++i) got.push_back(a.get(i));
+      }
+    });
+  });
+  ASSERT_EQ(got.size(), n);
+  for (uint64_t i = 0; i < n; ++i) {
+    EXPECT_EQ(got[i], static_cast<int64_t>(i * 3)) << "element " << i;
+  }
+}
+
+TEST_P(CyclicDistribution, AccumulatesAcrossNodes) {
+  int64_t total = -1;
+  run(config(), [&](Env& env) {
+    auto a = env.global_array<int64_t>(5, Distribution::kCyclic);
+    auto vps = env.ppm_do(20);
+    vps.global_phase([&](Vp& vp) { a.add(vp.global_rank() % 5, 1); });
+    vps.global_phase([&](Vp& vp) {
+      if (vp.global_rank() == 0) {
+        total = 0;
+        for (uint64_t b = 0; b < 5; ++b) total += a.get(b);
+      }
+    });
+  });
+  EXPECT_EQ(total, 20 * GetParam().nodes);
+}
+
+TEST_P(CyclicDistribution, GatherMixedOwners) {
+  std::vector<double> got;
+  run(config(), [&](Env& env) {
+    auto a = env.global_array<double>(40, Distribution::kCyclic);
+    // Initialize via immediate local writes: each node owns i%nodes==me.
+    for (uint64_t i = 0; i < 40; ++i) {
+      if (a.owner(i) == env.node_id()) a.set(i, static_cast<double>(i) + 0.25);
+    }
+    env.barrier();
+    auto vps = env.ppm_do(env.node_id() == 0 ? 1 : 0);
+    vps.global_phase([&](Vp&) {
+      const std::vector<uint64_t> idx = {39, 0, 17, 22, 5};
+      got = a.gather(idx);
+    });
+  });
+  EXPECT_EQ(got, (std::vector<double>{39.25, 0.25, 17.25, 22.25, 5.25}));
+}
+
+TEST_P(CyclicDistribution, ViewSnapshotSemantics) {
+  std::vector<double> seen;
+  run(config(), [&](Env& env) {
+    auto a = env.global_array<double>(8, Distribution::kCyclic);
+    auto vps = env.ppm_do(1);
+    vps.global_phase([&](Vp&) {
+      if (a.owner(7) == env.node_id()) a.set(7, 1.5);
+    });
+    vps.global_phase([&](Vp&) {
+      if (env.node_id() == 0) {
+        seen.push_back(a.view(7));
+        seen.push_back(a.view(7));
+      }
+      if (a.owner(7) == env.node_id()) a.set(7, 2.5);
+    });
+    vps.global_phase([&](Vp&) {
+      if (env.node_id() == 0) seen.push_back(a.view(7));
+    });
+  });
+  EXPECT_EQ(seen, (std::vector<double>{1.5, 1.5, 2.5}));
+}
+
+TEST_P(CyclicDistribution, MatchesBlockDistributionResults) {
+  // The same phase program must produce identical logical array contents
+  // under either distribution.
+  const uint64_t n = 31;
+  auto run_with = [&](Distribution dist) {
+    std::vector<int64_t> content;
+    run(config(), [&](Env& env) {
+      auto a = env.global_array<int64_t>(n, dist);
+      const auto nodes = static_cast<uint64_t>(env.node_count());
+      const auto me = static_cast<uint64_t>(env.node_id());
+      const uint64_t k = n / nodes + (me < n % nodes ? 1 : 0);
+      auto vps = env.ppm_do(k);
+      vps.global_phase([&](Vp& vp) {
+        a.set(vp.global_rank(),
+              static_cast<int64_t>(vp.global_rank() * vp.global_rank()));
+      });
+      vps.global_phase([&](Vp& vp) {
+        const uint64_t i = vp.global_rank();
+        a.add(i, a.get((i + 7) % n));
+      });
+      vps.global_phase([&](Vp& vp) {
+        if (env.node_id() == 0 && vp.node_rank() == 0) {
+          for (uint64_t i = 0; i < n; ++i) content.push_back(a.get(i));
+        }
+      });
+    });
+    return content;
+  };
+  EXPECT_EQ(run_with(Distribution::kBlock), run_with(Distribution::kCyclic));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CyclicDistribution,
+    ::testing::Values(Shape{1, 1, true}, Shape{2, 2, true},
+                      Shape{3, 1, true}, Shape{4, 2, true},
+                      Shape{4, 2, false}, Shape{5, 2, true}),
+    [](const ::testing::TestParamInfo<Shape>& info) {
+      return "n" + std::to_string(info.param.nodes) + "c" +
+             std::to_string(info.param.cores) +
+             (info.param.bundle ? "_bundle" : "_nobundle");
+    });
+
+}  // namespace
+}  // namespace ppm

@@ -1,0 +1,233 @@
+// Differential testing of PPM semantics against a sequential golden model.
+//
+// A random "phase program" is generated: a sequence of global phases in
+// which every VP performs a random mix of reads, sets, and accumulate ops
+// on a set of shared arrays (values derived deterministically from what it
+// read, so read-snapshot bugs change the final state). The same program is
+// executed (a) on the full distributed runtime across many machine shapes
+// and option combinations, and (b) by a tiny sequential interpreter that
+// implements the normative semantics of DESIGN.md §5 directly. Final array
+// contents must match bit-for-bit.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/ppm.hpp"
+#include "util/rng.hpp"
+
+namespace ppm {
+namespace {
+
+enum class OpKind : uint8_t { kSet, kAdd, kMin, kMax };
+
+struct ProgramOp {
+  uint32_t array;     // which shared array
+  OpKind kind;
+  uint64_t read_at;   // element whose phase-start value feeds the write
+  uint64_t write_at;  // element written
+};
+
+struct PhaseSpec {
+  // ops[vp_rank] = the op sequence that VP performs.
+  std::vector<std::vector<ProgramOp>> ops;
+};
+
+struct ProgramSpec {
+  uint64_t total_vps = 0;
+  std::vector<uint64_t> array_sizes;
+  std::vector<PhaseSpec> phases;
+};
+
+ProgramSpec make_program(uint64_t seed, uint64_t total_vps, int num_arrays,
+                         int num_phases, int ops_per_vp) {
+  Rng rng(seed);
+  ProgramSpec spec;
+  spec.total_vps = total_vps;
+  for (int a = 0; a < num_arrays; ++a) {
+    spec.array_sizes.push_back(rng.next_in(3, 40));
+  }
+  for (int p = 0; p < num_phases; ++p) {
+    PhaseSpec phase;
+    phase.ops.resize(total_vps);
+    for (uint64_t vp = 0; vp < total_vps; ++vp) {
+      const int ops = static_cast<int>(rng.next_in(0, ops_per_vp));
+      for (int o = 0; o < ops; ++o) {
+        ProgramOp op;
+        op.array = static_cast<uint32_t>(rng.next_below(num_arrays));
+        op.kind = static_cast<OpKind>(rng.next_below(4));
+        const uint64_t n = spec.array_sizes[op.array];
+        op.read_at = rng.next_below(n);
+        op.write_at = rng.next_below(n);
+        phase.ops[vp].push_back(op);
+      }
+    }
+    spec.phases.push_back(std::move(phase));
+  }
+  return spec;
+}
+
+/// The value a VP writes: a deterministic mix of what it read, its rank and
+/// the op position — any snapshot or ordering bug perturbs it.
+int64_t derive(int64_t read_value, uint64_t vp, int op_index) {
+  return read_value * 31 + static_cast<int64_t>(vp) * 7 + op_index + 1;
+}
+
+/// Sequential interpreter of the normative semantics.
+std::vector<std::vector<int64_t>> golden_run(const ProgramSpec& spec) {
+  std::vector<std::vector<int64_t>> arrays;
+  for (uint64_t n : spec.array_sizes) {
+    arrays.emplace_back(n, 0);  // zero-initialized like the runtime
+  }
+  struct Entry {
+    uint64_t vp;
+    uint32_t seq;
+    uint32_t array;
+    OpKind kind;
+    uint64_t index;
+    int64_t value;
+  };
+  for (const PhaseSpec& phase : spec.phases) {
+    const auto snapshot = arrays;  // phase-start values
+    std::vector<Entry> log;
+    for (uint64_t vp = 0; vp < spec.total_vps; ++vp) {
+      uint32_t seq = 0;
+      for (size_t o = 0; o < phase.ops[vp].size(); ++o) {
+        const ProgramOp& op = phase.ops[vp][o];
+        const int64_t read = snapshot[op.array][op.read_at];
+        log.push_back(Entry{vp, seq++, op.array, op.kind, op.write_at,
+                            derive(read, vp, static_cast<int>(o))});
+      }
+    }
+    std::stable_sort(log.begin(), log.end(), [](const Entry& a,
+                                                const Entry& b) {
+      return a.vp != b.vp ? a.vp < b.vp : a.seq < b.seq;
+    });
+    for (const Entry& e : log) {
+      int64_t& slot = arrays[e.array][e.index];
+      switch (e.kind) {
+        case OpKind::kSet: slot = e.value; break;
+        case OpKind::kAdd: slot += e.value; break;
+        case OpKind::kMin: slot = std::min(slot, e.value); break;
+        case OpKind::kMax: slot = std::max(slot, e.value); break;
+      }
+    }
+  }
+  return arrays;
+}
+
+struct GoldenCase {
+  uint64_t seed;
+  int nodes;
+  int cores;
+  bool bundle;
+  bool eager;
+  SchedulePolicy schedule;
+  Distribution dist = Distribution::kBlock;
+};
+
+class GoldenModel : public ::testing::TestWithParam<GoldenCase> {};
+
+TEST_P(GoldenModel, RuntimeMatchesSequentialSemantics) {
+  const GoldenCase& gc = GetParam();
+  const ProgramSpec spec =
+      make_program(gc.seed, /*total_vps=*/24, /*num_arrays=*/3,
+                   /*num_phases=*/6, /*ops_per_vp=*/5);
+  const auto expect = golden_run(spec);
+
+  PpmConfig config;
+  config.machine.nodes = gc.nodes;
+  config.machine.cores_per_node = gc.cores;
+  config.runtime.bundle_reads = gc.bundle;
+  config.runtime.eager_flush = gc.eager;
+  config.runtime.flush_threshold_bytes = 128;  // force many fragments
+  config.runtime.schedule = gc.schedule;
+  config.runtime.read_block_bytes = 64;
+
+  // Run and then read back every element through an extra verification
+  // phase executed by a single VP on node 0.
+  std::vector<std::vector<int64_t>> got(spec.array_sizes.size());
+  run(config, [&](Env& env) {
+    std::vector<GlobalShared<int64_t>> arrays;
+    for (uint64_t n : spec.array_sizes) {
+      arrays.push_back(env.global_array<int64_t>(n, gc.dist));
+    }
+    const auto nodes = static_cast<uint64_t>(env.node_count());
+    const uint64_t per = spec.total_vps / nodes;
+    const uint64_t rem = spec.total_vps % nodes;
+    const auto me = static_cast<uint64_t>(env.node_id());
+    uint64_t k_local = per + (me < rem ? 1 : 0);
+    auto vps = env.ppm_do(k_local);
+    for (const PhaseSpec& phase : spec.phases) {
+      vps.global_phase([&](Vp& vp) {
+        const auto& ops = phase.ops[vp.global_rank()];
+        for (size_t o = 0; o < ops.size(); ++o) {
+          const ProgramOp& op = ops[o];
+          const int64_t read = arrays[op.array].get(op.read_at);
+          const int64_t value =
+              derive(read, vp.global_rank(), static_cast<int>(o));
+          switch (op.kind) {
+            case OpKind::kSet: arrays[op.array].set(op.write_at, value); break;
+            case OpKind::kAdd: arrays[op.array].add(op.write_at, value); break;
+            case OpKind::kMin:
+              arrays[op.array].min_update(op.write_at, value);
+              break;
+            case OpKind::kMax:
+              arrays[op.array].max_update(op.write_at, value);
+              break;
+          }
+        }
+      });
+    }
+    vps.global_phase([&](Vp& vp) {
+      if (env.node_id() == 0 && vp.node_rank() == 0) {
+        for (size_t a = 0; a < arrays.size(); ++a) {
+          got[a].resize(spec.array_sizes[a]);
+          for (uint64_t i = 0; i < spec.array_sizes[a]; ++i) {
+            got[a][i] = arrays[a].get(i);
+          }
+        }
+      }
+    });
+  });
+
+  ASSERT_EQ(got.size(), expect.size());
+  for (size_t a = 0; a < got.size(); ++a) {
+    EXPECT_EQ(got[a], expect[a]) << "array " << a << " diverged";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, GoldenModel,
+    ::testing::Values(
+        GoldenCase{1, 1, 1, true, true, SchedulePolicy::kDynamic},
+        GoldenCase{2, 1, 4, true, true, SchedulePolicy::kDynamic},
+        GoldenCase{3, 2, 2, true, true, SchedulePolicy::kDynamic},
+        GoldenCase{4, 3, 1, true, true, SchedulePolicy::kDynamic},
+        GoldenCase{5, 4, 2, true, true, SchedulePolicy::kDynamic},
+        GoldenCase{6, 4, 2, false, true, SchedulePolicy::kDynamic},
+        GoldenCase{7, 4, 2, true, false, SchedulePolicy::kDynamic},
+        GoldenCase{8, 4, 2, false, false, SchedulePolicy::kStatic},
+        GoldenCase{9, 2, 3, true, true, SchedulePolicy::kStatic},
+        GoldenCase{10, 5, 2, true, true, SchedulePolicy::kDynamic},
+        GoldenCase{11, 7, 1, true, false, SchedulePolicy::kStatic},
+        GoldenCase{12, 8, 2, false, true, SchedulePolicy::kDynamic},
+        GoldenCase{13, 3, 2, true, true, SchedulePolicy::kDynamic,
+                   Distribution::kCyclic},
+        GoldenCase{14, 4, 2, false, false, SchedulePolicy::kStatic,
+                   Distribution::kCyclic},
+        GoldenCase{15, 5, 1, true, true, SchedulePolicy::kDynamic,
+                   Distribution::kCyclic}),
+    [](const ::testing::TestParamInfo<GoldenCase>& info) {
+      const auto& c = info.param;
+      return "seed" + std::to_string(c.seed) + "_n" +
+             std::to_string(c.nodes) + "c" + std::to_string(c.cores) +
+             (c.bundle ? "_bundle" : "_nobundle") +
+             (c.eager ? "_eager" : "_lazy") +
+             (c.schedule == SchedulePolicy::kStatic ? "_static" : "_dyn") +
+             (c.dist == Distribution::kCyclic ? "_cyclic" : "");
+    });
+
+}  // namespace
+}  // namespace ppm

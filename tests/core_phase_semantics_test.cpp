@@ -1,0 +1,324 @@
+// Semantics of the PPM phase model (DESIGN.md §5): phase-start reads,
+// deferred writes, deterministic conflict resolution, accumulate ops,
+// node vs global phases.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/ppm.hpp"
+
+namespace ppm {
+namespace {
+
+PpmConfig cfg(int nodes, int cores) {
+  PpmConfig c;
+  c.machine.nodes = nodes;
+  c.machine.cores_per_node = cores;
+  return c;
+}
+
+struct Shape {
+  int nodes;
+  int cores;
+};
+
+class PhaseSemantics : public ::testing::TestWithParam<Shape> {
+ protected:
+  PpmConfig config() const {
+    return cfg(GetParam().nodes, GetParam().cores);
+  }
+};
+
+TEST_P(PhaseSemantics, WritesTakeEffectAfterPhaseEnd) {
+  std::vector<double> observed_during, observed_after;
+  run(config(), [&](Env& env) {
+    auto a = env.global_array<double>(64);
+    auto vps = env.ppm_do(64 / static_cast<uint64_t>(env.node_count()));
+    vps.global_phase([&](Vp& vp) { a.set(vp.global_rank(), 2.5); });
+    vps.global_phase([&](Vp& vp) {
+      // Value from the previous commit is visible...
+      if (env.node_id() == 0 && vp.node_rank() == 0) {
+        observed_during.push_back(a.get(0));
+      }
+      // ...and this phase's writes are not, even to our own element.
+      a.set(vp.global_rank(), 9.0);
+      if (env.node_id() == 0 && vp.node_rank() == 0) {
+        observed_during.push_back(a.get(vp.global_rank()));
+      }
+    });
+    vps.global_phase([&](Vp& vp) {
+      if (env.node_id() == 0 && vp.node_rank() == 0) {
+        observed_after.push_back(a.get(vp.global_rank()));
+      }
+    });
+  });
+  ASSERT_EQ(observed_during.size(), 2u);
+  EXPECT_DOUBLE_EQ(observed_during[0], 2.5);  // previous phase committed
+  EXPECT_DOUBLE_EQ(observed_during[1], 2.5);  // own write still deferred
+  ASSERT_EQ(observed_after.size(), 1u);
+  EXPECT_DOUBLE_EQ(observed_after[0], 9.0);
+}
+
+TEST_P(PhaseSemantics, ArraysStartZeroInitialized) {
+  double sum = -1;
+  run(config(), [&](Env& env) {
+    auto a = env.global_array<double>(100);
+    auto vps = env.ppm_do(env.node_id() == 0 ? 100 : 0);
+    double local = 0;
+    vps.global_phase([&](Vp& vp) { local += a.get(vp.node_rank()); });
+    if (env.node_id() == 0) sum = local;
+  });
+  EXPECT_DOUBLE_EQ(sum, 0.0);
+}
+
+TEST_P(PhaseSemantics, EveryVpSeesConsistentSnapshot) {
+  // Phase 1 writes f(i); phase 2 has every VP read every element and check.
+  const uint64_t n = 96;
+  int mismatches = -1;
+  run(config(), [&](Env& env) {
+    auto a = env.global_array<int64_t>(n);
+    const uint64_t k = n / static_cast<uint64_t>(env.node_count());
+    auto vps = env.ppm_do(k);
+    vps.global_phase([&](Vp& vp) {
+      a.set(vp.global_rank(), static_cast<int64_t>(vp.global_rank() * 3));
+    });
+    int bad = 0;
+    vps.global_phase([&](Vp& vp) {
+      (void)vp;
+      for (uint64_t i = 0; i < n; ++i) {
+        if (a.get(i) != static_cast<int64_t>(i * 3)) ++bad;
+      }
+    });
+    if (env.node_id() == 0) mismatches = bad;
+  });
+  EXPECT_EQ(mismatches, 0);
+}
+
+TEST_P(PhaseSemantics, ConflictingSetsResolveToHighestVpRank) {
+  // All VPs write to element 0: the highest global rank must win,
+  // regardless of node count, scheduling, or arrival order.
+  int64_t final_value = -1;
+  uint64_t total_vps = 0;
+  run(config(), [&](Env& env) {
+    auto a = env.global_array<int64_t>(4);
+    auto vps = env.ppm_do(37);  // deliberately not a multiple of cores
+    total_vps = vps.global_size();
+    vps.global_phase([&](Vp& vp) {
+      a.set(0, static_cast<int64_t>(vp.global_rank()));
+    });
+    vps.global_phase([&](Vp& vp) {
+      if (vp.global_rank() == 0) final_value = a.get(0);
+    });
+  });
+  EXPECT_EQ(final_value, static_cast<int64_t>(total_vps - 1));
+}
+
+TEST_P(PhaseSemantics, SameVpLastProgramOrderWriteWins) {
+  int64_t final_value = -1;
+  run(config(), [&](Env& env) {
+    auto a = env.global_array<int64_t>(1);
+    auto vps = env.ppm_do(env.node_id() == env.node_count() - 1 ? 1 : 0);
+    vps.global_phase([&](Vp& vp) {
+      (void)vp;
+      a.set(0, 5);
+      a.set(0, 6);
+      a.set(0, 7);
+    });
+    vps.global_phase([&](Vp& vp) {
+      (void)vp;
+      final_value = a.get(0);  // runs on the single VP that exists
+    });
+  });
+  EXPECT_EQ(final_value, 7);
+}
+
+TEST_P(PhaseSemantics, AccumulateAddGathersAllContributions) {
+  // Histogram-style conflict: every VP adds into a handful of bins.
+  const uint64_t bins = 4;
+  std::vector<int64_t> result;
+  run(config(), [&](Env& env) {
+    auto hist = env.global_array<int64_t>(bins);
+    auto vps = env.ppm_do(25);
+    vps.global_phase([&](Vp& vp) {
+      hist.add(vp.global_rank() % bins, 1);
+    });
+    vps.global_phase([&](Vp& vp) {
+      if (env.node_id() == 0 && vp.node_rank() == 0) {
+        for (uint64_t b = 0; b < bins; ++b) result.push_back(hist.get(b));
+      }
+    });
+  });
+  ASSERT_EQ(result.size(), bins);
+  const int64_t total_vps = 25 * GetParam().nodes;
+  int64_t sum = 0;
+  for (int64_t c : result) sum += c;
+  EXPECT_EQ(sum, total_vps);
+  // Bins differ by at most... every global rank r adds to r % 4.
+  for (uint64_t b = 0; b < bins; ++b) {
+    int64_t expect = 0;
+    for (int64_t r = 0; r < total_vps; ++r) {
+      if (static_cast<uint64_t>(r) % bins == b) ++expect;
+    }
+    EXPECT_EQ(result[b], expect) << "bin " << b;
+  }
+}
+
+TEST_P(PhaseSemantics, MinMaxUpdates) {
+  int64_t got_min = -1, got_max = -1;
+  run(config(), [&](Env& env) {
+    auto a = env.global_array<int64_t>(2);
+    auto vps = env.ppm_do(10);
+    vps.global_phase([&](Vp& vp) {
+      if (vp.global_rank() == 0) {
+        a.set(0, 1'000'000);  // seed the min slot high
+      }
+    });
+    vps.global_phase([&](Vp& vp) {
+      const auto r = static_cast<int64_t>(vp.global_rank());
+      a.min_update(0, 100 - r);
+      a.max_update(1, r * r);
+    });
+    vps.global_phase([&](Vp& vp) {
+      if (vp.global_rank() == 0) {
+        got_min = a.get(0);
+        got_max = a.get(1);
+      }
+    });
+  });
+  const int64_t total = 10 * GetParam().nodes;
+  EXPECT_EQ(got_min, 100 - (total - 1));
+  EXPECT_EQ(got_max, (total - 1) * (total - 1));
+}
+
+TEST_P(PhaseSemantics, NodeSharedIsPerNodeInstance) {
+  std::vector<int64_t> per_node_value;
+  run(config(), [&](Env& env) {
+    auto local = env.node_array<int64_t>(8);
+    auto vps = env.ppm_do(8);
+    // Each node's VPs write their own node id into the node's instance.
+    vps.node_phase([&](Vp& vp) {
+      local.set(vp.node_rank(), env.node_id() * 100);
+    });
+    env.barrier();
+    if (env.node_id() >= 0) {
+      // Read back after commit: each node sees only its own writes.
+      vps.node_phase([&](Vp& vp) {
+        if (vp.node_rank() == 0) {
+          per_node_value.push_back(local.get(7));
+        }
+      });
+    }
+  });
+  ASSERT_EQ(per_node_value.size(), static_cast<size_t>(GetParam().nodes));
+  std::sort(per_node_value.begin(), per_node_value.end());
+  for (int n = 0; n < GetParam().nodes; ++n) {
+    EXPECT_EQ(per_node_value[static_cast<size_t>(n)], n * 100);
+  }
+}
+
+TEST_P(PhaseSemantics, NodePhaseDefersWritesUntilCommit) {
+  int64_t during = -1, after = -1;
+  run(config(), [&](Env& env) {
+    auto local = env.node_array<int64_t>(4);
+    auto vps = env.ppm_do_async(4);
+    vps.node_phase([&](Vp& vp) { local.set(vp.node_rank(), 11); });
+    vps.node_phase([&](Vp& vp) {
+      if (vp.node_rank() == 0 && env.node_id() == 0) during = local.get(1);
+      local.set(vp.node_rank(), 22);
+    });
+    vps.node_phase([&](Vp& vp) {
+      if (vp.node_rank() == 0 && env.node_id() == 0) after = local.get(1);
+    });
+  });
+  EXPECT_EQ(during, 11);
+  EXPECT_EQ(after, 22);
+}
+
+TEST_P(PhaseSemantics, MultiPhaseIterationConverges) {
+  // Jacobi-style smoothing on a ring: x'_i = (x_{i-1} + x_{i+1}) / 2.
+  // Phase semantics make the double-buffering implicit.
+  const uint64_t per_node = 64 / static_cast<uint64_t>(GetParam().nodes);
+  const uint64_t n = per_node * static_cast<uint64_t>(GetParam().nodes);
+  double spread = -1, total_mass = -1;
+  run(config(), [&](Env& env) {
+    auto x = env.global_array<double>(n);
+    auto vps = env.ppm_do(per_node);
+    vps.global_phase([&](Vp& vp) {
+      // Initial condition: a single spike.
+      x.set(vp.global_rank(), vp.global_rank() == 0 ? 64.0 : 0.0);
+    });
+    for (int iter = 0; iter < 50; ++iter) {
+      vps.global_phase([&](Vp& vp) {
+        const uint64_t i = vp.global_rank();
+        const double left = x.get((i + n - 1) % n);
+        const double mid = x.get(i);
+        const double right = x.get((i + 1) % n);
+        // Weighted stencil: mixes both parities of the ring (the
+        // unweighted average is bipartite and never converges).
+        x.set(i, 0.25 * left + 0.5 * mid + 0.25 * right);
+      });
+    }
+    double lo = 1e300, hi = -1e300, sum = 0;
+    vps.global_phase([&](Vp& vp) {
+      (void)vp;
+      if (vp.node_rank() == 0 && env.node_id() == 0) {
+        for (uint64_t i = 0; i < n; ++i) {
+          const double v = x.get(i);
+          lo = std::min(lo, v);
+          hi = std::max(hi, v);
+          sum += v;
+        }
+        spread = hi - lo;
+        total_mass = sum;
+      }
+    });
+  });
+  // Diffusion smooths the spike (initial spread = 64; after 50 steps the
+  // Gaussian peak is ~64/sqrt(2*pi*25) ~ 5.1) and conserves total mass.
+  EXPECT_GE(spread, 0.0);
+  EXPECT_LT(spread, 8.0);
+  EXPECT_NEAR(total_mass, 64.0, 1e-9);
+}
+
+TEST_P(PhaseSemantics, VpRanksAreConsistent) {
+  // node_rank in [0, K_local); global ranks partition [0, total).
+  uint64_t total = 0;
+  std::vector<uint64_t> all_globals;
+  run(config(), [&](Env& env) {
+    const uint64_t k = 5 + static_cast<uint64_t>(env.node_id());
+    auto vps = env.ppm_do(k);  // different K per node (paper §3.3)
+    total = vps.global_size();
+    auto seen = env.global_array<int64_t>(vps.global_size());
+    vps.global_phase([&](Vp& vp) {
+      EXPECT_LT(vp.node_rank(), k);
+      EXPECT_EQ(vp.global_rank(), vps.global_offset() + vp.node_rank());
+      seen.add(vp.global_rank(), 1);
+    });
+    vps.global_phase([&](Vp& vp) {
+      if (env.node_id() == 0 && vp.node_rank() == 0) {
+        for (uint64_t i = 0; i < vps.global_size(); ++i) {
+          all_globals.push_back(static_cast<uint64_t>(seen.get(i)));
+        }
+      }
+    });
+  });
+  uint64_t expect_total = 0;
+  for (int n = 0; n < GetParam().nodes; ++n) {
+    expect_total += 5 + static_cast<uint64_t>(n);
+  }
+  EXPECT_EQ(total, expect_total);
+  ASSERT_EQ(all_globals.size(), expect_total);
+  for (uint64_t c : all_globals) EXPECT_EQ(c, 1u);  // each rank exactly once
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PhaseSemantics,
+    ::testing::Values(Shape{1, 1}, Shape{1, 4}, Shape{2, 1}, Shape{2, 4},
+                      Shape{4, 2}, Shape{3, 3}),
+    [](const ::testing::TestParamInfo<Shape>& info) {
+      return "n" + std::to_string(info.param.nodes) + "c" +
+             std::to_string(info.param.cores);
+    });
+
+}  // namespace
+}  // namespace ppm

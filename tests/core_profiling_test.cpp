@@ -1,0 +1,87 @@
+// Per-phase runtime profiling (RuntimeOptions::profile_phases).
+#include <gtest/gtest.h>
+
+#include "core/ppm.hpp"
+
+namespace ppm {
+namespace {
+
+TEST(PhaseProfiling, DisabledByDefault) {
+  cluster::Machine machine({.nodes = 2, .cores_per_node = 2});
+  Runtime runtime(machine, RuntimeOptions{});
+  machine.run_per_node([&](int node) {
+    NodeRuntime& nr = runtime.node(node);
+    nr.start();
+    Env env(nr);
+    auto vps = env.ppm_do(4);
+    vps.global_phase([](Vp&) {});
+    EXPECT_TRUE(nr.phase_profiles().empty());
+    nr.finish();
+  });
+}
+
+TEST(PhaseProfiling, RecordsOneEntryPerPhaseWithOrderedTimes) {
+  cluster::Machine machine({.nodes = 2, .cores_per_node = 2});
+  RuntimeOptions opts;
+  opts.profile_phases = true;
+  Runtime runtime(machine, opts);
+  machine.run_per_node([&](int node) {
+    NodeRuntime& nr = runtime.node(node);
+    nr.start();
+    Env env(nr);
+    auto a = env.global_array<double>(64);
+    auto vps = env.ppm_do(8);
+    vps.global_phase([&](Vp& vp) { a.set(vp.global_rank(), 1.0); });
+    vps.node_phase([](Vp&) {});
+    vps.global_phase([&](Vp& vp) { (void)a.get(63 - vp.global_rank()); });
+
+    const auto& profiles = nr.phase_profiles();
+    ASSERT_EQ(profiles.size(), 3u);
+    EXPECT_TRUE(profiles[0].global);
+    EXPECT_FALSE(profiles[1].global);
+    EXPECT_TRUE(profiles[2].global);
+    for (const auto& p : profiles) {
+      EXPECT_EQ(p.k_local, 8u);
+      EXPECT_LE(p.start_ns, p.compute_done_ns);
+      EXPECT_LE(p.compute_done_ns, p.committed_ns);
+      EXPECT_GE(p.compute_ns(), 0);
+      EXPECT_GE(p.commit_ns(), 0);
+    }
+    // Phase 1 wrote 8 entries; the node phase wrote none.
+    EXPECT_EQ(profiles[0].write_entries, 8u);
+    EXPECT_EQ(profiles[1].write_entries, 0u);
+    // Phase 3 read remote elements on at least one node.
+    nr.finish();
+  });
+}
+
+TEST(PhaseProfiling, CommitDominatedPhaseShowsInBreakdown) {
+  cluster::Machine machine({.nodes = 2, .cores_per_node = 1});
+  RuntimeOptions opts;
+  opts.profile_phases = true;
+  opts.eager_flush = false;  // push all traffic into the commit step
+  Runtime runtime(machine, opts);
+  machine.run_per_node([&](int node) {
+    NodeRuntime& nr = runtime.node(node);
+    nr.start();
+    Env env(nr);
+    auto a = env.global_array<double>(1 << 14);
+    // Write the *other* node's half: all entries ship at commit.
+    const uint64_t half = a.size() / 2;
+    auto vps = env.ppm_do(half);
+    vps.global_phase([&](Vp& vp) {
+      const uint64_t target = (node == 0)
+                                  ? half + vp.node_rank()
+                                  : vp.node_rank();
+      a.set(target, 1.0);
+    });
+    const auto& p = nr.phase_profiles().back();
+    EXPECT_EQ(p.write_entries, half);
+    EXPECT_GE(p.bundles_sent, 1u);
+    EXPECT_GT(p.commit_ns(), 0);
+    nr.finish();
+  });
+}
+
+}  // namespace
+}  // namespace ppm

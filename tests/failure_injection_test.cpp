@@ -1,0 +1,171 @@
+// Failure injection: garbled wire payloads, protocol misuse, resource
+// exhaustion corners. The library must fail loudly (ppm::Error), never
+// silently corrupt.
+#include <gtest/gtest.h>
+
+#include "cluster/machine.hpp"
+#include "core/ppm.hpp"
+#include "core/wire.hpp"
+#include "mp/comm.hpp"
+
+namespace ppm {
+namespace {
+
+TEST(FailureInjection, GarbledTypedPayloadRejected) {
+  // A raw 3-byte message decoded as a typed vector must throw, not crash.
+  cluster::Machine machine({.nodes = 2, .cores_per_node = 1});
+  mp::World world(machine);
+  machine.run_per_core([&](const cluster::Place& place) {
+    mp::Comm comm = world.comm_at(place);
+    if (comm.rank() == 0) {
+      comm.send(1, 0, Bytes(3, std::byte{0xff}));
+    } else {
+      EXPECT_THROW((void)comm.recv_vec<double>(0, 0), Error);
+    }
+  });
+}
+
+TEST(FailureInjection, TruncatedLengthPrefixRejected) {
+  cluster::Machine machine({.nodes = 2, .cores_per_node = 1});
+  mp::World world(machine);
+  machine.run_per_core([&](const cluster::Place& place) {
+    mp::Comm comm = world.comm_at(place);
+    if (comm.rank() == 0) {
+      // Claims 1000 doubles, carries none.
+      ByteWriter w;
+      w.put<uint64_t>(1000);
+      comm.send(1, 0, std::move(w).take());
+    } else {
+      EXPECT_THROW((void)comm.recv_vec<double>(0, 0), Error);
+    }
+  });
+}
+
+TEST(FailureInjection, MalformedRuntimeMessageRejected) {
+  // A truncated GetBlock request sent straight to a node's service port
+  // must be detected by the bounds-checked deserializer.
+  cluster::Machine machine({.nodes = 2, .cores_per_node = 1});
+  Runtime runtime(machine, RuntimeOptions{});
+  EXPECT_THROW(
+      machine.run_per_node([&](int node) {
+        NodeRuntime& nr = runtime.node(node);
+        nr.start();
+        if (node == 0) {
+          net::Message m;
+          m.src_node = 0;
+          m.src_port = machine.service_port();
+          m.dst_node = 1;
+          m.dst_port = machine.service_port();
+          m.kind = detail::rt_kind(detail::RtMsg::kGetBlock);
+          m.payload = Bytes(2, std::byte{0});  // far too short
+          machine.fabric().send(std::move(m));
+        }
+        Env env(nr);
+        env.barrier();
+        nr.finish();
+      }),
+      Error);
+}
+
+TEST(FailureInjection, GetForUnknownArrayRejected) {
+  cluster::Machine machine({.nodes = 2, .cores_per_node = 1});
+  Runtime runtime(machine, RuntimeOptions{});
+  EXPECT_THROW(
+      machine.run_per_node([&](int node) {
+        NodeRuntime& nr = runtime.node(node);
+        nr.start();
+        if (node == 0) {
+          ByteWriter w;
+          w.put<uint32_t>(42);  // no such array
+          w.put<uint64_t>(0);   // first
+          w.put<uint64_t>(1);   // count
+          w.put<uint64_t>(1);   // req id
+          w.put<uint64_t>(detail::kAsyncEpoch);
+          net::Message m;
+          m.src_node = 0;
+          m.src_port = machine.service_port();
+          m.dst_node = 1;
+          m.dst_port = machine.service_port();
+          m.kind = detail::rt_kind(detail::RtMsg::kGetBlock);
+          m.payload = std::move(w).take();
+          machine.fabric().send(std::move(m));
+        }
+        Env env(nr);
+        env.barrier();
+        nr.finish();
+      }),
+      Error);
+}
+
+TEST(FailureInjection, MismatchedReduceContributionsRejected) {
+  cluster::Machine machine({.nodes = 2, .cores_per_node = 1});
+  mp::World world(machine);
+  EXPECT_THROW(machine.run_per_core([&](const cluster::Place& place) {
+    mp::Comm comm = world.comm_at(place);
+    // Rank 0 contributes 2 elements, rank 1 contributes 3.
+    std::vector<long> mine(comm.rank() == 0 ? 2 : 3, 1);
+    (void)comm.reduce(std::span<const long>(mine),
+                      [](long a, long b) { return a + b; }, 0);
+  }),
+               Error);
+}
+
+TEST(FailureInjection, AlltoallvWrongBlockCountRejected) {
+  cluster::Machine machine({.nodes = 2, .cores_per_node = 1});
+  mp::World world(machine);
+  EXPECT_THROW(machine.run_per_core([&](const cluster::Place& place) {
+    mp::Comm comm = world.comm_at(place);
+    std::vector<std::vector<int>> blocks(1);  // need size() == 2
+    (void)comm.alltoallv(blocks);
+  }),
+               Error);
+}
+
+TEST(FailureInjection, DoubleStartRejected) {
+  cluster::Machine machine({.nodes = 1, .cores_per_node = 1});
+  Runtime runtime(machine, RuntimeOptions{});
+  EXPECT_THROW(machine.run_per_node([&](int node) {
+    NodeRuntime& nr = runtime.node(node);
+    nr.start();
+    nr.start();  // misuse
+  }),
+               Error);
+}
+
+TEST(FailureInjection, FinishWithoutStartRejected) {
+  cluster::Machine machine({.nodes = 1, .cores_per_node = 1});
+  Runtime runtime(machine, RuntimeOptions{});
+  EXPECT_THROW(
+      machine.run_per_node([&](int node) { runtime.node(node).finish(); }),
+      Error);
+}
+
+TEST(FailureInjection, StragglerNodeStillSynchronizes) {
+  // One node arrives at each phase long after the others (heavy modeled
+  // compute): phases must still commit the same values.
+  PpmConfig cfg;
+  cfg.machine.nodes = 3;
+  cfg.machine.cores_per_node = 2;
+  int64_t total = -1;
+  run(cfg, [&](Env& env) {
+    auto a = env.global_array<int64_t>(3);
+    auto vps = env.ppm_do(1);
+    for (int round = 0; round < 5; ++round) {
+      vps.global_phase([&](Vp&) {
+        if (env.node_id() == 1) {
+          sim::advance_ns(2'000'000);  // 2 ms straggler every phase
+        }
+        a.add(static_cast<uint64_t>(env.node_id()), 1);
+      });
+    }
+    vps.global_phase([&](Vp&) {
+      if (env.node_id() == 0) {
+        total = a.get(0) + a.get(1) + a.get(2);
+      }
+    });
+  });
+  EXPECT_EQ(total, 15);
+}
+
+}  // namespace
+}  // namespace ppm

@@ -1,0 +1,140 @@
+// MPI_Comm_split-style sub-communicators: group membership, rank
+// renumbering, matching isolation between communicators, and collectives
+// restricted to the subgroup.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mp/comm.hpp"
+
+namespace ppm::mp {
+namespace {
+
+using cluster::Machine;
+using cluster::Place;
+
+void run_ranks(int nodes, int cores,
+               const std::function<void(Comm&)>& rank_main) {
+  Machine machine({.nodes = nodes, .cores_per_node = cores});
+  World world(machine);
+  machine.run_per_core([&](const Place& place) {
+    Comm comm = world.comm_at(place);
+    rank_main(comm);
+  });
+}
+
+TEST(CommSplit, EvenOddGroupsRenumberRanks) {
+  run_ranks(4, 2, [&](Comm& world) {
+    Comm sub = world.split(world.rank() % 2, world.rank());
+    EXPECT_EQ(sub.size(), 4);
+    EXPECT_EQ(sub.rank(), world.rank() / 2);
+    EXPECT_EQ(sub.world_rank(), world.rank());
+  });
+}
+
+TEST(CommSplit, KeyControlsOrdering) {
+  run_ranks(4, 1, [&](Comm& world) {
+    // Reverse the order: key = -rank.
+    Comm sub = world.split(0, -world.rank());
+    EXPECT_EQ(sub.size(), 4);
+    EXPECT_EQ(sub.rank(), 3 - world.rank());
+  });
+}
+
+TEST(CommSplit, SubgroupCollectivesSeeOnlyMembers) {
+  run_ranks(4, 2, [&](Comm& world) {
+    const int color = world.rank() % 2;
+    Comm sub = world.split(color, world.rank());
+    // Sum of world ranks within the subgroup only.
+    const int total = sub.allreduce_value(world.rank(),
+                                          [](int a, int b) { return a + b; });
+    const int expect = color == 0 ? (0 + 2 + 4 + 6) : (1 + 3 + 5 + 7);
+    EXPECT_EQ(total, expect);
+    // Allgather returns members in subgroup order.
+    const auto members = sub.allgatherv(
+        std::span<const int>(std::vector<int>{world.rank()}));
+    for (int r = 0; r < sub.size(); ++r) {
+      EXPECT_EQ(members[static_cast<size_t>(r)][0], 2 * r + color);
+    }
+  });
+}
+
+TEST(CommSplit, PointToPointUsesSubgroupRanks) {
+  std::vector<int> got(2, -1);
+  run_ranks(2, 2, [&](Comm& world) {
+    // Two row communicators: ranks {0,1} and {2,3}.
+    Comm row = world.split(world.rank() / 2, world.rank());
+    ASSERT_EQ(row.size(), 2);
+    if (row.rank() == 0) {
+      row.send_value<int>(1, 5, 100 + world.rank());
+    } else {
+      Status st;
+      const int v = row.recv_value<int>(0, 5, &st);
+      EXPECT_EQ(st.source, 0);  // subgroup rank, not world rank
+      got[static_cast<size_t>(world.rank() / 2)] = v;
+    }
+  });
+  EXPECT_EQ(got[0], 100);  // from world rank 0
+  EXPECT_EQ(got[1], 102);  // from world rank 2
+}
+
+TEST(CommSplit, TrafficIsIsolatedBetweenCommunicators) {
+  // The same (src local rank, tag) exists in both the world and the
+  // subgroup; matching must keep them apart.
+  run_ranks(2, 1, [&](Comm& world) {
+    Comm sub = world.split(0, world.rank());  // same membership, new token
+    if (world.rank() == 0) {
+      world.send_value<int>(1, 7, 111);
+      sub.send_value<int>(1, 7, 222);
+    } else {
+      // Receive in the opposite order of sending: matching by
+      // communicator, not arrival.
+      EXPECT_EQ(sub.recv_value<int>(0, 7), 222);
+      EXPECT_EQ(world.recv_value<int>(0, 7), 111);
+    }
+  });
+}
+
+TEST(CommSplit, NestedSplits) {
+  run_ranks(4, 2, [&](Comm& world) {
+    Comm half = world.split(world.rank() / 4, world.rank());  // two halves
+    ASSERT_EQ(half.size(), 4);
+    Comm quarter = half.split(half.rank() / 2, half.rank());  // two pairs
+    ASSERT_EQ(quarter.size(), 2);
+    const int sum = quarter.allreduce_value(
+        world.rank(), [](int a, int b) { return a + b; });
+    // Pairs of consecutive world ranks: {0,1},{2,3},{4,5},{6,7}.
+    EXPECT_EQ(sum, (world.rank() / 2) * 4 + 1);
+  });
+}
+
+TEST(CommSplit, SingletonGroups) {
+  run_ranks(3, 1, [&](Comm& world) {
+    Comm solo = world.split(world.rank(), 0);  // every rank its own color
+    EXPECT_EQ(solo.size(), 1);
+    EXPECT_EQ(solo.rank(), 0);
+    EXPECT_EQ(solo.allreduce_value(world.rank(),
+                                   [](int a, int b) { return a + b; }),
+              world.rank());
+    solo.barrier();  // must not deadlock
+  });
+}
+
+TEST(CommSplit, RowColumnGridDecomposition) {
+  // Classic 2D grid use: 4 ranks as a 2x2 grid with row and column comms.
+  run_ranks(2, 2, [&](Comm& world) {
+    const int row = world.rank() / 2;
+    const int col = world.rank() % 2;
+    Comm row_comm = world.split(row, col);
+    Comm col_comm = world.split(col, row);
+    const int row_sum = row_comm.allreduce_value(
+        world.rank(), [](int a, int b) { return a + b; });
+    const int col_sum = col_comm.allreduce_value(
+        world.rank(), [](int a, int b) { return a + b; });
+    EXPECT_EQ(row_sum, row == 0 ? 1 : 5);
+    EXPECT_EQ(col_sum, col == 0 ? 2 : 4);
+  });
+}
+
+}  // namespace
+}  // namespace ppm::mp

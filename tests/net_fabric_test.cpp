@@ -1,0 +1,235 @@
+#include "net/fabric.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace ppm::net {
+namespace {
+
+Message make_msg(int src_node, int src_port, int dst_node, int dst_port,
+                 size_t bytes, uint64_t kind = 0) {
+  Message m;
+  m.src_node = src_node;
+  m.src_port = src_port;
+  m.dst_node = dst_node;
+  m.dst_port = dst_port;
+  m.kind = kind;
+  m.payload.assign(bytes, std::byte{0xab});
+  return m;
+}
+
+FabricConfig two_nodes() {
+  FabricConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.ports_per_node = 2;
+  return cfg;
+}
+
+TEST(Fabric, DeliversInterNodeMessage) {
+  sim::Engine engine;
+  Fabric fabric(engine, two_nodes());
+  std::string got;
+  engine.spawn("recv", [&] {
+    Message m = fabric.endpoint(1, 0).recv();
+    got.assign(reinterpret_cast<const char*>(m.payload.data()),
+               m.payload.size());
+  });
+  engine.spawn("send", [&] {
+    Message m;
+    m.src_node = 0;
+    m.dst_node = 1;
+    const char* text = "hi";
+    m.payload.resize(2);
+    std::memcpy(m.payload.data(), text, 2);
+    fabric.send(std::move(m));
+  });
+  engine.run();
+  EXPECT_EQ(got, "hi");
+}
+
+TEST(Fabric, InterNodeTimingMatchesModel) {
+  sim::Engine engine;
+  FabricConfig cfg = two_nodes();
+  cfg.network = {.latency_ns = 1000,
+                 .bytes_per_ns = 1.0,
+                 .send_overhead_ns = 100,
+                 .recv_overhead_ns = 50};
+  Fabric fabric(engine, cfg);
+  int64_t recv_at = -1;
+  engine.spawn("recv", [&] {
+    (void)fabric.endpoint(1, 0).recv();
+    recv_at = engine.now_ns();
+  });
+  engine.spawn("send", [&] {
+    fabric.send(make_msg(0, 0, 1, 0, /*bytes=*/200));
+  });
+  engine.run();
+  // send_overhead 100 + latency 1000 + 200B @ 1B/ns + recv_overhead 50.
+  EXPECT_EQ(recv_at, 100 + 1000 + 200 + 50);
+  EXPECT_EQ(fabric.uncontended_network_time_ns(200), recv_at);
+}
+
+TEST(Fabric, IntraNodeIsCheaperThanNetwork) {
+  sim::Engine engine;
+  Fabric fabric(engine, two_nodes());
+  int64_t intra_at = -1, inter_at = -1;
+  engine.spawn("recv-intra", [&] {
+    (void)fabric.endpoint(0, 1).recv();
+    intra_at = engine.now_ns();
+  });
+  engine.spawn("recv-inter", [&] {
+    (void)fabric.endpoint(1, 1).recv();
+    inter_at = engine.now_ns();
+  });
+  engine.spawn("send", [&] {
+    fabric.send(make_msg(0, 0, 0, 1, 512));
+    fabric.send(make_msg(0, 0, 1, 1, 512));
+  });
+  engine.run();
+  EXPECT_GT(intra_at, 0);
+  EXPECT_LT(intra_at, inter_at);
+}
+
+TEST(Fabric, EgressSerializesConcurrentSenders) {
+  sim::Engine engine;
+  FabricConfig cfg = two_nodes();
+  cfg.network = {.latency_ns = 0,
+                 .bytes_per_ns = 1.0,
+                 .send_overhead_ns = 0,
+                 .recv_overhead_ns = 0};
+  Fabric fabric(engine, cfg);
+  std::vector<int64_t> arrivals;
+  engine.spawn("recv", [&] {
+    for (int i = 0; i < 2; ++i) {
+      (void)fabric.endpoint(1, 0).recv();
+      arrivals.push_back(engine.now_ns());
+    }
+  });
+  // Two cores of node 0 send 1000B each at t=0: the shared NIC must
+  // serialize, so the second message lands ~1000ns after the first.
+  engine.spawn("core0", [&] { fabric.send(make_msg(0, 0, 1, 0, 1000)); });
+  engine.spawn("core1", [&] { fabric.send(make_msg(0, 1, 1, 0, 1000)); });
+  engine.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ(arrivals[0], 1000);
+  EXPECT_EQ(arrivals[1], 2000);
+}
+
+TEST(Fabric, IngressSerializesConcurrentArrivals) {
+  sim::Engine engine;
+  FabricConfig cfg;
+  cfg.num_nodes = 3;
+  cfg.ports_per_node = 1;
+  cfg.network = {.latency_ns = 0,
+                 .bytes_per_ns = 1.0,
+                 .send_overhead_ns = 0,
+                 .recv_overhead_ns = 0};
+  Fabric fabric(engine, cfg);
+  std::vector<int64_t> arrivals;
+  engine.spawn("recv", [&] {
+    for (int i = 0; i < 2; ++i) {
+      (void)fabric.endpoint(2, 0).recv();
+      arrivals.push_back(engine.now_ns());
+    }
+  });
+  engine.spawn("sender-a", [&] { fabric.send(make_msg(0, 0, 2, 0, 1000)); });
+  engine.spawn("sender-b", [&] { fabric.send(make_msg(1, 0, 2, 0, 1000)); });
+  engine.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ(arrivals[0], 1000);
+  EXPECT_EQ(arrivals[1], 2000);  // destination NIC absorbed them in series
+}
+
+TEST(Fabric, BundlingBeatsFineGrainedMessages) {
+  // The core premise of the PPM runtime: one bundled message is far cheaper
+  // than many fine-grained ones of the same total size.
+  sim::Engine engine;
+  Fabric fabric(engine, two_nodes());
+  int64_t fine_done = -1, bundled_done = -1;
+  constexpr int kCount = 100;
+  constexpr size_t kItem = 16;
+
+  engine.spawn("recv", [&] {
+    for (int i = 0; i < kCount; ++i) (void)fabric.endpoint(1, 0).recv();
+    fine_done = engine.now_ns();
+    (void)fabric.endpoint(1, 0).recv();
+    bundled_done = engine.now_ns() - fine_done;
+  });
+  engine.spawn("send", [&] {
+    for (int i = 0; i < kCount; ++i) {
+      fabric.send(make_msg(0, 0, 1, 0, kItem));
+    }
+    fabric.send(make_msg(0, 0, 1, 0, kItem * kCount));
+  });
+  engine.run();
+  EXPECT_GT(fine_done, 20 * bundled_done);
+}
+
+TEST(Fabric, StatsCountMessagesAndBytes) {
+  sim::Engine engine;
+  Fabric fabric(engine, two_nodes());
+  engine.spawn("recv-remote", [&] { (void)fabric.endpoint(1, 0).recv(); });
+  engine.spawn("recv-local", [&] { (void)fabric.endpoint(0, 1).recv(); });
+  engine.spawn("send", [&] {
+    fabric.send(make_msg(0, 0, 1, 0, 100));
+    fabric.send(make_msg(0, 0, 0, 1, 40));
+  });
+  engine.run();
+  EXPECT_EQ(fabric.stats().inter_messages.value(), 1u);
+  EXPECT_EQ(fabric.stats().inter_bytes.value(), 100u);
+  EXPECT_EQ(fabric.stats().intra_messages.value(), 1u);
+  EXPECT_EQ(fabric.stats().intra_bytes.value(), 40u);
+}
+
+TEST(Fabric, KindFieldRoundTrips) {
+  sim::Engine engine;
+  Fabric fabric(engine, two_nodes());
+  uint64_t kind = 0;
+  engine.spawn("recv", [&] { kind = fabric.endpoint(1, 0).recv().kind; });
+  engine.spawn("send", [&] {
+    fabric.send(make_msg(0, 0, 1, 0, 8, /*kind=*/0xfeedface));
+  });
+  engine.run();
+  EXPECT_EQ(kind, 0xfeedfaceu);
+}
+
+TEST(Fabric, RejectsBadAddresses) {
+  sim::Engine engine;
+  Fabric fabric(engine, two_nodes());
+  engine.spawn("send", [&] {
+    EXPECT_THROW(fabric.send(make_msg(0, 0, 7, 0, 8)), Error);
+    EXPECT_THROW(fabric.send(make_msg(0, 0, 1, 9, 8)), Error);
+  });
+  engine.run();
+  EXPECT_THROW(fabric.endpoint(-1, 0), Error);
+}
+
+TEST(Fabric, SendOutsideFiberRejected) {
+  sim::Engine engine;
+  Fabric fabric(engine, two_nodes());
+  EXPECT_THROW(fabric.send(make_msg(0, 0, 1, 0, 8)), Error);
+}
+
+TEST(Fabric, TryRecvNonBlocking) {
+  sim::Engine engine;
+  Fabric fabric(engine, two_nodes());
+  bool empty_at_first = false;
+  bool got_later = false;
+  engine.spawn("recv", [&] {
+    Message m;
+    empty_at_first = !fabric.endpoint(1, 0).try_recv(&m);
+    engine.sleep_for_ns(1'000'000);
+    got_later = fabric.endpoint(1, 0).try_recv(&m);
+  });
+  engine.spawn("send", [&] { fabric.send(make_msg(0, 0, 1, 0, 8)); });
+  engine.run();
+  EXPECT_TRUE(empty_at_first);
+  EXPECT_TRUE(got_later);
+}
+
+}  // namespace
+}  // namespace ppm::net

@@ -1,0 +1,126 @@
+// Determinism and stress: in modeled-time mode, identical programs on
+// identical machines must produce bit-identical results and timings —
+// run-to-run and regardless of host scheduling.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/algorithms.hpp"
+#include "core/ppm.hpp"
+#include "util/rng.hpp"
+
+namespace ppm {
+namespace {
+
+struct Trace {
+  int64_t duration_ns;
+  uint64_t messages;
+  uint64_t bytes;
+  std::vector<int64_t> contents;
+};
+
+Trace run_traced(uint64_t seed) {
+  PpmConfig cfg;
+  cfg.machine.nodes = 5;
+  cfg.machine.cores_per_node = 3;
+  Trace t{};
+  cluster::Machine machine(cfg.machine);
+  RunResult r = run_on(machine, cfg.runtime, [&](Env& env) {
+    auto a = env.global_array<int64_t>(256);
+    auto vps = env.ppm_do(64);
+    Rng node_rng(seed ^ static_cast<uint64_t>(env.node_id()));
+    for (int round = 0; round < 4; ++round) {
+      const int64_t salt = node_rng.next_in(1, 100);
+      vps.global_phase([&](Vp& vp) {
+        Rng rng(seed ^ vp.global_rank() ^ static_cast<uint64_t>(round));
+        const uint64_t target = rng.next_below(256);
+        a.add(target, salt + static_cast<int64_t>(vp.global_rank()));
+        (void)a.get(rng.next_below(256));
+      });
+    }
+    if (env.node_id() == 0) {
+      auto probe = env.ppm_do(1);
+      probe.global_phase([&](Vp&) {
+        for (uint64_t i = 0; i < 256; ++i) t.contents.push_back(a.get(i));
+      });
+    } else {
+      auto probe = env.ppm_do(0);
+      probe.global_phase([](Vp&) {});
+    }
+  });
+  t.duration_ns = r.duration_ns;
+  t.messages = r.network_messages;
+  t.bytes = r.network_bytes;
+  return t;
+}
+
+TEST(Determinism, IdenticalRunsProduceIdenticalTracesAndTimings) {
+  const Trace a = run_traced(123);
+  const Trace b = run_traced(123);
+  EXPECT_EQ(a.duration_ns, b.duration_ns);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.bytes, b.bytes);
+  EXPECT_EQ(a.contents, b.contents);
+}
+
+TEST(Determinism, DifferentSeedsDiverge) {
+  const Trace a = run_traced(123);
+  const Trace c = run_traced(456);
+  EXPECT_NE(a.contents, c.contents);
+}
+
+TEST(Stress, LargeMachineManyVpsManyPhases) {
+  // 16 nodes x 8 cores, 20k VPs per node, heavy conflicting traffic.
+  PpmConfig cfg;
+  cfg.machine.nodes = 16;
+  cfg.machine.cores_per_node = 8;
+  int64_t total = -1;
+  run(cfg, [&](Env& env) {
+    auto a = env.global_array<int64_t>(1 << 12);
+    auto vps = env.ppm_do(20'000);
+    for (int round = 0; round < 3; ++round) {
+      vps.global_phase([&](Vp& vp) {
+        a.add((vp.global_rank() * 2654435761ULL) % (1 << 12), 1);
+      });
+    }
+    if (env.node_id() == 0) {
+      auto probe = env.ppm_do(1);
+      probe.global_phase([&](Vp&) {
+        int64_t sum = 0;
+        for (uint64_t i = 0; i < (1 << 12); ++i) sum += a.get(i);
+        total = sum;
+      });
+    } else {
+      auto probe = env.ppm_do(0);
+      probe.global_phase([](Vp&) {});
+    }
+  });
+  EXPECT_EQ(total, 3LL * 16 * 20'000);
+}
+
+TEST(Stress, DeepPhaseSequence) {
+  // Hundreds of back-to-back global phases: epochs, barriers and caches
+  // must stay consistent for long-running programs.
+  PpmConfig cfg;
+  cfg.machine.nodes = 3;
+  cfg.machine.cores_per_node = 2;
+  int64_t final_value = -1;
+  run(cfg, [&](Env& env) {
+    auto a = env.global_array<int64_t>(3);
+    auto vps = env.ppm_do(1);
+    for (int i = 0; i < 300; ++i) {
+      vps.global_phase([&](Vp&) {
+        // Rotate: each node bumps its successor's slot.
+        a.add(static_cast<uint64_t>((env.node_id() + 1) % 3),
+              a.get(static_cast<uint64_t>(env.node_id())) % 7 + 1);
+      });
+    }
+    vps.global_phase([&](Vp&) {
+      if (env.node_id() == 0) final_value = a.get(0) + a.get(1) + a.get(2);
+    });
+  });
+  EXPECT_GT(final_value, 0);
+}
+
+}  // namespace
+}  // namespace ppm

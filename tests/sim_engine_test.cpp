@@ -1,0 +1,228 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace ppm::sim {
+namespace {
+
+TEST(Engine, RunsSingleFiberToCompletion) {
+  Engine engine;
+  bool ran = false;
+  engine.spawn("f", [&] { ran = true; });
+  engine.run();
+  EXPECT_TRUE(ran);
+  EXPECT_TRUE(engine.all_fibers_finished());
+}
+
+TEST(Engine, AdvanceMovesVirtualTime) {
+  Engine engine;
+  int64_t t0 = -1, t1 = -1;
+  engine.spawn("f", [&] {
+    t0 = engine.now_ns();
+    engine.advance_ns(1500);
+    t1 = engine.now_ns();
+  });
+  engine.run();
+  EXPECT_EQ(t0, 0);
+  EXPECT_EQ(t1, 1500);
+}
+
+TEST(Engine, SleepWakesAtRequestedTime) {
+  Engine engine;
+  int64_t woke_at = -1;
+  engine.spawn("f", [&] {
+    engine.sleep_until_ns(42'000);
+    woke_at = engine.now_ns();
+  });
+  engine.run();
+  EXPECT_EQ(woke_at, 42'000);
+}
+
+TEST(Engine, FibersInterleaveByVirtualTime) {
+  Engine engine;
+  std::vector<std::string> order;
+  engine.spawn("slow", [&] {
+    engine.advance_ns(100);
+    engine.yield();
+    order.push_back("slow");
+  });
+  engine.spawn("fast", [&] {
+    engine.advance_ns(10);
+    engine.yield();
+    order.push_back("fast");
+  });
+  engine.run();
+  ASSERT_EQ(order.size(), 2u);
+  // After the yields, the fiber with the smaller virtual clock runs first.
+  EXPECT_EQ(order[0], "fast");
+  EXPECT_EQ(order[1], "slow");
+}
+
+TEST(Engine, StartTimeOffsetsFiberClock) {
+  Engine engine;
+  int64_t t = -1;
+  engine.spawn("late", [&] { t = engine.now_ns(); }, /*start_ns=*/5000);
+  engine.run();
+  EXPECT_EQ(t, 5000);
+}
+
+TEST(Engine, EventCallbacksFireInTimeOrder) {
+  Engine engine;
+  std::vector<int> order;
+  engine.at(300, [&] { order.push_back(3); });
+  engine.at(100, [&] { order.push_back(1); });
+  engine.at(200, [&] { order.push_back(2); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, SameTimeEventsFireInFifoOrder) {
+  Engine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    engine.at(50, [&order, i] { order.push_back(i); });
+  }
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Engine, SuspendAndWakeRoundTrip) {
+  Engine engine;
+  Fiber::Id sleeper_id = 0;
+  int64_t woke_at = -1;
+  sleeper_id = engine.spawn("sleeper", [&] {
+    engine.suspend_current();
+    woke_at = engine.now_ns();
+  });
+  engine.spawn("waker", [&] {
+    engine.advance_ns(700);
+    engine.wake(sleeper_id, engine.now_ns());
+  });
+  engine.run();
+  EXPECT_EQ(woke_at, 700);
+}
+
+TEST(Engine, WakeInPastClampsToFiberClock) {
+  Engine engine;
+  Fiber::Id sleeper_id = 0;
+  int64_t woke_at = -1;
+  sleeper_id = engine.spawn("sleeper", [&] {
+    engine.advance_ns(1000);  // sleeper is "busy" until t=1000
+    engine.suspend_current();
+    woke_at = engine.now_ns();
+  });
+  engine.spawn("waker", [&] {
+    engine.advance_ns(10);
+    engine.wake(sleeper_id, engine.now_ns());  // wake signal at t=10
+  });
+  engine.run();
+  // Information can arrive early but the fiber's own clock never rewinds.
+  EXPECT_EQ(woke_at, 1000);
+}
+
+TEST(Engine, FiberExceptionPropagatesFromRun) {
+  Engine engine;
+  engine.spawn("bad", [] { throw Error("boom"); });
+  try {
+    engine.run();
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos);
+  }
+}
+
+TEST(Engine, DeadlockIsDetectedAndNamed) {
+  Engine engine;
+  engine.spawn("stuck-fiber", [&] { engine.suspend_current(); });
+  try {
+    engine.run();
+    FAIL() << "expected deadlock Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("stuck-fiber"), std::string::npos);
+  }
+}
+
+TEST(Engine, ManyFibersAllComplete) {
+  Engine engine;
+  int done = 0;
+  for (int i = 0; i < 200; ++i) {
+    engine.spawn("f" + std::to_string(i), [&engine, &done, i] {
+      engine.advance_ns(i * 3);
+      engine.yield();
+      ++done;
+    });
+  }
+  engine.run();
+  EXPECT_EQ(done, 200);
+}
+
+TEST(Engine, DeepStackUsageWithinLimit) {
+  Engine engine;
+  // ~100 frames x ~1KB of locals stays within the 512KB default stack.
+  std::function<int(int)> rec = [&](int n) -> int {
+    volatile char pad[1024];
+    pad[0] = static_cast<char>(n);
+    return n == 0 ? pad[0] : rec(n - 1) + 1;
+  };
+  int result = -1;
+  engine.spawn("deep", [&] { result = rec(100); });
+  engine.run();
+  EXPECT_EQ(result, 100);
+}
+
+TEST(Engine, MeasuredCalibrationChargesComputeTime) {
+  EngineConfig cfg;
+  cfg.calibration = CalibrationMode::kMeasured;
+  cfg.calibration_factor = 1.0;
+  Engine engine(cfg);
+  int64_t t = 0;
+  engine.spawn("worker", [&] {
+    // Burn a visible amount of CPU.
+    volatile double x = 1.0;
+    for (int i = 0; i < 2'000'000; ++i) x = x * 1.0000001 + 1e-9;
+    t = engine.now_ns();
+  });
+  engine.run();
+  EXPECT_GT(t, 0);  // some wall time was charged
+}
+
+TEST(Engine, NestedSpawnFromFiber) {
+  Engine engine;
+  bool child_ran = false;
+  engine.spawn("parent", [&] {
+    engine.advance_ns(100);
+    engine.spawn("child", [&] {
+      EXPECT_GE(engine.now_ns(), 100);
+      child_ran = true;
+    }, engine.now_ns());
+  });
+  engine.run();
+  EXPECT_TRUE(child_ran);
+}
+
+TEST(Engine, FreeFunctionsRequireFiber) {
+  EXPECT_THROW(sim::now_ns(), Error);
+  EXPECT_THROW(sim::advance_ns(1), Error);
+  EXPECT_THROW(sim::yield(), Error);
+}
+
+TEST(Engine, FreeFunctionsWorkOnFiber) {
+  Engine engine;
+  int64_t t = -1;
+  engine.spawn("f", [&] {
+    sim::advance_ns(250);
+    sim::yield();
+    sim::sleep_for_ns(250);
+    t = sim::now_ns();
+  });
+  engine.run();
+  EXPECT_EQ(t, 500);
+}
+
+}  // namespace
+}  // namespace ppm::sim

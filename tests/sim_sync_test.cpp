@@ -1,0 +1,240 @@
+#include "sim/sync.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace ppm::sim {
+namespace {
+
+TEST(ConditionVar, WaitReleasedByNotify) {
+  Engine engine;
+  ConditionVar cv(engine);
+  bool flag = false;
+  int64_t woke_at = -1;
+  engine.spawn("waiter", [&] {
+    cv.wait([&] { return flag; });
+    woke_at = engine.now_ns();
+  });
+  engine.spawn("setter", [&] {
+    engine.advance_ns(900);
+    flag = true;
+    cv.notify_all();
+  });
+  engine.run();
+  EXPECT_EQ(woke_at, 900);
+}
+
+TEST(ConditionVar, PredicateAlreadyTrueDoesNotBlock) {
+  Engine engine;
+  ConditionVar cv(engine);
+  bool done = false;
+  engine.spawn("w", [&] {
+    cv.wait([] { return true; });
+    done = true;
+  });
+  engine.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(ConditionVar, SpuriousNotifyReblocksUntilPredicateHolds) {
+  // Advances must be >= kSmallAdvanceNs: below that threshold the engine
+  // deliberately skips the conservative scheduling point.
+  Engine engine;
+  ConditionVar cv(engine);
+  int value = 0;
+  int64_t woke_at = -1;
+  engine.spawn("waiter", [&] {
+    cv.wait([&] { return value >= 2; });
+    woke_at = engine.now_ns();
+  });
+  engine.spawn("ticker", [&] {
+    engine.advance_ns(100 * kSmallAdvanceNs);
+    value = 1;
+    cv.notify_all();  // predicate still false -> waiter re-blocks
+    engine.advance_ns(100 * kSmallAdvanceNs);
+    value = 2;
+    cv.notify_all();
+  });
+  engine.run();
+  EXPECT_EQ(woke_at, 200 * kSmallAdvanceNs);
+}
+
+TEST(ConditionVar, NotifyOneWakesSingleWaiter) {
+  Engine engine;
+  ConditionVar cv(engine);
+  bool open = false;
+  int through = 0;
+  for (int i = 0; i < 3; ++i) {
+    engine.spawn("w" + std::to_string(i), [&] {
+      cv.wait([&] { return open; });
+      ++through;
+      open = false;  // close the gate behind us
+    });
+  }
+  engine.spawn("opener", [&] {
+    engine.advance_ns(10);
+    open = true;
+    cv.notify_one();
+  });
+  EXPECT_THROW(engine.run(), Error);  // two waiters legitimately deadlock
+  EXPECT_EQ(through, 1);
+}
+
+TEST(Barrier, ReleasesAtMaxArrivalTime) {
+  Engine engine;
+  Barrier barrier(engine, 3);
+  std::vector<int64_t> release_times(3, -1);
+  for (int i = 0; i < 3; ++i) {
+    engine.spawn("p" + std::to_string(i), [&, i] {
+      engine.advance_ns((i + 1) * 1000);  // arrivals at 1000/2000/3000
+      barrier.arrive_and_wait();
+      release_times[static_cast<size_t>(i)] = engine.now_ns();
+    });
+  }
+  engine.run();
+  for (int64_t t : release_times) EXPECT_EQ(t, 3000);
+}
+
+TEST(Barrier, IsReusableAcrossGenerations) {
+  Engine engine;
+  Barrier barrier(engine, 2);
+  int rounds_done = 0;
+  for (int i = 0; i < 2; ++i) {
+    engine.spawn("p" + std::to_string(i), [&, i] {
+      for (int r = 0; r < 5; ++r) {
+        engine.advance_ns(static_cast<int64_t>(10 * (i + 1)));
+        barrier.arrive_and_wait();
+      }
+      if (i == 0) rounds_done = 5;
+    });
+  }
+  engine.run();
+  EXPECT_EQ(rounds_done, 5);
+}
+
+TEST(Barrier, SingleParticipantNeverBlocks) {
+  Engine engine;
+  Barrier barrier(engine, 1);
+  bool done = false;
+  engine.spawn("solo", [&] {
+    for (int i = 0; i < 3; ++i) barrier.arrive_and_wait();
+    done = true;
+  });
+  engine.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(Barrier, RejectsNonPositiveParticipants) {
+  Engine engine;
+  EXPECT_THROW(Barrier(engine, 0), Error);
+}
+
+TEST(Semaphore, AcquireBlocksUntilRelease) {
+  Engine engine;
+  Semaphore sem(engine, 0);
+  int64_t acquired_at = -1;
+  engine.spawn("taker", [&] {
+    sem.acquire();
+    acquired_at = engine.now_ns();
+  });
+  engine.spawn("giver", [&] {
+    engine.advance_ns(500);
+    sem.release();
+  });
+  engine.run();
+  EXPECT_EQ(acquired_at, 500);
+}
+
+TEST(Semaphore, CountingSemantics) {
+  Engine engine;
+  Semaphore sem(engine, 2);
+  int concurrent = 0, max_concurrent = 0, completed = 0;
+  for (int i = 0; i < 6; ++i) {
+    engine.spawn("t" + std::to_string(i), [&] {
+      sem.acquire();
+      ++concurrent;
+      max_concurrent = std::max(max_concurrent, concurrent);
+      engine.sleep_for_ns(100);
+      --concurrent;
+      ++completed;
+      sem.release();
+    });
+  }
+  engine.run();
+  EXPECT_EQ(completed, 6);
+  EXPECT_LE(max_concurrent, 2);
+}
+
+TEST(Channel, ValuesArriveInFifoOrder) {
+  Engine engine;
+  Channel<int> ch(engine);
+  std::vector<int> got;
+  engine.spawn("consumer", [&] {
+    for (int i = 0; i < 3; ++i) got.push_back(ch.pop());
+  });
+  engine.spawn("producer", [&] {
+    for (int i = 1; i <= 3; ++i) {
+      engine.advance_ns(10);
+      ch.push(i * 11);
+    }
+  });
+  engine.run();
+  EXPECT_EQ(got, (std::vector<int>{11, 22, 33}));
+}
+
+TEST(Channel, ConsumerWaitsForVisibilityTime) {
+  Engine engine;
+  Channel<std::string> ch(engine);
+  int64_t got_at = -1;
+  engine.spawn("consumer", [&] {
+    (void)ch.pop();
+    got_at = engine.now_ns();
+  });
+  // Delivery event from outside any fiber (models network delivery).
+  engine.at(0, [&] { ch.push_at(2500, "payload"); });
+  engine.run();
+  EXPECT_EQ(got_at, 2500);
+}
+
+TEST(Channel, TryPopNonBlocking) {
+  Engine engine;
+  Channel<int> ch(engine);
+  bool first_empty = false;
+  int value = 0;
+  engine.spawn("f", [&] {
+    int v;
+    first_empty = !ch.try_pop(&v);
+    ch.push(7);
+    if (ch.try_pop(&v)) value = v;
+  });
+  engine.run();
+  EXPECT_TRUE(first_empty);
+  EXPECT_EQ(value, 7);
+}
+
+TEST(Channel, ManyProducersOneConsumer) {
+  Engine engine;
+  Channel<int> ch(engine);
+  int64_t sum = 0;
+  engine.spawn("consumer", [&] {
+    for (int i = 0; i < 30; ++i) sum += ch.pop();
+  });
+  for (int p = 0; p < 3; ++p) {
+    engine.spawn("producer" + std::to_string(p), [&, p] {
+      for (int i = 0; i < 10; ++i) {
+        engine.advance_ns(7 * (p + 1));
+        ch.push(p * 100 + i);
+      }
+    });
+  }
+  engine.run();
+  int64_t expect = 0;
+  for (int p = 0; p < 3; ++p)
+    for (int i = 0; i < 10; ++i) expect += p * 100 + i;
+  EXPECT_EQ(sum, expect);
+}
+
+}  // namespace
+}  // namespace ppm::sim

@@ -1,0 +1,109 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace ppm {
+namespace {
+
+TEST(RunningStat, BasicMoments) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, MergeMatchesSequential) {
+  Rng rng(99);
+  RunningStat whole, a, b;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.next_normal() * 3 + 1;
+    whole.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(RunningStat, MergeWithEmpty) {
+  RunningStat a, b;
+  a.add(1.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.0);
+}
+
+TEST(Counter, AccumulatesAndResets) {
+  Counter c;
+  c.add();
+  c.add(9);
+  EXPECT_EQ(c.value(), 10u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Histogram, BucketAssignment) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.add(0.5);    // bucket 0
+  h.add(1.0);    // bucket 0 (inclusive upper bound)
+  h.add(5.0);    // bucket 1
+  h.add(50.0);   // bucket 2
+  h.add(500.0);  // bucket 3 (overflow)
+  EXPECT_EQ(h.num_buckets(), 4u);
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.bucket_count(3), 1u);
+  EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(Histogram, QuantileMonotone) {
+  Histogram h({1, 2, 4, 8, 16, 32});
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) h.add(rng.next_double_in(0, 32));
+  double prev = 0;
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    const double v = h.quantile(q);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(Histogram, RejectsBadBounds) {
+  EXPECT_THROW(Histogram({}), Error);
+  EXPECT_THROW(Histogram({3.0, 1.0}), Error);
+}
+
+TEST(Histogram, ToStringMentionsAllBuckets) {
+  Histogram h({1.0, 2.0});
+  h.add(0.5);
+  h.add(1.5);
+  h.add(9.0);
+  const std::string s = h.to_string();
+  EXPECT_NE(s.find("-inf"), std::string::npos);
+  EXPECT_NE(s.find("+inf"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ppm

@@ -1,0 +1,278 @@
+// ppm_cli — command-line driver for the PPM applications on a simulated
+// cluster. The quickest way to poke at the library without writing code:
+//
+//   ppm_cli --app=cg --nodes=8 --cores=4 --size=20000
+//   ppm_cli --app=cg --matrix=system.mtx --tol=1e-10
+//   ppm_cli --app=pcg --nodes=4
+//   ppm_cli --app=matgen --levels=6
+//   ppm_cli --app=barneshut --size=5000 --steps=4
+//   ppm_cli --app=bfs --size=50000 --dist=cyclic
+//   ppm_cli --app=matmul --size=64
+//   ppm_cli --app=cg --profile          # per-phase breakdown
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <set>
+#include <string>
+
+#include "apps/cg/cg_ppm.hpp"
+#include "apps/cg/mm_io.hpp"
+#include "apps/collocation/matgen_ppm.hpp"
+#include "apps/dense/dense.hpp"
+#include "apps/graph/graph_ppm.hpp"
+#include "apps/nbody/nbody_ppm.hpp"
+#include "core/ppm.hpp"
+
+namespace {
+
+using namespace ppm;
+
+struct CliOptions {
+  std::string app = "cg";
+  int nodes = 4;
+  int cores = 4;
+  uint64_t size = 0;  // 0 = per-app default
+  int steps = 3;
+  int levels = 5;
+  int max_iterations = 200;
+  double tolerance = 1e-8;
+  std::string matrix_file;
+  Distribution dist = Distribution::kBlock;
+  bool profile = false;
+  double calibration = 3.0;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--app=cg|pcg|matgen|barneshut|bfs|components|matmul]\n"
+      "          [--nodes=N] [--cores=C] [--size=S] [--steps=K]\n"
+      "          [--levels=L] [--iters=I] [--tol=T] [--matrix=FILE.mtx]\n"
+      "          [--dist=block|cyclic] [--calibration=F] [--profile]\n",
+      argv0);
+  std::exit(2);
+}
+
+CliOptions parse(int argc, char** argv) {
+  CliOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&](const char* prefix) -> const char* {
+      const size_t len = std::strlen(prefix);
+      return arg.compare(0, len, prefix) == 0 ? arg.c_str() + len : nullptr;
+    };
+    if (const char* v = value_of("--app=")) {
+      opt.app = v;
+    } else if (const char* v = value_of("--nodes=")) {
+      opt.nodes = std::atoi(v);
+    } else if (const char* v = value_of("--cores=")) {
+      opt.cores = std::atoi(v);
+    } else if (const char* v = value_of("--size=")) {
+      opt.size = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value_of("--steps=")) {
+      opt.steps = std::atoi(v);
+    } else if (const char* v = value_of("--levels=")) {
+      opt.levels = std::atoi(v);
+    } else if (const char* v = value_of("--iters=")) {
+      opt.max_iterations = std::atoi(v);
+    } else if (const char* v = value_of("--tol=")) {
+      opt.tolerance = std::atof(v);
+    } else if (const char* v = value_of("--matrix=")) {
+      opt.matrix_file = v;
+    } else if (const char* v = value_of("--calibration=")) {
+      opt.calibration = std::atof(v);
+    } else if (const char* v = value_of("--dist=")) {
+      if (std::string(v) == "cyclic") {
+        opt.dist = Distribution::kCyclic;
+      } else if (std::string(v) == "block") {
+        opt.dist = Distribution::kBlock;
+      } else {
+        usage(argv[0]);
+      }
+    } else if (arg == "--profile") {
+      opt.profile = true;
+    } else {
+      usage(argv[0]);
+    }
+  }
+  return opt;
+}
+
+void print_profile(NodeRuntime& rt) {
+  std::printf("phase profile (node 0):\n");
+  std::printf("  %-4s %-6s %10s %12s %12s %8s\n", "#", "scope", "VPs",
+              "compute_us", "commit_us", "writes");
+  int idx = 0;
+  for (const auto& p : rt.phase_profiles()) {
+    std::printf("  %-4d %-6s %10llu %12.1f %12.1f %8llu\n", idx++,
+                p.global ? "global" : "node",
+                static_cast<unsigned long long>(p.k_local),
+                static_cast<double>(p.compute_ns()) * 1e-3,
+                static_cast<double>(p.commit_ns()) * 1e-3,
+                static_cast<unsigned long long>(p.write_entries));
+  }
+}
+
+void print_result(const RunResult& r) {
+  std::printf("simulated time: %.3f ms | network: %llu msgs, %.2f MB | "
+              "blocks fetched: %llu, cache hits: %llu\n",
+              r.duration_s() * 1e3,
+              static_cast<unsigned long long>(r.network_messages),
+              static_cast<double>(r.network_bytes) / 1048576.0,
+              static_cast<unsigned long long>(r.remote_blocks_fetched),
+              static_cast<unsigned long long>(
+                  r.remote_reads_served_from_cache));
+}
+
+int run_cli(const CliOptions& opt) {
+  PpmConfig cfg;
+  cfg.machine.nodes = opt.nodes;
+  cfg.machine.cores_per_node = opt.cores;
+  cfg.machine.engine.calibration = sim::CalibrationMode::kMeasured;
+  cfg.machine.engine.calibration_factor = opt.calibration;
+  cfg.runtime.profile_phases = opt.profile;
+
+  const apps::cg::CgOptions cg_opts{.max_iterations = opt.max_iterations,
+                                    .tolerance = opt.tolerance};
+
+  cluster::Machine machine(cfg.machine);
+  Runtime runtime(machine, cfg.runtime);
+  RunResult result;
+
+  auto execute = [&](const std::function<void(Env&)>& program) {
+    machine.run_per_node([&](int node) {
+      NodeRuntime& nr = runtime.node(node);
+      nr.start();
+      Env env(nr);
+      program(env);
+      nr.finish();
+    });
+    result = runtime.collect();
+  };
+
+  if (opt.app == "cg" || opt.app == "pcg") {
+    apps::cg::CsrMatrix a;
+    std::vector<double> b;
+    apps::cg::ChimneyProblem problem;
+    if (!opt.matrix_file.empty()) {
+      a = apps::cg::read_matrix_market_file(opt.matrix_file);
+      b.assign(a.n, 1.0);
+      std::printf("loaded %s: %llu unknowns, %llu nonzeros\n",
+                  opt.matrix_file.c_str(),
+                  static_cast<unsigned long long>(a.n),
+                  static_cast<unsigned long long>(a.nnz()));
+    } else {
+      const uint64_t target = opt.size != 0 ? opt.size : 16'384;
+      const auto edge = static_cast<uint64_t>(
+          std::max(2.0, std::cbrt(static_cast<double>(target) / 2.0)));
+      problem = {.nx = edge, .ny = edge, .nz = 2 * edge};
+      std::printf("chimney %llux%llux%llu: %llu unknowns\n",
+                  static_cast<unsigned long long>(problem.nx),
+                  static_cast<unsigned long long>(problem.ny),
+                  static_cast<unsigned long long>(problem.nz),
+                  static_cast<unsigned long long>(problem.unknowns()));
+    }
+    int iters = 0;
+    bool converged = false;
+    double final_residual = 0;
+    execute([&](Env& env) {
+      apps::cg::PpmCgOutput out =
+          !opt.matrix_file.empty()
+              ? apps::cg::cg_solve_ppm_matrix(env, a, b, cg_opts)
+              : (opt.app == "pcg"
+                     ? apps::cg::cg_solve_ppm_ssor(env, problem, cg_opts)
+                     : apps::cg::cg_solve_ppm(env, problem, cg_opts));
+      if (env.node_id() == 0) {
+        iters = out.iterations;
+        converged = out.converged;
+        final_residual = out.residual_history.empty()
+                             ? 0.0
+                             : out.residual_history.back();
+      }
+    });
+    std::printf("%s: %s after %d iterations, final ||r|| = %.3e\n",
+                opt.app.c_str(), converged ? "converged" : "NOT converged",
+                iters, final_residual);
+  } else if (opt.app == "matgen") {
+    apps::collocation::CollocationProblem problem;
+    problem.levels = opt.levels;
+    problem.base = opt.size != 0 ? opt.size : 16;
+    uint64_t nnz = 0;
+    execute([&](Env& env) {
+      const auto out = apps::collocation::generate_matrix_ppm(env, problem);
+      const auto total = env.allreduce(
+          out.local_rows.nnz(),
+          [](uint64_t x, uint64_t y) { return x + y; });
+      if (env.node_id() == 0) nnz = total;
+    });
+    std::printf("matgen: %llu points, %llu nonzeros\n",
+                static_cast<unsigned long long>(problem.total_points()),
+                static_cast<unsigned long long>(nnz));
+  } else if (opt.app == "barneshut") {
+    const uint64_t n = opt.size != 0 ? opt.size : 4000;
+    const auto init = apps::nbody::make_plummer(n, 99);
+    const apps::nbody::NbodyOptions nb{.theta = 0.5, .eps = 0.01,
+                                       .dt = 0.002, .steps = opt.steps};
+    execute([&](Env& env) {
+      auto st = apps::nbody::setup_nbody_ppm(env, init);
+      apps::nbody::simulate_ppm(env, st, nb);
+    });
+    std::printf("barneshut: %llu particles, %d steps\n",
+                static_cast<unsigned long long>(n), opt.steps);
+  } else if (opt.app == "bfs" || opt.app == "components") {
+    const uint64_t n = opt.size != 0 ? opt.size : 20'000;
+    const auto g = apps::graph::make_rmat_graph(n, 8.0, 7);
+    int64_t summary = 0;
+    execute([&](Env& env) {
+      if (opt.app == "bfs") {
+        const auto d = apps::graph::bfs_ppm(env, g, 0, opt.dist);
+        if (env.node_id() == 0) {
+          for (int64_t v : d) summary = std::max(summary, v);
+        }
+      } else {
+        const auto labels = apps::graph::components_ppm(env, g, opt.dist);
+        if (env.node_id() == 0) {
+          std::set<int64_t> unique(labels.begin(), labels.end());
+          summary = static_cast<int64_t>(unique.size());
+        }
+      }
+    });
+    std::printf("%s: %llu vertices, %llu edges, %s = %lld\n",
+                opt.app.c_str(), static_cast<unsigned long long>(n),
+                static_cast<unsigned long long>(g.num_edges()),
+                opt.app == "bfs" ? "eccentricity" : "components",
+                static_cast<long long>(summary));
+  } else if (opt.app == "matmul") {
+    const uint64_t n = opt.size != 0 ? opt.size : 48;
+    const auto a = apps::dense::make_matrix(n, 1);
+    const auto b = apps::dense::make_matrix(n, 2);
+    double checksum = 0;
+    execute([&](Env& env) {
+      const auto c = apps::dense::matmul_ppm(env, a, b);
+      if (env.node_id() == 0) {
+        for (double v : c.data) checksum += v;
+      }
+    });
+    std::printf("matmul: n=%llu, checksum %.6f\n",
+                static_cast<unsigned long long>(n), checksum);
+  } else {
+    std::fprintf(stderr, "unknown app '%s'\n", opt.app.c_str());
+    return 2;
+  }
+
+  print_result(result);
+  if (opt.profile) print_profile(runtime.node(0));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run_cli(parse(argc, argv));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
