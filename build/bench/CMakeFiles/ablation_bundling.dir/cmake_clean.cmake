@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bundling.dir/ablation_bundling.cpp.o"
+  "CMakeFiles/ablation_bundling.dir/ablation_bundling.cpp.o.d"
+  "ablation_bundling"
+  "ablation_bundling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bundling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

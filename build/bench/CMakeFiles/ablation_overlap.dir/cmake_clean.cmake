@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_overlap.dir/ablation_overlap.cpp.o"
+  "CMakeFiles/ablation_overlap.dir/ablation_overlap.cpp.o.d"
+  "ablation_overlap"
+  "ablation_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

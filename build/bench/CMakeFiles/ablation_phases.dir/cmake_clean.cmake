@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_phases.dir/ablation_phases.cpp.o"
+  "CMakeFiles/ablation_phases.dir/ablation_phases.cpp.o.d"
+  "ablation_phases"
+  "ablation_phases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

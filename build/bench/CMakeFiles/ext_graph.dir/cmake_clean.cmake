@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_graph.dir/ext_graph.cpp.o"
+  "CMakeFiles/ext_graph.dir/ext_graph.cpp.o.d"
+  "ext_graph"
+  "ext_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

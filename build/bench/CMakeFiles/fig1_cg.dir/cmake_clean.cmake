@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_cg.dir/fig1_cg.cpp.o"
+  "CMakeFiles/fig1_cg.dir/fig1_cg.cpp.o.d"
+  "fig1_cg"
+  "fig1_cg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_cg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

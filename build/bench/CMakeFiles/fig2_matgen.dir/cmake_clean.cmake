@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_matgen.dir/fig2_matgen.cpp.o"
+  "CMakeFiles/fig2_matgen.dir/fig2_matgen.cpp.o.d"
+  "fig2_matgen"
+  "fig2_matgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_matgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

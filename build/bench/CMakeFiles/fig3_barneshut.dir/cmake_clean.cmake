@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_barneshut.dir/fig3_barneshut.cpp.o"
+  "CMakeFiles/fig3_barneshut.dir/fig3_barneshut.cpp.o.d"
+  "fig3_barneshut"
+  "fig3_barneshut.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_barneshut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

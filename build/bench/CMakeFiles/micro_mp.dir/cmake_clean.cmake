@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_mp.dir/micro_mp.cpp.o"
+  "CMakeFiles/micro_mp.dir/micro_mp.cpp.o.d"
+  "micro_mp"
+  "micro_mp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_mp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

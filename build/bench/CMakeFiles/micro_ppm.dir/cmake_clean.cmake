@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_ppm.dir/micro_ppm.cpp.o"
+  "CMakeFiles/micro_ppm.dir/micro_ppm.cpp.o.d"
+  "micro_ppm"
+  "micro_ppm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_ppm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

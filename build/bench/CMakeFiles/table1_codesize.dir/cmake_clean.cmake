@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_codesize.dir/table1_codesize.cpp.o"
+  "CMakeFiles/table1_codesize.dir/table1_codesize.cpp.o.d"
+  "table1_codesize"
+  "table1_codesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_codesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/barnes_hut.dir/barnes_hut.cpp.o"
+  "CMakeFiles/barnes_hut.dir/barnes_hut.cpp.o.d"
+  "barnes_hut"
+  "barnes_hut.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/barnes_hut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

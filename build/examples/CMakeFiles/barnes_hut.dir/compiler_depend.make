@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for barnes_hut.
+# This may be replaced when dependencies are built.

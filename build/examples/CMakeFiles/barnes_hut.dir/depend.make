@@ -1,0 +1,2 @@
+# Empty dependencies file for barnes_hut.
+# This may be replaced when dependencies are built.

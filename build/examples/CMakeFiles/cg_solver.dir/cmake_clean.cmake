@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cg_solver.dir/cg_solver.cpp.o"
+  "CMakeFiles/cg_solver.dir/cg_solver.cpp.o.d"
+  "cg_solver"
+  "cg_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cg_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

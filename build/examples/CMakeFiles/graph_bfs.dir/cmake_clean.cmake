@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_bfs.dir/graph_bfs.cpp.o"
+  "CMakeFiles/graph_bfs.dir/graph_bfs.cpp.o.d"
+  "graph_bfs"
+  "graph_bfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_bfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/histogram.dir/histogram.cpp.o"
+  "CMakeFiles/histogram.dir/histogram.cpp.o.d"
+  "histogram"
+  "histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matgen_collocation.dir/matgen_collocation.cpp.o"
+  "CMakeFiles/matgen_collocation.dir/matgen_collocation.cpp.o.d"
+  "matgen_collocation"
+  "matgen_collocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matgen_collocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for matgen_collocation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plasma_pic.dir/plasma_pic.cpp.o"
+  "CMakeFiles/plasma_pic.dir/plasma_pic.cpp.o.d"
+  "plasma_pic"
+  "plasma_pic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plasma_pic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

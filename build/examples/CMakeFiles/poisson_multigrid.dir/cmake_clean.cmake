@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poisson_multigrid.dir/poisson_multigrid.cpp.o"
+  "CMakeFiles/poisson_multigrid.dir/poisson_multigrid.cpp.o.d"
+  "poisson_multigrid"
+  "poisson_multigrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poisson_multigrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppm_app_cg.dir/cg/cg_mpi.cpp.o"
+  "CMakeFiles/ppm_app_cg.dir/cg/cg_mpi.cpp.o.d"
+  "CMakeFiles/ppm_app_cg.dir/cg/cg_ppm.cpp.o"
+  "CMakeFiles/ppm_app_cg.dir/cg/cg_ppm.cpp.o.d"
+  "CMakeFiles/ppm_app_cg.dir/cg/cg_ppm_ext.cpp.o"
+  "CMakeFiles/ppm_app_cg.dir/cg/cg_ppm_ext.cpp.o.d"
+  "CMakeFiles/ppm_app_cg.dir/cg/cg_serial.cpp.o"
+  "CMakeFiles/ppm_app_cg.dir/cg/cg_serial.cpp.o.d"
+  "CMakeFiles/ppm_app_cg.dir/cg/csr.cpp.o"
+  "CMakeFiles/ppm_app_cg.dir/cg/csr.cpp.o.d"
+  "CMakeFiles/ppm_app_cg.dir/cg/mm_io.cpp.o"
+  "CMakeFiles/ppm_app_cg.dir/cg/mm_io.cpp.o.d"
+  "CMakeFiles/ppm_app_cg.dir/cg/trisolve.cpp.o"
+  "CMakeFiles/ppm_app_cg.dir/cg/trisolve.cpp.o.d"
+  "libppm_app_cg.a"
+  "libppm_app_cg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppm_app_cg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

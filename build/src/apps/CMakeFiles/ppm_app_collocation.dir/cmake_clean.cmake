@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppm_app_collocation.dir/collocation/collocation.cpp.o"
+  "CMakeFiles/ppm_app_collocation.dir/collocation/collocation.cpp.o.d"
+  "CMakeFiles/ppm_app_collocation.dir/collocation/matgen_mpi.cpp.o"
+  "CMakeFiles/ppm_app_collocation.dir/collocation/matgen_mpi.cpp.o.d"
+  "CMakeFiles/ppm_app_collocation.dir/collocation/matgen_ppm.cpp.o"
+  "CMakeFiles/ppm_app_collocation.dir/collocation/matgen_ppm.cpp.o.d"
+  "libppm_app_collocation.a"
+  "libppm_app_collocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppm_app_collocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppm_app_dense.dir/dense/dense.cpp.o"
+  "CMakeFiles/ppm_app_dense.dir/dense/dense.cpp.o.d"
+  "libppm_app_dense.a"
+  "libppm_app_dense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppm_app_dense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

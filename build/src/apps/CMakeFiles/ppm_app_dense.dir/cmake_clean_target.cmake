@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libppm_app_dense.a"
+)

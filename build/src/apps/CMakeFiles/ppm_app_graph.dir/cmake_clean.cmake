@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppm_app_graph.dir/graph/graph.cpp.o"
+  "CMakeFiles/ppm_app_graph.dir/graph/graph.cpp.o.d"
+  "CMakeFiles/ppm_app_graph.dir/graph/graph_mpi.cpp.o"
+  "CMakeFiles/ppm_app_graph.dir/graph/graph_mpi.cpp.o.d"
+  "CMakeFiles/ppm_app_graph.dir/graph/graph_ppm.cpp.o"
+  "CMakeFiles/ppm_app_graph.dir/graph/graph_ppm.cpp.o.d"
+  "libppm_app_graph.a"
+  "libppm_app_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppm_app_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

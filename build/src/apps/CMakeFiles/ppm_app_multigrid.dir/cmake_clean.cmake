@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppm_app_multigrid.dir/multigrid/multigrid.cpp.o"
+  "CMakeFiles/ppm_app_multigrid.dir/multigrid/multigrid.cpp.o.d"
+  "CMakeFiles/ppm_app_multigrid.dir/multigrid/multigrid_ppm.cpp.o"
+  "CMakeFiles/ppm_app_multigrid.dir/multigrid/multigrid_ppm.cpp.o.d"
+  "libppm_app_multigrid.a"
+  "libppm_app_multigrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppm_app_multigrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ppm_app_multigrid.
+# This may be replaced when dependencies are built.

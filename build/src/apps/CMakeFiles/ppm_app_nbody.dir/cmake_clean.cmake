@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppm_app_nbody.dir/nbody/body.cpp.o"
+  "CMakeFiles/ppm_app_nbody.dir/nbody/body.cpp.o.d"
+  "CMakeFiles/ppm_app_nbody.dir/nbody/nbody_mpi.cpp.o"
+  "CMakeFiles/ppm_app_nbody.dir/nbody/nbody_mpi.cpp.o.d"
+  "CMakeFiles/ppm_app_nbody.dir/nbody/nbody_ppm.cpp.o"
+  "CMakeFiles/ppm_app_nbody.dir/nbody/nbody_ppm.cpp.o.d"
+  "CMakeFiles/ppm_app_nbody.dir/nbody/nbody_serial.cpp.o"
+  "CMakeFiles/ppm_app_nbody.dir/nbody/nbody_serial.cpp.o.d"
+  "CMakeFiles/ppm_app_nbody.dir/nbody/octree.cpp.o"
+  "CMakeFiles/ppm_app_nbody.dir/nbody/octree.cpp.o.d"
+  "libppm_app_nbody.a"
+  "libppm_app_nbody.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppm_app_nbody.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

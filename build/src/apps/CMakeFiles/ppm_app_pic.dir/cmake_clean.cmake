@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppm_app_pic.dir/pic/pic.cpp.o"
+  "CMakeFiles/ppm_app_pic.dir/pic/pic.cpp.o.d"
+  "libppm_app_pic.a"
+  "libppm_app_pic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppm_app_pic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

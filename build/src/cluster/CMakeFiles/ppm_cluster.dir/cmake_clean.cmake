@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppm_cluster.dir/machine.cpp.o"
+  "CMakeFiles/ppm_cluster.dir/machine.cpp.o.d"
+  "libppm_cluster.a"
+  "libppm_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppm_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

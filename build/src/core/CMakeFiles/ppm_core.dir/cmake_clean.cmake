@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppm_core.dir/ppm.cpp.o"
+  "CMakeFiles/ppm_core.dir/ppm.cpp.o.d"
+  "CMakeFiles/ppm_core.dir/runtime.cpp.o"
+  "CMakeFiles/ppm_core.dir/runtime.cpp.o.d"
+  "libppm_core.a"
+  "libppm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppm_mp.dir/comm.cpp.o"
+  "CMakeFiles/ppm_mp.dir/comm.cpp.o.d"
+  "libppm_mp.a"
+  "libppm_mp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppm_mp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

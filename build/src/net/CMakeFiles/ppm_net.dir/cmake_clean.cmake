@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppm_net.dir/fabric.cpp.o"
+  "CMakeFiles/ppm_net.dir/fabric.cpp.o.d"
+  "libppm_net.a"
+  "libppm_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppm_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

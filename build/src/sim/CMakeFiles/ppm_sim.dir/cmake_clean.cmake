@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppm_sim.dir/engine.cpp.o"
+  "CMakeFiles/ppm_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/ppm_sim.dir/fiber.cpp.o"
+  "CMakeFiles/ppm_sim.dir/fiber.cpp.o.d"
+  "libppm_sim.a"
+  "libppm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/byte_buffer.cpp" "src/util/CMakeFiles/ppm_util.dir/byte_buffer.cpp.o" "gcc" "src/util/CMakeFiles/ppm_util.dir/byte_buffer.cpp.o.d"
+  "/root/repo/src/util/error.cpp" "src/util/CMakeFiles/ppm_util.dir/error.cpp.o" "gcc" "src/util/CMakeFiles/ppm_util.dir/error.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/util/CMakeFiles/ppm_util.dir/rng.cpp.o" "gcc" "src/util/CMakeFiles/ppm_util.dir/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/util/CMakeFiles/ppm_util.dir/stats.cpp.o" "gcc" "src/util/CMakeFiles/ppm_util.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

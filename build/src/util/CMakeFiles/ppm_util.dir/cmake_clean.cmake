@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppm_util.dir/byte_buffer.cpp.o"
+  "CMakeFiles/ppm_util.dir/byte_buffer.cpp.o.d"
+  "CMakeFiles/ppm_util.dir/error.cpp.o"
+  "CMakeFiles/ppm_util.dir/error.cpp.o.d"
+  "CMakeFiles/ppm_util.dir/rng.cpp.o"
+  "CMakeFiles/ppm_util.dir/rng.cpp.o.d"
+  "CMakeFiles/ppm_util.dir/stats.cpp.o"
+  "CMakeFiles/ppm_util.dir/stats.cpp.o.d"
+  "libppm_util.a"
+  "libppm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

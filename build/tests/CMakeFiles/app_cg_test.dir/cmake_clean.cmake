@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_cg_test.dir/app_cg_test.cpp.o"
+  "CMakeFiles/app_cg_test.dir/app_cg_test.cpp.o.d"
+  "app_cg_test"
+  "app_cg_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_cg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_collocation_test.dir/app_collocation_test.cpp.o"
+  "CMakeFiles/app_collocation_test.dir/app_collocation_test.cpp.o.d"
+  "app_collocation_test"
+  "app_collocation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_collocation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_dense_test.dir/app_dense_test.cpp.o"
+  "CMakeFiles/app_dense_test.dir/app_dense_test.cpp.o.d"
+  "app_dense_test"
+  "app_dense_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_dense_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

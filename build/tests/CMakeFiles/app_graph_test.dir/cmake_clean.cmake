@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_graph_test.dir/app_graph_test.cpp.o"
+  "CMakeFiles/app_graph_test.dir/app_graph_test.cpp.o.d"
+  "app_graph_test"
+  "app_graph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

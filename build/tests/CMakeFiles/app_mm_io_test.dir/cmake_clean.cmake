@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_mm_io_test.dir/app_mm_io_test.cpp.o"
+  "CMakeFiles/app_mm_io_test.dir/app_mm_io_test.cpp.o.d"
+  "app_mm_io_test"
+  "app_mm_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_mm_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_multigrid_test.dir/app_multigrid_test.cpp.o"
+  "CMakeFiles/app_multigrid_test.dir/app_multigrid_test.cpp.o.d"
+  "app_multigrid_test"
+  "app_multigrid_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_multigrid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

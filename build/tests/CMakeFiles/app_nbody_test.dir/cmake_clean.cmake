@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_nbody_test.dir/app_nbody_test.cpp.o"
+  "CMakeFiles/app_nbody_test.dir/app_nbody_test.cpp.o.d"
+  "app_nbody_test"
+  "app_nbody_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_nbody_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

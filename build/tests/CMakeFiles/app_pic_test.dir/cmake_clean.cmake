@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_pic_test.dir/app_pic_test.cpp.o"
+  "CMakeFiles/app_pic_test.dir/app_pic_test.cpp.o.d"
+  "app_pic_test"
+  "app_pic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_pic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_trisolve_test.dir/app_trisolve_test.cpp.o"
+  "CMakeFiles/app_trisolve_test.dir/app_trisolve_test.cpp.o.d"
+  "app_trisolve_test"
+  "app_trisolve_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_trisolve_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_machine_test.dir/cluster_machine_test.cpp.o"
+  "CMakeFiles/cluster_machine_test.dir/cluster_machine_test.cpp.o.d"
+  "cluster_machine_test"
+  "cluster_machine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_machine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_distribution_test.dir/core_distribution_test.cpp.o"
+  "CMakeFiles/core_distribution_test.dir/core_distribution_test.cpp.o.d"
+  "core_distribution_test"
+  "core_distribution_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_distribution_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_env_collectives_test.dir/core_env_collectives_test.cpp.o"
+  "CMakeFiles/core_env_collectives_test.dir/core_env_collectives_test.cpp.o.d"
+  "core_env_collectives_test"
+  "core_env_collectives_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_env_collectives_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

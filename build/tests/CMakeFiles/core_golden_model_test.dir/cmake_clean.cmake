@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_golden_model_test.dir/core_golden_model_test.cpp.o"
+  "CMakeFiles/core_golden_model_test.dir/core_golden_model_test.cpp.o.d"
+  "core_golden_model_test"
+  "core_golden_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_golden_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

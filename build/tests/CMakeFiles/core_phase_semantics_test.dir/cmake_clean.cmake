@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_phase_semantics_test.dir/core_phase_semantics_test.cpp.o"
+  "CMakeFiles/core_phase_semantics_test.dir/core_phase_semantics_test.cpp.o.d"
+  "core_phase_semantics_test"
+  "core_phase_semantics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_phase_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

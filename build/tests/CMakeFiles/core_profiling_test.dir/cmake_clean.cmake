@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_profiling_test.dir/core_profiling_test.cpp.o"
+  "CMakeFiles/core_profiling_test.dir/core_profiling_test.cpp.o.d"
+  "core_profiling_test"
+  "core_profiling_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_profiling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_collectives_test.dir/mp_collectives_test.cpp.o"
+  "CMakeFiles/mp_collectives_test.dir/mp_collectives_test.cpp.o.d"
+  "mp_collectives_test"
+  "mp_collectives_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_collectives_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

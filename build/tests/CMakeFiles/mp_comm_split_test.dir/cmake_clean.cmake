@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_comm_split_test.dir/mp_comm_split_test.cpp.o"
+  "CMakeFiles/mp_comm_split_test.dir/mp_comm_split_test.cpp.o.d"
+  "mp_comm_split_test"
+  "mp_comm_split_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_comm_split_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

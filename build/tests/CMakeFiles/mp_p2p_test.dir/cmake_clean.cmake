@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_p2p_test.dir/mp_p2p_test.cpp.o"
+  "CMakeFiles/mp_p2p_test.dir/mp_p2p_test.cpp.o.d"
+  "mp_p2p_test"
+  "mp_p2p_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_p2p_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mp_p2p_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/net_fabric_test.cpp" "tests/CMakeFiles/net_fabric_test.dir/net_fabric_test.cpp.o" "gcc" "tests/CMakeFiles/net_fabric_test.dir/net_fabric_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/ppm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ppm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ppm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_determinism_test.dir/sim_determinism_test.cpp.o"
+  "CMakeFiles/sim_determinism_test.dir/sim_determinism_test.cpp.o.d"
+  "sim_determinism_test"
+  "sim_determinism_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_determinism_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_engine_edge_test.dir/sim_engine_edge_test.cpp.o"
+  "CMakeFiles/sim_engine_edge_test.dir/sim_engine_edge_test.cpp.o.d"
+  "sim_engine_edge_test"
+  "sim_engine_edge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_engine_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_sync_test.dir/sim_sync_test.cpp.o"
+  "CMakeFiles/sim_sync_test.dir/sim_sync_test.cpp.o.d"
+  "sim_sync_test"
+  "sim_sync_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_sync_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

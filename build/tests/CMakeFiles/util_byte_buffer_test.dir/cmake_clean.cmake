@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_byte_buffer_test.dir/util_byte_buffer_test.cpp.o"
+  "CMakeFiles/util_byte_buffer_test.dir/util_byte_buffer_test.cpp.o.d"
+  "util_byte_buffer_test"
+  "util_byte_buffer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_byte_buffer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppm_cli.dir/ppm_cli.cpp.o"
+  "CMakeFiles/ppm_cli.dir/ppm_cli.cpp.o.d"
+  "ppm_cli"
+  "ppm_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppm_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
