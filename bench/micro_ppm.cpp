@@ -113,6 +113,30 @@ void BM_MicroPpm_WriteCommit(benchmark::State& state) {
   }
 }
 
+/// Same write+commit workload under the ppm::check sanitizer (arg0 != 0)
+/// vs the plain path (arg0 == 0): the cost of validation when you opt in,
+/// and a regression guard for the never-taken hook branch when you don't.
+void BM_MicroPpm_WriteCommitChecked(benchmark::State& state) {
+  const bool validate = state.range(0) != 0;
+  constexpr uint64_t kN = 1 << 15;
+  for (auto _ : state) {
+    cluster::Machine machine(bench::bench_machine(2, /*cores=*/1));
+    RuntimeOptions opts = bench::bench_runtime_options();
+    opts.validate_phases = validate;
+    const RunResult r = run_on(machine, opts, [&](Env& env) {
+      auto a = env.global_array<double>(kN);
+      auto vps = env.ppm_do(env.node_id() == 0 ? kN / 2 : 0);
+      vps.global_phase([&](Vp& vp) {
+        a.set(kN / 2 + vp.node_rank(), 1.0);  // all remote
+      });
+    });
+    state.counters["per_write_ns"] =
+        static_cast<double>(r.duration_ns) / (kN / 2);
+    state.counters["entries_checked"] =
+        static_cast<double>(r.check_report.commit_entries_scanned);
+  }
+}
+
 /// ppm_do group coordination cost vs node count.
 void BM_MicroPpm_GroupCreate(benchmark::State& state) {
   const int nodes = static_cast<int>(state.range(0));
@@ -138,6 +162,7 @@ BENCHMARK(BM_MicroPpm_EmptyNodePhase)->Arg(1)->Arg(4)->Arg(16)
     ->Iterations(1);
 BENCHMARK(BM_MicroPpm_Read)->Arg(0)->Arg(1)->Arg(2)->Iterations(1);
 BENCHMARK(BM_MicroPpm_WriteCommit)->Iterations(1);
+BENCHMARK(BM_MicroPpm_WriteCommitChecked)->Arg(0)->Arg(1)->Iterations(1);
 BENCHMARK(BM_MicroPpm_GroupCreate)->Arg(2)->Arg(4)->Arg(8)->Arg(16)
     ->Iterations(1);
 

@@ -1,0 +1,96 @@
+#include "check/report.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace ppm::check {
+
+const char* violation_kind_name(ViolationKind kind) {
+  switch (kind) {
+    case ViolationKind::kSetSetConflict: return "set-set conflict";
+    case ViolationKind::kMixedOpConflict: return "mixed-op conflict";
+    case ViolationKind::kLockstepMismatch: return "lockstep mismatch";
+    case ViolationKind::kShapeHazard: return "shape hazard";
+  }
+  return "unknown";
+}
+
+std::string Violation::to_string() const {
+  std::string s = strfmt(
+      "[%s] %s: node %d, %s phase %llu",
+      severity == Severity::kError ? "error" : "warning",
+      violation_kind_name(kind), node, global_phase ? "global" : "node",
+      static_cast<unsigned long long>(phase));
+  if (kind == ViolationKind::kSetSetConflict ||
+      kind == ViolationKind::kMixedOpConflict) {
+    s += strfmt(", array %u element %llu, VPs %llu and %llu", array_id,
+                static_cast<unsigned long long>(element),
+                static_cast<unsigned long long>(vp_a),
+                static_cast<unsigned long long>(vp_b));
+  } else if (kind == ViolationKind::kShapeHazard) {
+    s += strfmt(", array %u", array_id);
+  }
+  if (!detail.empty()) {
+    s += " — ";
+    s += detail;
+  }
+  return s;
+}
+
+void Report::merge(const Report& other) {
+  set_set_conflicts += other.set_set_conflicts;
+  mixed_op_conflicts += other.mixed_op_conflicts;
+  lockstep_mismatches += other.lockstep_mismatches;
+  shape_hazards += other.shape_hazards;
+  phases_checked += other.phases_checked;
+  commit_entries_scanned += other.commit_entries_scanned;
+  reads_observed += other.reads_observed;
+  writes_observed += other.writes_observed;
+  for (const auto& [array, count] : other.conflicts_by_array) {
+    conflicts_by_array[array] += count;
+  }
+  for (const Violation& v : other.violations) {
+    if (violations.size() >= kMaxRecordedViolations) break;
+    violations.push_back(v);
+  }
+}
+
+std::string Report::to_string() const {
+  std::string s = strfmt(
+      "ppm::check report: %llu error(s), %llu warning(s) "
+      "(%llu phases, %llu commit entries, %llu writes, %llu reads checked)\n",
+      static_cast<unsigned long long>(error_count()),
+      static_cast<unsigned long long>(shape_hazards),
+      static_cast<unsigned long long>(phases_checked),
+      static_cast<unsigned long long>(commit_entries_scanned),
+      static_cast<unsigned long long>(writes_observed),
+      static_cast<unsigned long long>(reads_observed));
+  s += strfmt("  set-set conflicts: %llu | mixed-op conflicts: %llu | "
+              "lockstep mismatches: %llu | shape hazards: %llu\n",
+              static_cast<unsigned long long>(set_set_conflicts),
+              static_cast<unsigned long long>(mixed_op_conflicts),
+              static_cast<unsigned long long>(lockstep_mismatches),
+              static_cast<unsigned long long>(shape_hazards));
+  if (!conflicts_by_array.empty()) {
+    s += "  conflicting elements per array:";
+    for (const auto& [array, count] : conflicts_by_array) {
+      s += strfmt(" #%u:%llu", array, static_cast<unsigned long long>(count));
+    }
+    s += '\n';
+  }
+  const uint64_t total =
+      error_count() + shape_hazards;
+  for (const Violation& v : violations) {
+    s += "  ";
+    s += v.to_string();
+    s += '\n';
+  }
+  if (total > violations.size()) {
+    s += strfmt("  ... %llu further finding(s) not recorded verbatim\n",
+                static_cast<unsigned long long>(total - violations.size()));
+  }
+  return s;
+}
+
+}  // namespace ppm::check

@@ -1,0 +1,135 @@
+// ppm::check::PhaseValidator — the phase-semantics sanitizer (PPM's TSan).
+//
+// One validator is owned by each NodeRuntime when
+// RuntimeOptions::validate_phases is set (null pointer otherwise: the
+// runtime's hooks compile to a single never-taken branch on the hot
+// path). It observes
+//   * array creations (SPMD-collective by contract),
+//   * group coordinations and phase starts,
+//   * every deferred-write entry at the moment it is applied at a commit
+//     point — the one place where local writes and remote bundles for the
+//     same element converge on the owning node,
+// and folds the collective events into a running fingerprint that nodes
+// exchange at every global commit to catch lockstep divergence.
+//
+// The validator never mutates runtime state and never throws; it records
+// findings into a check::Report. Fail-fast policy (throwing on the first
+// error) is the runtime's decision, driven by
+// RuntimeOptions::validate_fail_fast.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "check/report.hpp"
+
+namespace ppm::check {
+
+/// Write-op encoding mirrored from ppm::detail::WriteOp (runtime.cpp
+/// static_asserts that the two stay in sync; check:: cannot include core
+/// headers because core links this library).
+inline constexpr uint8_t kOpSet = 0;
+inline constexpr uint8_t kOpAdd = 1;
+inline constexpr uint8_t kOpMin = 2;
+inline constexpr uint8_t kOpMax = 3;
+
+const char* op_name(uint8_t op);
+
+/// Summary of one node's collective history, exchanged at global commits.
+/// `hash` chains every event with its parameters; the three counters give
+/// the mismatch message something concrete to say.
+struct Fingerprint {
+  uint64_t hash = 0;
+  uint64_t arrays_created = 0;
+  uint64_t groups_coordinated = 0;
+  uint64_t global_phases = 0;
+
+  bool operator==(const Fingerprint&) const = default;
+};
+
+class PhaseValidator {
+ public:
+  explicit PhaseValidator(int node);
+
+  // ---- Recording hooks (cheap, never throw) ----
+
+  /// Array creation: folded into the lockstep fingerprint and screened
+  /// for shape hazards (class d).
+  void on_array_created(uint32_t id, bool global, uint64_t n,
+                        uint32_t elem_size, uint8_t dist, int nodes);
+  /// A collective ppm_do group coordination completed on this node.
+  void on_group_coordinated();
+  /// A phase body is about to run.
+  void on_phase_start(bool global);
+  void on_read(uint64_t count = 1) { report_.reads_observed += count; }
+  void on_write() { ++report_.writes_observed; }
+
+  // ---- Commit-time conflict scan (classes a and b) ----
+
+  /// Begin scanning the entries of one commit. `phase` is the detecting
+  /// node's ordinal for that phase kind (epoch for global phases).
+  void begin_commit(bool global_phase, uint64_t phase);
+  /// One deferred-write entry about to be applied to owner storage.
+  void on_commit_entry(uint32_t array, uint64_t index, uint8_t op,
+                       uint64_t vp_rank);
+  /// Analyze the scanned entries; record violations. Returns the number
+  /// of new error-severity violations.
+  uint64_t finish_commit();
+
+  // ---- Cross-node lockstep check (class c) ----
+
+  Fingerprint fingerprint() const;
+  /// Compare all nodes' fingerprints (indexed by node id) at a global
+  /// commit. Records one violation on mismatch. Returns the number of new
+  /// error-severity violations (0 or 1).
+  uint64_t check_lockstep(const std::vector<Fingerprint>& all,
+                          uint64_t phase);
+
+  const Report& report() const { return report_; }
+
+ private:
+  struct ElemKey {
+    uint32_t array;
+    uint64_t index;
+    bool operator==(const ElemKey&) const = default;
+  };
+  struct ElemKeyHash {
+    size_t operator()(const ElemKey& k) const {
+      uint64_t h = (static_cast<uint64_t>(k.array) << 48) ^ k.index;
+      h *= 0x9e3779b97f4a7c15ULL;
+      return static_cast<size_t>(h ^ (h >> 32));
+    }
+  };
+  /// Per-element access summary within one commit batch.
+  struct ElemState {
+    uint8_t op_mask = 0;
+    bool multi_vp = false;       // ≥2 distinct writers
+    bool set_conflict = false;   // ≥2 distinct writers used kOpSet
+    bool has_writer = false;
+    bool has_set = false;
+    uint64_t first_vp = 0;       // first writer seen
+    uint64_t other_vp = 0;       // an example second writer
+    uint64_t first_set_vp = 0;
+    uint64_t other_set_vp = 0;
+  };
+
+  void add_violation(Violation v);
+  void fold(uint64_t value);  // chain one event word into the fingerprint
+
+  int node_;
+  Report report_;
+
+  // Lockstep fingerprint state.
+  uint64_t fp_hash_;
+  uint64_t arrays_created_ = 0;
+  uint64_t groups_coordinated_ = 0;
+  uint64_t global_phases_ = 0;
+
+  // Commit-scan state (cleared in finish_commit).
+  bool commit_global_ = false;
+  uint64_t commit_phase_ = 0;
+  std::unordered_map<ElemKey, ElemState, ElemKeyHash> elems_;
+};
+
+}  // namespace ppm::check

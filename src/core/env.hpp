@@ -170,6 +170,19 @@ class Env {
     return acc;
   }
 
+  // ---- Phase-semantics sanitizer (ppm::check, docs/validator.md) ----
+
+  /// True when RuntimeOptions::validate_phases enabled the sanitizer.
+  bool validation_enabled() const { return rt_->validator() != nullptr; }
+
+  /// This node's sanitizer findings so far (empty report when validation
+  /// is off). The cluster-wide merged report is RunResult::check_report;
+  /// this per-node view lets a program or test inspect findings mid-run.
+  check::Report node_check_report() const {
+    const check::PhaseValidator* v = rt_->validator();
+    return v != nullptr ? v->report() : check::Report{};
+  }
+
   /// Access to the underlying runtime (tests, benches, advanced use).
   NodeRuntime& runtime() { return *rt_; }
 

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "check/report.hpp"
 #include "cluster/machine.hpp"
 
 namespace ppm {
@@ -45,6 +46,18 @@ struct RuntimeOptions {
   /// will bring in some overhead". Zero disables the modeled component
   /// (the real code cost still shows up under measured calibration).
   int64_t access_overhead_ns = 0;
+
+  /// Enable the ppm::check phase-semantics sanitizer (docs/validator.md).
+  /// Each node then records per-phase access metadata, scans every commit
+  /// batch for write-write set() races and non-commuting op mixes, and
+  /// exchanges a lockstep fingerprint at every global commit. Findings
+  /// land in RunResult::check_report. Default off: the hooks reduce to a
+  /// never-taken null-pointer branch, so the hot path is unaffected.
+  bool validate_phases = false;
+  /// With validate_phases: throw ppm::Error at the commit point that
+  /// detects the first error-severity violation instead of recording it
+  /// and continuing. Warnings never throw.
+  bool validate_fail_fast = false;
 };
 
 struct PpmConfig {
@@ -67,6 +80,9 @@ struct RunResult {
   uint64_t remote_reads_served_from_cache = 0;
   uint64_t write_entries = 0;
   uint64_t bundles_sent = 0;
+  /// Findings of the phase-semantics sanitizer, merged over all nodes.
+  /// Populated only when RuntimeOptions::validate_phases was set.
+  check::Report check_report;
 
   double duration_s() const { return static_cast<double>(duration_ns) * 1e-9; }
 };

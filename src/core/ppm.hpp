@@ -16,6 +16,10 @@
 //       (void)x;
 //     });
 //   });
+//
+// Debugging a phase program: set cfg.runtime.validate_phases to run under
+// the ppm::check sanitizer (docs/validator.md); findings come back in
+// RunResult::check_report.
 #pragma once
 
 #include <functional>

@@ -6,6 +6,13 @@
 
 namespace ppm {
 
+// ppm::check mirrors the write-op encoding without including core headers
+// (core links the check library, not the other way around). Keep in sync.
+static_assert(check::kOpSet == static_cast<uint8_t>(detail::WriteOp::kSet));
+static_assert(check::kOpAdd == static_cast<uint8_t>(detail::WriteOp::kAdd));
+static_assert(check::kOpMin == static_cast<uint8_t>(detail::WriteOp::kMin));
+static_assert(check::kOpMax == static_cast<uint8_t>(detail::WriteOp::kMax));
+
 namespace {
 
 /// Node-collective token channels.
@@ -64,6 +71,9 @@ RunResult Runtime::collect() const {
     r.remote_reads_served_from_cache += c.reads_from_cache;
     r.write_entries += c.write_entries;
     r.bundles_sent += c.bundles_sent;
+    if (const check::PhaseValidator* v = n->validator()) {
+      r.check_report.merge(v->report());
+    }
   }
   // Phases are counted per node; report cluster-wide phase counts.
   r.global_phases /= static_cast<uint64_t>(std::max(1, machine_.nodes()));
@@ -76,7 +86,11 @@ RunResult Runtime::collect() const {
 
 NodeRuntime::NodeRuntime(Runtime& shared, int node_id)
     : shared_(shared), node_(node_id), opts_(shared.options()),
-      engine_(&shared.machine().engine()) {}
+      engine_(&shared.machine().engine()) {
+  if (opts_.validate_phases) {
+    validator_ = std::make_unique<check::PhaseValidator>(node_);
+  }
+}
 
 int NodeRuntime::node_count() const { return shared_.machine().nodes(); }
 int NodeRuntime::cores_per_node() const {
@@ -162,6 +176,11 @@ uint32_t NodeRuntime::create_array(bool global, uint64_t n,
     rec.chunk_len = n;
   }
   rec.storage.assign(rec.chunk_len * ops.size, std::byte{0});
+  if (validator_) {
+    validator_->on_array_created(rec.id, rec.global, rec.n, rec.ops.size,
+                                 static_cast<uint8_t>(rec.dist),
+                                 rec.nodes);
+  }
   arrays_.push_back(std::move(rec));
   return arrays_.back().id;
 }
@@ -206,6 +225,7 @@ void NodeRuntime::read_elem(uint32_t id, uint64_t index, std::byte* out) {
   if (opts_.access_overhead_ns > 0) {
     engine_->advance_ns(opts_.access_overhead_ns);
   }
+  if (validator_) [[unlikely]] validator_->on_read();
   // Committed storage holds phase-start values during a phase (writes are
   // deferred), so local reads are plain loads.
   if (!rec.global || rec.owner_of(index) == node_) {
@@ -223,6 +243,7 @@ const std::byte* NodeRuntime::read_ref(uint32_t id, uint64_t index) {
             static_cast<unsigned long long>(index),
             static_cast<unsigned long long>(rec.n));
   charge_access();
+  if (validator_) [[unlikely]] validator_->on_read();
   if (!rec.global || rec.owner_of(index) == node_) {
     const uint64_t local = rec.global ? rec.local_of(index) : index;
     return rec.storage.data() + local * rec.ops.size;
@@ -315,6 +336,7 @@ void NodeRuntime::gather_elems(uint32_t id,
         opts_.access_overhead_ns *
         static_cast<int64_t>(std::max<size_t>(1, indices.size() / 8)));
   }
+  if (validator_) [[unlikely]] validator_->on_read(indices.size());
   // Partition by owner; local indices are copied directly, remote owners
   // each get exactly one indexed-get request (explicit bundling).
   struct Group {
@@ -400,6 +422,7 @@ void NodeRuntime::write_elem(uint32_t id, uint64_t index,
   detail::WireEntryHeader hdr{id, static_cast<uint8_t>(op), index,
                               vp->global_rank_, vp->next_seq_++};
   ++counters_.write_entries;
+  if (validator_) [[unlikely]] validator_->on_write();
 
   if (rec.global) {
     const int owner = rec.owner_of(index);
@@ -452,6 +475,7 @@ void NodeRuntime::flush_all_bundles_final() {
 
 std::pair<uint64_t, uint64_t> NodeRuntime::coordinate_group(
     uint64_t k_local) {
+  if (validator_) validator_->on_group_coordinated();
   ByteWriter w;
   w.put(k_local);
   const auto all = allgather_bytes(std::move(w).take());
@@ -469,6 +493,7 @@ void NodeRuntime::run_phase(bool global, uint64_t k_local, uint64_t k_offset,
                             const std::function<void(Vp&)>& body) {
   PPM_CHECK(started_, "phase before NodeRuntime::start");
   PPM_CHECK(phase_scope_ == PhaseScope::kNone, "phases cannot nest");
+  if (validator_) validator_->on_phase_start(global);
   phase_scope_ = global ? PhaseScope::kGlobal : PhaseScope::kNode;
 
   PhaseProfile profile;
@@ -573,6 +598,11 @@ void NodeRuntime::commit_global() {
   //    staged everywhere.
   barrier_global();
 
+  // 3b. Sanitizer: exchange SPMD-lockstep fingerprints while every node is
+  //     parked at this commit anyway (piggybacks on the token/allgather
+  //     path; no-op unless validate_phases).
+  validate_lockstep();
+
   // 4. Apply local log + staged fragments in deterministic order.
   std::vector<std::span<const std::byte>> buffers;
   buffers.emplace_back(local_log_.bytes());
@@ -580,7 +610,9 @@ void NodeRuntime::commit_global() {
   if (staged != staged_bundles_.end()) {
     for (const Bytes& b : staged->second) buffers.emplace_back(b);
   }
+  if (validator_) validator_->begin_commit(/*global_phase=*/true, epoch_);
   apply_staged_entries(std::move(buffers));
+  validate_commit_finish();
   local_log_ = ByteWriter{};
   if (staged != staged_bundles_.end()) staged_bundles_.erase(staged);
   staged_last_markers_.erase(epoch_);
@@ -607,7 +639,12 @@ void NodeRuntime::commit_global() {
 void NodeRuntime::commit_node() {
   std::vector<std::span<const std::byte>> buffers;
   buffers.emplace_back(local_log_.bytes());
+  if (validator_) {
+    validator_->begin_commit(/*global_phase=*/false,
+                             counters_.node_phases);
+  }
   apply_staged_entries(std::move(buffers));
+  validate_commit_finish();
   local_log_ = ByteWriter{};
   unbundled_arena_.clear();  // view() pointers die with the phase
 }
@@ -630,6 +667,9 @@ void NodeRuntime::apply_staged_entries(
       const auto value = r.view(arrays_[e.array].ops.size);
       e.value = value.data();
       op_mask |= static_cast<uint8_t>(1u << e.op);
+      if (validator_) [[unlikely]] {
+        validator_->on_commit_entry(e.array, e.index, e.op, e.vp_rank);
+      }
       entries.push_back(e);
     }
   }
@@ -662,6 +702,50 @@ void NodeRuntime::apply_staged_entries(
               static_cast<unsigned long long>(e.index));
     rec.ops.apply(rec.storage.data() + local * rec.ops.size, e.value,
                   static_cast<detail::WriteOp>(e.op));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ppm::check integration
+// ---------------------------------------------------------------------------
+
+void NodeRuntime::validate_commit_finish() {
+  if (!validator_) return;
+  const uint64_t new_errors = validator_->finish_commit();
+  if (new_errors > 0 && opts_.validate_fail_fast) {
+    const auto& vs = validator_->report().violations;
+    throw Error("ppm::check (fail-fast): " +
+                (vs.empty() ? std::string("phase-semantics violation")
+                            : vs.back().to_string()));
+  }
+}
+
+void NodeRuntime::validate_lockstep() {
+  if (!validator_) return;
+  // Serialize this node's fingerprint and allgather it. Every node runs
+  // this at the same global commit (options are cluster-wide), so the
+  // collective is itself in lockstep even when the program is not.
+  const check::Fingerprint mine = validator_->fingerprint();
+  ByteWriter w;
+  w.put(mine.hash);
+  w.put(mine.arrays_created);
+  w.put(mine.groups_coordinated);
+  w.put(mine.global_phases);
+  const auto all_bytes = allgather_bytes(std::move(w).take());
+  std::vector<check::Fingerprint> all(all_bytes.size());
+  for (size_t n = 0; n < all_bytes.size(); ++n) {
+    ByteReader r(all_bytes[n]);
+    all[n].hash = r.get<uint64_t>();
+    all[n].arrays_created = r.get<uint64_t>();
+    all[n].groups_coordinated = r.get<uint64_t>();
+    all[n].global_phases = r.get<uint64_t>();
+  }
+  const uint64_t new_errors = validator_->check_lockstep(all, epoch_);
+  if (new_errors > 0 && opts_.validate_fail_fast) {
+    const auto& vs = validator_->report().violations;
+    throw Error("ppm::check (fail-fast): " +
+                (vs.empty() ? std::string("lockstep mismatch")
+                            : vs.back().to_string()));
   }
 }
 
@@ -893,7 +977,7 @@ std::vector<Bytes> NodeRuntime::allgather_bytes(Bytes mine) {
       result[static_cast<size_t>(n)] = [&] {
         auto v = r.get_vector<char>();
         Bytes b(v.size());
-        std::memcpy(b.data(), v.data(), v.size());
+        if (!v.empty()) std::memcpy(b.data(), v.data(), v.size());
         return b;
       }();
     }

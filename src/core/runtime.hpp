@@ -28,6 +28,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "check/validator.hpp"
 #include "cluster/machine.hpp"
 #include "core/options.hpp"
 #include "core/wire.hpp"
@@ -263,6 +264,11 @@ class NodeRuntime {
   };
   const Counters& counters() const { return counters_; }
 
+  /// The node's phase-semantics sanitizer, or nullptr when
+  /// options().validate_phases is off. See src/check/ and
+  /// docs/validator.md.
+  const check::PhaseValidator* validator() const { return validator_.get(); }
+
   /// One record per executed phase (only when options().profile_phases).
   struct PhaseProfile {
     bool global = false;
@@ -351,6 +357,13 @@ class NodeRuntime {
   void commit_node();
   void apply_staged_entries(std::vector<std::span<const std::byte>> buffers);
 
+  // ppm::check integration: scan one commit batch (wraps the validator's
+  // begin/finish around apply_staged_entries' entry walk) and exchange
+  // lockstep fingerprints at a global commit. Both no-ops unless
+  // validate_phases is on; both honor validate_fail_fast.
+  void validate_commit_finish();
+  void validate_lockstep();
+
   // Token transport.
   void token_send(int dst_node, uint32_t channel, uint64_t seq,
                   uint32_t round, Bytes payload);
@@ -410,6 +423,10 @@ class NodeRuntime {
 
   Counters counters_;
   std::vector<PhaseProfile> phase_profiles_;
+
+  // Phase-semantics sanitizer (null unless options().validate_phases; the
+  // hot-path hooks are a single never-taken branch in that case).
+  std::unique_ptr<check::PhaseValidator> validator_;
 };
 
 }  // namespace ppm

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "sim/stack_switch.hpp"
 #include "util/error.hpp"
 
 namespace ppm::sim {
@@ -196,7 +197,10 @@ void Engine::resume(Fiber* fiber, int64_t at_ns) {
   fiber->vclock_ns_ = std::max(fiber->vclock_ns_, at_ns);
   current_ = fiber;
   slice_wall_start_ns_ = host_steady_ns();
+  asan_start_switch(&asan_fake_stack_, fiber->context_.uc_stack.ss_sp,
+                    fiber->context_.uc_stack.ss_size);
   swapcontext(&engine_context_, &fiber->context_);
+  asan_finish_switch(asan_fake_stack_, nullptr, nullptr);
   current_ = nullptr;
   if (fiber->state_ == FiberState::kFinished && fiber->error_ &&
       !pending_error_) {
@@ -219,7 +223,13 @@ void Engine::switch_out(FiberState new_state) {
   Fiber* self = current_;
   finalize_slice();
   self->state_ = new_state;
+  // A finished fiber never runs again: hand ASan a null save slot so it
+  // releases the fake stack before ~Fiber munmaps the real one.
+  asan_start_switch(
+      new_state == FiberState::kFinished ? nullptr : &self->asan_fake_stack_,
+      asan_engine_stack_bottom_, asan_engine_stack_size_);
   swapcontext(&self->context_, &engine_context_);
+  asan_finish_switch(self->asan_fake_stack_, nullptr, nullptr);
   // Resumed: the engine restored current_ = self and restarted the slice
   // timer; vclock was advanced to the resume time by resume().
 }

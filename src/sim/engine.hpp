@@ -130,6 +130,12 @@ class Engine {
   std::vector<std::unique_ptr<Fiber>> fibers_;
   Fiber* current_ = nullptr;
   ucontext_t engine_context_{};
+  // ASan bookkeeping for the engine's own (thread) stack: its fake-stack
+  // handle, and its bounds as reported by the first fiber entry. Unused
+  // outside sanitized builds.
+  void* asan_fake_stack_ = nullptr;
+  const void* asan_engine_stack_bottom_ = nullptr;
+  size_t asan_engine_stack_size_ = 0;
   int64_t engine_now_ns_ = 0;
   int64_t slice_wall_start_ns_ = 0;  // host steady_clock at slice start
   uint64_t events_fired_ = 0;

@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "sim/engine.hpp"
+#include "sim/stack_switch.hpp"
 #include "util/error.hpp"
 
 namespace ppm::sim {
@@ -55,6 +56,11 @@ void Fiber::trampoline() {
   // itself through its engine (Fiber is a friend of Engine).
   Engine* engine = current_engine();
   Fiber* self = engine->current_;
+  // First gain of control on this stack: no fake stack to restore, and the
+  // stack we came from is the engine's — record its bounds so switch_out
+  // can annotate the reverse switch.
+  asan_finish_switch(nullptr, &engine->asan_engine_stack_bottom_,
+                     &engine->asan_engine_stack_size_);
   try {
     self->entry_();
   } catch (...) {

@@ -57,6 +57,9 @@ class Fiber {
   int64_t vclock_ns_ = 0;
 
   ucontext_t context_{};
+  void* asan_fake_stack_ = nullptr;  // ASan fake-stack handle (see
+                                     // sim/stack_switch.hpp); unused and
+                                     // null outside sanitized builds
   void* stack_ = nullptr;       // mmap'd region including guard page
   size_t stack_bytes_ = 0;      // usable stack size
   size_t map_bytes_ = 0;        // total mapped size

@@ -1,0 +1,61 @@
+// AddressSanitizer fiber-switch annotations.
+//
+// ASan tracks one stack per OS thread; swapcontext between fiber stacks
+// confuses its fake-stack bookkeeping and its unwinder (spurious
+// stack-use-after-scope on exception throws, see
+// github.com/google/sanitizers/issues/189). The documented fix is to
+// bracket every stack switch with __sanitizer_start_switch_fiber /
+// __sanitizer_finish_switch_fiber. These wrappers compile to nothing
+// when ASan is off, so the engine's switch paths stay annotation-free in
+// normal builds.
+#pragma once
+
+#include <cstddef>
+
+#if defined(__SANITIZE_ADDRESS__)
+#define PPM_ASAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define PPM_ASAN_FIBERS 1
+#endif
+#endif
+
+#ifdef PPM_ASAN_FIBERS
+
+extern "C" {
+void __sanitizer_start_switch_fiber(void** fake_stack_save,
+                                    const void* stack_bottom,
+                                    size_t stack_size);
+void __sanitizer_finish_switch_fiber(void* fake_stack_save,
+                                     const void** stack_bottom_old,
+                                     size_t* stack_size_old);
+}
+
+namespace ppm::sim {
+
+/// Call on the OLD stack, immediately before switching to a stack with the
+/// given bounds. `save` stores the old stack's fake-stack handle; pass
+/// nullptr when the old stack is exiting forever (fiber finished) so ASan
+/// releases its fake frames before the real stack is unmapped.
+inline void asan_start_switch(void** save, const void* bottom, size_t size) {
+  __sanitizer_start_switch_fiber(save, bottom, size);
+}
+
+/// Call as the first action on the NEW stack. `save` is the handle stored
+/// when this stack last switched away (nullptr on first entry). The out
+/// params receive the bounds of the stack we came from.
+inline void asan_finish_switch(void* save, const void** bottom_old,
+                               size_t* size_old) {
+  __sanitizer_finish_switch_fiber(save, bottom_old, size_old);
+}
+
+}  // namespace ppm::sim
+
+#else
+
+namespace ppm::sim {
+inline void asan_start_switch(void**, const void*, size_t) {}
+inline void asan_finish_switch(void*, const void**, size_t*) {}
+}  // namespace ppm::sim
+
+#endif

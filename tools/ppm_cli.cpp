@@ -40,6 +40,7 @@ struct CliOptions {
   std::string matrix_file;
   Distribution dist = Distribution::kBlock;
   bool profile = false;
+  bool check = false;  // run under the ppm::check phase sanitizer
   double calibration = 3.0;
 };
 
@@ -49,7 +50,8 @@ struct CliOptions {
       "usage: %s [--app=cg|pcg|matgen|barneshut|bfs|components|matmul]\n"
       "          [--nodes=N] [--cores=C] [--size=S] [--steps=K]\n"
       "          [--levels=L] [--iters=I] [--tol=T] [--matrix=FILE.mtx]\n"
-      "          [--dist=block|cyclic] [--calibration=F] [--profile]\n",
+      "          [--dist=block|cyclic] [--calibration=F] [--profile]\n"
+      "          [--check]\n",
       argv0);
   std::exit(2);
 }
@@ -92,6 +94,8 @@ CliOptions parse(int argc, char** argv) {
       }
     } else if (arg == "--profile") {
       opt.profile = true;
+    } else if (arg == "--check") {
+      opt.check = true;
     } else {
       usage(argv[0]);
     }
@@ -132,6 +136,7 @@ int run_cli(const CliOptions& opt) {
   cfg.machine.engine.calibration = sim::CalibrationMode::kMeasured;
   cfg.machine.engine.calibration_factor = opt.calibration;
   cfg.runtime.profile_phases = opt.profile;
+  cfg.runtime.validate_phases = opt.check;
 
   const apps::cg::CgOptions cg_opts{.max_iterations = opt.max_iterations,
                                     .tolerance = opt.tolerance};
@@ -263,6 +268,10 @@ int run_cli(const CliOptions& opt) {
 
   print_result(result);
   if (opt.profile) print_profile(runtime.node(0));
+  if (opt.check) {
+    std::fputs(result.check_report.to_string().c_str(), stdout);
+    if (!result.check_report.clean()) return 3;
+  }
   return 0;
 }
 
