@@ -15,6 +15,8 @@
 // the benches exist to reproduce the *shape* of Figures 1-3 and Table 1.
 #pragma once
 
+#include <benchmark/benchmark.h>
+
 #include <cstdlib>
 
 #include "cluster/machine.hpp"
@@ -65,6 +67,24 @@ inline RuntimeOptions bench_runtime_options() {
   // overhead the paper describes ("accesses to the PPM shared variables go
   // through the PPM runtime library, which will bring in some overhead").
   return opts;
+}
+
+/// Standard RunResult counters for the PPM side of a bench. tools/bench.sh
+/// collects these rows into BENCH_fig.json, so figure benches and
+/// ablations report one consistent set.
+inline void report_run_counters(benchmark::State& state,
+                                const RunResult& r) {
+  state.counters["vtime_ms"] = r.duration_s() * 1e3;
+  state.counters["duration_ns"] = static_cast<double>(r.duration_ns);
+  state.counters["net_msgs"] = static_cast<double>(r.network_messages);
+  state.counters["net_bytes"] = static_cast<double>(r.network_bytes);
+  state.counters["net_MB"] =
+      static_cast<double>(r.network_bytes) / 1048576.0;
+  state.counters["bundles"] = static_cast<double>(r.bundles_sent);
+  state.counters["fetch_stall_ns"] =
+      static_cast<double>(r.fetch_stall_ns);
+  state.counters["prefetch_hits"] = static_cast<double>(r.prefetch_hits);
+  state.counters["combined"] = static_cast<double>(r.entries_combined);
 }
 
 /// Scale factor for problem sizes: PPM_BENCH_SCALE=2 doubles workloads,

@@ -42,10 +42,7 @@ void BM_Fig1_CgPpm(benchmark::State& state) {
         run_on(machine, bench::bench_runtime_options(), [&](Env& env) {
           (void)cg_solve_ppm(env, problem, kIters);
         });
-    state.counters["vtime_ms"] = r.duration_s() * 1e3;
-    state.counters["net_msgs"] = static_cast<double>(r.network_messages);
-    state.counters["net_MB"] =
-        static_cast<double>(r.network_bytes) / 1048576.0;
+    bench::report_run_counters(state, r);
   }
   state.counters["nodes"] = nodes;
   state.counters["unknowns"] = static_cast<double>(problem.unknowns());

@@ -45,10 +45,7 @@ void BM_Fig2_MatgenPpm(benchmark::State& state) {
           const auto out = generate_matrix_ppm(env, problem);
           if (env.node_id() == 0) nnz = out.local_rows.nnz();
         });
-    state.counters["vtime_ms"] = r.duration_s() * 1e3;
-    state.counters["net_msgs"] = static_cast<double>(r.network_messages);
-    state.counters["net_MB"] =
-        static_cast<double>(r.network_bytes) / 1048576.0;
+    bench::report_run_counters(state, r);
     benchmark::DoNotOptimize(nnz);
   }
   state.counters["nodes"] = nodes;

@@ -37,10 +37,7 @@ void BM_Fig3_BarnesHutPpm(benchmark::State& state) {
           auto st = setup_nbody_ppm(env, init);
           simulate_ppm(env, st, kOpts);
         });
-    state.counters["vtime_ms"] = r.duration_s() * 1e3;
-    state.counters["net_msgs"] = static_cast<double>(r.network_messages);
-    state.counters["net_MB"] =
-        static_cast<double>(r.network_bytes) / 1048576.0;
+    bench::report_run_counters(state, r);
   }
   state.counters["nodes"] = nodes;
   state.counters["particles"] = static_cast<double>(init.size());

@@ -41,9 +41,13 @@ PpmCgOutput cg_solve_ppm(Env& env, const ChimneyProblem& problem,
 
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     // q = A p. Remote p entries are plain shared reads; the runtime
-    // bundles them into block fetches.
+    // bundles them into block fetches. Announcing the row's column
+    // pattern up front lets the off-chunk blocks stream in while the
+    // accumulation walks the local ones.
     vps.global_phase([&](Vp& vp) {
       const uint64_t i = vp.node_rank();
+      p.prefetch(std::span<const uint64_t>(
+          a.col_idx.data() + a.row_ptr[i], a.row_ptr[i + 1] - a.row_ptr[i]));
       double acc = 0.0;
       for (uint64_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
         acc += a.values[k] * p.get(a.col_idx[k]);

@@ -114,7 +114,11 @@ std::vector<int64_t> components_ppm(Env& env, const Graph& full,
     vps.global_phase([&](Vp& vp) {
       const uint64_t v = part.vertices[vp.node_rank()];
       const int64_t mine = label.get(v);
-      for (uint64_t w : part.adjacency[vp.node_rank()]) {
+      const auto& nbrs = part.adjacency[vp.node_rank()];
+      // Start the remote neighbor-label fetches before comparing, so the
+      // round trips overlap this VP's scan (and other VPs' compute).
+      label.prefetch(nbrs);
+      for (uint64_t w : nbrs) {
         if (label.get(w) > mine) {
           label.min_update(w, mine);
           ++changed_local;

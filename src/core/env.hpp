@@ -109,6 +109,14 @@ class Env {
 
   void barrier() { rt_->barrier_global(); }
 
+  /// Lookahead prefetch of a global array's elements (see
+  /// GlobalShared::prefetch); usable from VP bodies and between phases.
+  template <typename T>
+  void prefetch(const GlobalShared<T>& a,
+                std::span<const uint64_t> indices) {
+    a.prefetch(indices);
+  }
+
   /// Reduction over one value per node; every node gets the result.
   template <typename T, typename Op>
     requires std::is_trivially_copyable_v<T>

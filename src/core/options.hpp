@@ -32,6 +32,30 @@ struct RuntimeOptions {
   /// Flush a destination's write buffer once it exceeds this many bytes.
   uint32_t flush_threshold_bytes = 64 * 1024;
 
+  /// Overlap remote-read latency with computation ("miss-switching"): when
+  /// a VP's read misses the block cache, its core runs other ready VPs of
+  /// the phase while the fetch is in flight, and the blocked VP resumes
+  /// when the response arrives. Commit results are unaffected — writes
+  /// apply in (global VP rank, per-VP seq) order regardless of execution
+  /// order — so this is purely a latency-hiding knob for the ablations.
+  bool overlap_reads = true;
+  /// Max VP bodies stacked on one core fiber by miss-switching (each level
+  /// nests a body frame on the fiber's stack).
+  uint32_t overlap_max_depth = 4;
+
+  /// Automatic sequential lookahead: when a demand miss extends a detected
+  /// forward block stream, fetch up to this many subsequent blocks of the
+  /// same owner ahead of use. 0 disables the automatic path; the explicit
+  /// prefetch() API works regardless.
+  uint32_t prefetch_lookahead_blocks = 1;
+
+  /// Sender-side write combining: pre-reduce same-VP accumulate entries
+  /// and overwrite superseded same-VP set() entries per (array, element)
+  /// inside the per-destination write buffers before they are flushed.
+  /// Shrinks wire bytes and the commit batch; committed results stay
+  /// bit-identical.
+  bool combine_writes = true;
+
   SchedulePolicy schedule = SchedulePolicy::kDynamic;
   /// VPs per scheduling chunk; 0 chooses max(1, K / (cores * 8)).
   uint64_t chunk_size = 0;
@@ -80,6 +104,16 @@ struct RunResult {
   uint64_t remote_reads_served_from_cache = 0;
   uint64_t write_entries = 0;
   uint64_t bundles_sent = 0;
+  /// Virtual time VPs spent parked on remote fetches (summed over nodes);
+  /// the overlap engine exists to shrink this.
+  uint64_t fetch_stall_ns = 0;
+  /// Lookahead blocks requested (explicit prefetch() + automatic stream
+  /// detection) and how many were demanded before going unused.
+  uint64_t prefetch_issued = 0;
+  uint64_t prefetch_hits = 0;
+  /// Write entries folded into an earlier buffered entry by sender-side
+  /// write combining (never shipped or committed individually).
+  uint64_t entries_combined = 0;
   /// Findings of the phase-semantics sanitizer, merged over all nodes.
   /// Populated only when RuntimeOptions::validate_phases was set.
   check::Report check_report;

@@ -71,6 +71,10 @@ RunResult Runtime::collect() const {
     r.remote_reads_served_from_cache += c.reads_from_cache;
     r.write_entries += c.write_entries;
     r.bundles_sent += c.bundles_sent;
+    r.fetch_stall_ns += c.fetch_stall_ns;
+    r.prefetch_issued += c.prefetch_issued;
+    r.prefetch_hits += c.prefetch_hits;
+    r.entries_combined += c.entries_combined;
     if (const check::PhaseValidator* v = n->validator()) {
       r.check_report.merge(v->report());
     }
@@ -103,6 +107,7 @@ void NodeRuntime::start() {
   task_cv_ = std::make_unique<sim::ConditionVar>(machine.engine());
   arrivals_cv_ = std::make_unique<sim::ConditionVar>(machine.engine());
   dest_buffers_.resize(static_cast<size_t>(node_count()));
+  combine_maps_.resize(static_cast<size_t>(node_count()));
 
   machine.spawn_at({node_, 0}, strfmt("n%d.svc", node_),
                    [this] { service_loop(); });
@@ -275,56 +280,205 @@ const std::byte* NodeRuntime::remote_ref(const detail::ArrayRecord& rec,
   if (bundle) {
     if (const auto it = block_cache_.find(key); it != block_cache_.end()) {
       ++counters_.reads_from_cache;
+      publish_block(rec, key, it->second);
       return elem_of(it->second);
     }
     if (const auto it = pending_blocks_.find(key);
         it != pending_blocks_.end()) {
-      // Request combining: another core already asked for this block; wait
-      // for the in-flight fetch and serve from the freshly cached block.
-      auto slot = it->second;
-      arrivals_cv_->wait([&] { return slot->done; });
+      // Request combining: another VP (or the lookahead engine) already
+      // asked for this block; wait for the in-flight fetch and serve from
+      // the freshly cached block.
+      auto slot = it->second;  // keep alive across the wait
+      wait_fetch(*slot);
       ++counters_.reads_from_cache;
       const auto cached = block_cache_.find(key);
       PPM_CHECK(cached != block_cache_.end(),
                 "combined fetch did not populate the block cache");
+      publish_block(rec, key, cached->second);
       return elem_of(cached->second);
     }
-  }
-
-  auto slot = std::make_shared<FetchSlot>();
-  slot->cache_on_arrival = bundle;
-  slot->key = key;
-  if (bundle) {
-    slot->record = &arrays_[rec.id];
-    slot->block_slot = rec.block_slot(index);
-  }
-  const uint64_t req_id = next_req_id();
-  outstanding_[req_id] = slot;
-  if (bundle) pending_blocks_[key] = slot;
-
-  ByteWriter w;
-  w.put(rec.id);
-  w.put(first);
-  w.put(count);
-  w.put(req_id);
-  w.put(request_epoch());
-  rt_send(owner, detail::rt_kind(detail::RtMsg::kGetBlock),
-          std::move(w).take());
-  ++counters_.blocks_fetched;
-
-  arrivals_cv_->wait([&] { return slot->done; });
-  outstanding_.erase(req_id);
-  if (bundle) {
-    // The service fiber placed the payload in the cache on arrival.
-    pending_blocks_.erase(key);
+    auto slot = issue_block_fetch(rec, owner, first, count,
+                                  /*prefetch=*/false);
+    maybe_stream_prefetch(rec, owner, first, olen);
+    wait_fetch(*slot);
+    // The service fiber cached the payload and published it on arrival.
     const auto it = block_cache_.find(key);
     PPM_CHECK(it != block_cache_.end(), "fetched block missing from cache");
     return elem_of(it->second);
   }
+
+  auto slot = std::make_shared<FetchSlot>(*engine_);
+  slot->key = key;
+  slot->req_id = next_req_id();
+  outstanding_[slot->req_id] = slot;
+  ByteWriter w;
+  w.put(rec.id);
+  w.put(first);
+  w.put(count);
+  w.put(slot->req_id);
+  w.put(request_epoch());
+  rt_send(owner, detail::rt_kind(detail::RtMsg::kGetBlock),
+          std::move(w).take());
+  ++counters_.blocks_fetched;
+  wait_fetch(*slot);
   // Unbundled single-element fetch: park the payload in the phase arena so
   // view() pointers stay valid until commit.
   unbundled_arena_.push_back(std::move(slot->data));
   return elem_of(unbundled_arena_.back());
+}
+
+std::shared_ptr<NodeRuntime::FetchSlot> NodeRuntime::issue_block_fetch(
+    const detail::ArrayRecord& rec, int owner, uint64_t first, uint64_t count,
+    bool prefetch) {
+  auto slot = std::make_shared<FetchSlot>(*engine_);
+  slot->cache_on_arrival = true;
+  slot->prefetched = prefetch;
+  slot->key = BlockKey{
+      rec.id, (static_cast<uint64_t>(owner) << kBlockOwnerShift) | first};
+  slot->record = &arrays_[rec.id];
+  slot->block_slot = static_cast<uint64_t>(owner) * rec.blocks_per_chunk +
+                     first / rec.block_elems;
+  slot->req_id = next_req_id();
+  outstanding_[slot->req_id] = slot;
+  pending_blocks_[slot->key] = slot;
+  ByteWriter w;
+  w.put(rec.id);
+  w.put(first);
+  w.put(count);
+  w.put(slot->req_id);
+  w.put(request_epoch());
+  rt_send(owner,
+          detail::rt_kind(prefetch ? detail::RtMsg::kPrefetchBlock
+                                   : detail::RtMsg::kGetBlock),
+          std::move(w).take());
+  ++counters_.blocks_fetched;
+  if (prefetch) ++counters_.prefetch_issued;
+  return slot;
+}
+
+void NodeRuntime::wait_fetch(FetchSlot& slot) {
+  if (opts_.overlap_reads) {
+    // Miss-switching: instead of idling for the round trip, run other
+    // ready VPs of this phase on the same fiber. Each run_one_ready_vp
+    // call executes one full VP body (which may itself miss and nest).
+    while (!slot.done && run_one_ready_vp()) {
+    }
+  }
+  if (slot.done) return;
+  const int64_t t0 = engine_->now_ns();
+  slot.waiters.wait([&] { return slot.done; });
+  const int64_t stalled = engine_->now_ns() - t0;
+  if (stalled > 0) {
+    counters_.fetch_stall_ns += static_cast<uint64_t>(stalled);
+  }
+}
+
+bool NodeRuntime::claim_one_vp(uint32_t fid, uint64_t* out_vp) {
+  if (options().schedule == SchedulePolicy::kStatic) {
+    if (fid >= static_range_.size()) return false;
+    StaticRange& r = static_range_[fid];
+    if (r.next >= r.end) return false;
+    *out_vp = r.next++;
+    return true;
+  }
+  if (task_.next >= task_.k_local) return false;
+  *out_vp = task_.next++;
+  return true;
+}
+
+bool NodeRuntime::run_one_ready_vp() {
+  if (task_.body == nullptr || phase_scope_ == PhaseScope::kNone) {
+    return false;  // reads outside phases have nothing to switch to
+  }
+  const uint32_t fid = engine_->current_fiber_id();
+  if (fid >= vp_by_fiber_.size() || vp_by_fiber_[fid] == nullptr) {
+    return false;  // not a worker fiber mid-phase
+  }
+  if (fid >= miss_depth_.size()) miss_depth_.resize(fid + 1, 0);
+  if (miss_depth_[fid] >= opts_.overlap_max_depth) return false;
+  uint64_t i = 0;
+  if (!claim_one_vp(fid, &i)) return false;
+  Vp* outer = vp_by_fiber_[fid];
+  ++miss_depth_[fid];
+  Vp vp;
+  vp.node_rank_ = i;
+  vp.global_rank_ = task_.k_offset + i;
+  vp_by_fiber_[fid] = &vp;
+  (*task_.body)(vp);
+  vp_by_fiber_[fid] = outer;
+  --miss_depth_[fid];
+  return true;
+}
+
+void NodeRuntime::maybe_stream_prefetch(const detail::ArrayRecord& rec,
+                                        int owner, uint64_t first,
+                                        uint64_t owner_len) {
+  const uint32_t lookahead = opts_.prefetch_lookahead_blocks;
+  if (lookahead == 0 || first == 0) return;
+  // Fetch ahead only when the previous adjacent block was already wanted —
+  // a detected forward stream. Random access then rarely pays for blocks
+  // it will never touch.
+  const BlockKey prev{rec.id,
+                      (static_cast<uint64_t>(owner) << kBlockOwnerShift) |
+                          (first - rec.block_elems)};
+  if (!block_cache_.contains(prev) && !pending_blocks_.contains(prev)) {
+    return;
+  }
+  uint64_t next = first + rec.block_elems;
+  for (uint32_t j = 0; j < lookahead && next < owner_len;
+       ++j, next += rec.block_elems) {
+    const BlockKey key{
+        rec.id, (static_cast<uint64_t>(owner) << kBlockOwnerShift) | next};
+    if (block_cache_.contains(key) || pending_blocks_.contains(key)) {
+      continue;
+    }
+    issue_block_fetch(rec, owner, next,
+                      std::min(rec.block_elems, owner_len - next),
+                      /*prefetch=*/true);
+  }
+}
+
+void NodeRuntime::publish_block(const detail::ArrayRecord& rec,
+                                const BlockKey& key, const Bytes& cached) {
+  auto& mut = arrays_[rec.id];
+  const uint64_t owner = key.block >> kBlockOwnerShift;
+  const uint64_t first = key.block & ((uint64_t{1} << kBlockOwnerShift) - 1);
+  if (!mut.remote_block_ptr.empty()) {
+    mut.remote_block_ptr[owner * mut.blocks_per_chunk +
+                         first / mut.block_elems] = cached.data();
+  }
+  if (prefetched_keys_.erase(key) != 0) {
+    ++counters_.prefetch_hits;
+    // The consumer just reached a prefetched block: keep the stream one
+    // block ahead (demand misses never happen again on a perfect stream,
+    // so this touch is the only point that can extend it).
+    maybe_stream_prefetch(rec, static_cast<int>(owner), first,
+                          rec.owner_len(static_cast<int>(owner)));
+  }
+}
+
+void NodeRuntime::prefetch_elems(uint32_t id,
+                                 std::span<const uint64_t> indices) {
+  const auto& rec = array(id);
+  if (!rec.global || !options().bundle_reads || rec.block_elems == 0) return;
+  for (const uint64_t index : indices) {
+    PPM_CHECK(index < rec.n, "prefetch index %llu out of range (size %llu)",
+              static_cast<unsigned long long>(index),
+              static_cast<unsigned long long>(rec.n));
+    const int owner = rec.owner_of(index);
+    if (owner == node_) continue;
+    const uint64_t llocal = rec.local_of(index);
+    const uint64_t first = (llocal / rec.block_elems) * rec.block_elems;
+    const BlockKey key{
+        rec.id, (static_cast<uint64_t>(owner) << kBlockOwnerShift) | first};
+    if (block_cache_.contains(key) || pending_blocks_.contains(key)) {
+      continue;
+    }
+    const uint64_t olen = rec.owner_len(owner);
+    issue_block_fetch(rec, owner, first,
+                      std::min(rec.block_elems, olen - first),
+                      /*prefetch=*/true);
+  }
 }
 
 void NodeRuntime::gather_elems(uint32_t id,
@@ -338,12 +492,13 @@ void NodeRuntime::gather_elems(uint32_t id,
   }
   if (validator_) [[unlikely]] validator_->on_read(indices.size());
   // Partition by owner; local indices are copied directly, remote owners
-  // each get exactly one indexed-get request (explicit bundling).
+  // each get exactly one indexed-get request (explicit bundling). Owners
+  // are dense small integers, so a flat vector beats an ordered map.
   struct Group {
     std::vector<uint64_t> positions;
     std::vector<uint64_t> indices;  // owner-local coordinates
   };
-  std::map<int, Group> groups;
+  std::vector<Group> groups(static_cast<size_t>(node_count()));
   for (size_t pos = 0; pos < indices.size(); ++pos) {
     const uint64_t index = indices[pos];
     PPM_CHECK(index < rec.n, "gather index %llu out of range",
@@ -354,45 +509,49 @@ void NodeRuntime::gather_elems(uint32_t id,
       std::memcpy(out + pos * rec.ops.size,
                   rec.storage.data() + local * rec.ops.size, rec.ops.size);
     } else {
-      auto& g = groups[owner];
+      auto& g = groups[static_cast<size_t>(owner)];
       g.positions.push_back(pos);
       g.indices.push_back(rec.local_of(index));
     }
   }
-  std::vector<std::pair<const Group*, std::shared_ptr<FetchSlot>>> waits;
-  for (const auto& [owner, group] : groups) {
-    auto slot = std::make_shared<FetchSlot>();
-    const uint64_t req_id = next_req_id();
-    outstanding_[req_id] = slot;
+  struct Wait {
+    const Group* group;
+    std::shared_ptr<FetchSlot> slot;
+  };
+  std::vector<Wait> waits;
+  for (int owner = 0; owner < node_count(); ++owner) {
+    const Group& group = groups[static_cast<size_t>(owner)];
+    if (group.positions.empty()) continue;
+    auto slot = std::make_shared<FetchSlot>(*engine_);
+    slot->req_id = next_req_id();
+    outstanding_[slot->req_id] = slot;
     ByteWriter w;
     w.put(rec.id);
-    w.put(req_id);
+    w.put(slot->req_id);
     w.put(request_epoch());
     w.put_vector(group.indices);
     rt_send(owner, detail::rt_kind(detail::RtMsg::kGetIndexed),
             std::move(w).take());
     ++counters_.blocks_fetched;
-    waits.emplace_back(&group, std::move(slot));
+    waits.push_back(Wait{&group, std::move(slot)});
   }
-  for (auto& [group, slot] : waits) {
-    arrivals_cv_->wait([&] { return slot->done; });
-    PPM_CHECK(slot->data.size() == group->indices.size() * rec.ops.size,
+  for (auto& wt : waits) {
+    // The service fiber erases each request from outstanding_ by its
+    // recorded id when the response arrives; no cleanup scan needed here.
+    wait_fetch(*wt.slot);
+    PPM_CHECK(wt.slot->data.size() == wt.group->indices.size() * rec.ops.size,
               "short indexed-get response");
-    for (size_t j = 0; j < group->positions.size(); ++j) {
-      std::memcpy(out + group->positions[j] * rec.ops.size,
-                  slot->data.data() + j * rec.ops.size, rec.ops.size);
+    for (size_t j = 0; j < wt.group->positions.size(); ++j) {
+      std::memcpy(out + wt.group->positions[j] * rec.ops.size,
+                  wt.slot->data.data() + j * rec.ops.size, rec.ops.size);
     }
-  }
-  // Erasing by value of slot pointer: remove completed requests.
-  for (auto it = outstanding_.begin(); it != outstanding_.end();) {
-    it = it->second->done ? outstanding_.erase(it) : std::next(it);
   }
 }
 
 void NodeRuntime::write_elem(uint32_t id, uint64_t index,
                              const std::byte* value, detail::WriteOp op) {
-  auto& rec = arrays_[id];
   PPM_CHECK(id < arrays_.size(), "unknown shared array id %u", id);
+  auto& rec = arrays_[id];
   PPM_CHECK(index < rec.n, "write index %llu out of range (size %llu)",
             static_cast<unsigned long long>(index),
             static_cast<unsigned long long>(rec.n));
@@ -427,12 +586,52 @@ void NodeRuntime::write_elem(uint32_t id, uint64_t index,
   if (rec.global) {
     const int owner = rec.owner_of(index);
     if (owner != node_) {
-      detail::put_entry(dest_buffer(owner), hdr, value, rec.ops.size);
+      if (opts_.combine_writes && try_combine(owner, hdr, value, rec.ops)) {
+        return;  // folded into a buffered entry; nothing new to flush
+      }
+      ByteWriter& buf = dest_buffer(owner);
+      const size_t offset = buf.size();
+      detail::put_entry(buf, hdr, value, rec.ops.size);
+      if (opts_.combine_writes) {
+        combine_maps_[static_cast<size_t>(owner)][ElemKey{id, index}] =
+            CombineSlot{offset, hdr.vp_rank, hdr.op};
+      }
       maybe_eager_flush(owner);
       return;
     }
   }
   detail::put_entry(local_log_, hdr, value, rec.ops.size);
+}
+
+bool NodeRuntime::try_combine(int dest_node,
+                              const detail::WireEntryHeader& hdr,
+                              const std::byte* value,
+                              const detail::ElemOps& ops) {
+  auto& map = combine_maps_[static_cast<size_t>(dest_node)];
+  const auto it = map.find(ElemKey{hdr.array_id, hdr.index});
+  if (it == map.end()) return false;
+  CombineSlot& slot = it->second;
+  // Only the element's LAST buffered entry is tracked, so combining into
+  // it is safe exactly when this write extends the same VP's same-op run:
+  // commit applies a VP's entries contiguously in seq order, no other
+  // entry for this element sits between the buffered one and this write,
+  // and writes by other VPs order entirely before or after this VP's run
+  // by rank either way. The merged entry keeps the OLD seq (its committed
+  // position) and absorbs the new value.
+  if (slot.vp_rank != hdr.vp_rank || slot.op != hdr.op) {
+    return false;  // caller appends and re-points the map at the new entry
+  }
+  std::byte* entry_value = dest_buffer(dest_node).data() + slot.offset +
+                           detail::kEntryHeaderBytes;
+  if (static_cast<detail::WriteOp>(hdr.op) == detail::WriteOp::kSet) {
+    // Superseded set: the old entry's slot now carries the newest value.
+    std::memcpy(entry_value, value, ops.size);
+  } else {
+    // Same-VP accumulate run: pre-reduce into the buffered value.
+    ops.apply(entry_value, value, static_cast<detail::WriteOp>(hdr.op));
+  }
+  ++counters_.entries_combined;
+  return true;
 }
 
 ByteWriter& NodeRuntime::dest_buffer(int dest_node) {
@@ -449,6 +648,8 @@ void NodeRuntime::maybe_eager_flush(int dest_node) {
   w.put<uint8_t>(0);  // not the last fragment
   w.put_raw(buf.bytes().data(), buf.size());
   buf = ByteWriter{};
+  // Buffered-entry offsets died with the buffer.
+  combine_maps_[static_cast<size_t>(dest_node)].clear();
   rt_send(dest_node, detail::rt_kind(detail::RtMsg::kBundle),
           std::move(w).take());
   ++counters_.bundles_sent;
@@ -463,6 +664,7 @@ void NodeRuntime::flush_all_bundles_final() {
     w.put<uint8_t>(1);  // last fragment: carries the end-of-phase marker
     w.put_raw(buf.bytes().data(), buf.size());
     buf = ByteWriter{};
+    combine_maps_[static_cast<size_t>(dest)].clear();
     rt_send(dest, detail::rt_kind(detail::RtMsg::kBundle),
             std::move(w).take());
     ++counters_.bundles_sent;
@@ -505,6 +707,9 @@ void NodeRuntime::run_phase(bool global, uint64_t k_local, uint64_t k_offset,
     profile.write_entries = counters_.write_entries;
     profile.blocks_fetched = counters_.blocks_fetched;
     profile.bundles_sent = counters_.bundles_sent;
+    profile.fetch_stall_ns = counters_.fetch_stall_ns;
+    profile.prefetch_hits = counters_.prefetch_hits;
+    profile.entries_combined = counters_.entries_combined;
   }
 
   task_.body = &body;
@@ -539,6 +744,11 @@ void NodeRuntime::run_phase(bool global, uint64_t k_local, uint64_t k_offset,
     profile.blocks_fetched =
         counters_.blocks_fetched - profile.blocks_fetched;
     profile.bundles_sent = counters_.bundles_sent - profile.bundles_sent;
+    profile.fetch_stall_ns =
+        counters_.fetch_stall_ns - profile.fetch_stall_ns;
+    profile.prefetch_hits = counters_.prefetch_hits - profile.prefetch_hits;
+    profile.entries_combined =
+        counters_.entries_combined - profile.entries_combined;
     phase_profiles_.push_back(profile);
   }
 }
@@ -565,7 +775,18 @@ void NodeRuntime::run_chunks(int core_index) {
     const uint64_t per_core = (k + cores - 1) / cores;
     const uint64_t begin =
         std::min(k, per_core * static_cast<uint64_t>(core_index));
-    run_range(begin, std::min(k, begin + per_core));
+    // Published through a cursor so miss-switching can claim VPs from this
+    // core's range while the fiber waits on a fetch; claiming one VP at a
+    // time guarantees none runs twice. No reference is held across the
+    // body (another fiber may grow the vector while this one is blocked).
+    if (fid >= static_range_.size()) static_range_.resize(fid + 1);
+    static_range_[fid] = StaticRange{begin, std::min(k, begin + per_core)};
+    for (;;) {
+      const uint64_t i = static_range_[fid].next;
+      if (i >= static_range_[fid].end) break;
+      ++static_range_[fid].next;
+      run_range(i, i + 1);
+    }
   } else {
     for (;;) {
       const uint64_t begin = task_.next;
@@ -628,9 +849,19 @@ void NodeRuntime::commit_global() {
     }
   }
   block_cache_.clear();
+  prefetched_keys_.clear();
   unbundled_arena_.clear();
-  PPM_CHECK(pending_blocks_.empty(),
-            "reads still pending at end-of-phase commit");
+  // Demand reads complete inside the phase (their VP waits), but lookahead
+  // fetches issued late may still be in flight: abandon them. The slot
+  // stays in outstanding_ so a response that does arrive (the owner served
+  // it before committing past our epoch) is recognized and discarded; an
+  // owner that committed first drops the request instead.
+  for (auto& [key, slot] : pending_blocks_) {
+    PPM_CHECK(slot->prefetched && !slot->done,
+              "demand reads still pending at end-of-phase commit");
+    slot->abandoned = true;
+  }
+  pending_blocks_.clear();
 
   // 6. Serve get requests from nodes that raced ahead into the next phase.
   serve_deferred_gets();
@@ -676,22 +907,48 @@ void NodeRuntime::apply_staged_entries(
   // Deterministic conflict resolution: ascending (global VP rank, VP-local
   // sequence); plain sets resolve to the highest-ranked writer's last
   // write. A batch that uses exactly one accumulate op (all-adds, or
-  // all-mins, ...) — the common histogram/BFS/relaxation shape — skips the
-  // sort: a single commutative op yields the same result in any order.
-  // Mixed op kinds do NOT commute with each other (min after add differs
-  // from add after min), so they take the ordered path. (vp_rank, seq)
-  // pairs are unique, so plain sort is deterministic.
+  // all-mins, ...) — the common histogram/BFS/relaxation shape — skips
+  // ordering entirely: a single commutative op yields the same result in
+  // any order. Mixed op kinds do NOT commute with each other (min after
+  // add differs from add after min), so they take the ordered path.
+  //
+  // The ordered path is a bucket pass keyed on (vp_rank, seq) rather than
+  // a comparison sort of the whole batch: each VP's entries already sit in
+  // seq order within its stream (program order, and fragments between one
+  // src/dst pair deliver in order), so grouping entry indices by vp_rank
+  // and walking ranks ascending reproduces the fully sorted order in
+  // O(n + V log V). A per-bucket ordering check guards the delivery
+  // assumption and falls back to sorting just that bucket.
   const bool single_commutative_op =
       (op_mask & (op_mask - 1)) == 0 &&
       (op_mask & (1u << static_cast<uint8_t>(detail::WriteOp::kSet))) == 0;
-  if (!single_commutative_op) {
-    std::sort(entries.begin(), entries.end(),
-              [](const ParsedEntry& a, const ParsedEntry& b) {
-                return a.vp_rank != b.vp_rank ? a.vp_rank < b.vp_rank
-                                              : a.seq < b.seq;
-              });
+  std::vector<uint32_t> order;
+  if (!single_commutative_op && !entries.empty()) {
+    std::unordered_map<uint64_t, std::vector<uint32_t>> by_rank;
+    std::vector<uint64_t> ranks;
+    for (uint32_t idx = 0; idx < entries.size(); ++idx) {
+      auto& bucket = by_rank[entries[idx].vp_rank];
+      if (bucket.empty()) ranks.push_back(entries[idx].vp_rank);
+      bucket.push_back(idx);
+    }
+    std::sort(ranks.begin(), ranks.end());
+    order.reserve(entries.size());
+    const auto seq_less = [&](uint32_t a, uint32_t b) {
+      return entries[a].seq < entries[b].seq;
+    };
+    for (const uint64_t rank : ranks) {
+      auto& bucket = by_rank[rank];
+      if (!std::is_sorted(bucket.begin(), bucket.end(), seq_less)) {
+        std::sort(bucket.begin(), bucket.end(), seq_less);
+      }
+      order.insert(order.end(), bucket.begin(), bucket.end());
+    }
+  } else {
+    order.resize(entries.size());
+    for (uint32_t idx = 0; idx < entries.size(); ++idx) order[idx] = idx;
   }
-  for (const ParsedEntry& e : entries) {
+  for (const uint32_t idx : order) {
+    const ParsedEntry& e = entries[idx];
     auto& rec = arrays_[e.array];
     PPM_CHECK(!rec.global || rec.owner_of(e.index) == node_,
               "write entry for element %llu not owned by node %d",
@@ -771,6 +1028,7 @@ void NodeRuntime::service_loop() {
     net::Message msg = endpoint.recv();
     switch (detail::rt_class(msg.kind)) {
       case detail::RtMsg::kGetBlock:
+      case detail::RtMsg::kPrefetchBlock:
       case detail::RtMsg::kGetIndexed:
         handle_get(std::move(msg));
         break;
@@ -781,21 +1039,30 @@ void NodeRuntime::service_loop() {
         PPM_CHECK(it != outstanding_.end(),
                   "get response for unknown request %llu",
                   static_cast<unsigned long long>(req_id));
+        auto slot = std::move(it->second);
+        outstanding_.erase(it);
+        if (slot->abandoned) break;  // lookahead from a committed phase
         Bytes payload(msg.payload.begin() + sizeof(uint64_t),
                       msg.payload.end());
-        if (it->second->cache_on_arrival) {
+        if (slot->cache_on_arrival) {
           // Populate the block cache here so combined waiters can be woken
-          // in any order relative to the initiating fiber, and publish the
-          // block in the array's direct-mapped table for inline reads.
-          Bytes& cached = block_cache_[it->second->key];
+          // in any order relative to the initiating fiber. Demand blocks
+          // are also published in the array's direct-mapped table for
+          // inline reads; prefetched blocks publish on their first demand
+          // touch instead, so lookahead hits stay observable.
+          Bytes& cached = block_cache_[slot->key];
           cached = std::move(payload);
-          it->second->record->remote_block_ptr[it->second->block_slot] =
-              cached.data();
+          pending_blocks_.erase(slot->key);
+          if (slot->prefetched) {
+            prefetched_keys_.insert(slot->key);
+          } else {
+            slot->record->remote_block_ptr[slot->block_slot] = cached.data();
+          }
         } else {
-          it->second->data = std::move(payload);
+          slot->data = std::move(payload);
         }
-        it->second->done = true;
-        arrivals_cv_->notify_all();
+        slot->done = true;
+        slot->waiters.wake_all();
         break;
       }
       case detail::RtMsg::kBundle:
@@ -811,10 +1078,10 @@ void NodeRuntime::service_loop() {
 }
 
 void NodeRuntime::handle_get(net::Message msg) {
-  // Peek the requester's epoch (layout differs between the two kinds).
+  // Peek the requester's epoch (layout differs between the kinds).
   ByteReader r(msg.payload);
   uint64_t req_epoch;
-  if (detail::rt_class(msg.kind) == detail::RtMsg::kGetBlock) {
+  if (detail::rt_class(msg.kind) != detail::RtMsg::kGetIndexed) {
     (void)r.get<uint32_t>();  // array
     (void)r.get<uint64_t>();  // first
     (void)r.get<uint64_t>();  // count
@@ -826,10 +1093,18 @@ void NodeRuntime::handle_get(net::Message msg) {
     req_epoch = r.get<uint64_t>();
   }
   if (req_epoch != detail::kAsyncEpoch) {
-    PPM_CHECK(req_epoch >= epoch_,
-              "get request for already-committed epoch %llu (at %llu)",
-              static_cast<unsigned long long>(req_epoch),
-              static_cast<unsigned long long>(epoch_));
+    if (req_epoch < epoch_) {
+      // A lookahead fetch can legitimately straggle past the requester's
+      // commit (the requester abandoned its slot there): drop it. For
+      // demand reads a stale epoch is a protocol bug.
+      if (detail::rt_class(msg.kind) == detail::RtMsg::kPrefetchBlock) {
+        return;
+      }
+      PPM_CHECK(false,
+                "get request for already-committed epoch %llu (at %llu)",
+                static_cast<unsigned long long>(req_epoch),
+                static_cast<unsigned long long>(epoch_));
+    }
     if (req_epoch > epoch_) {
       // Requester already passed the barrier we have not committed past:
       // serve after our commit so it sees the new phase-start snapshot.
@@ -845,7 +1120,7 @@ void NodeRuntime::serve_get(const net::Message& msg) {
   ByteWriter reply;
   // All request coordinates are owner-local (i.e. indices into this
   // node's committed storage), for every distribution.
-  if (detail::rt_class(msg.kind) == detail::RtMsg::kGetBlock) {
+  if (detail::rt_class(msg.kind) != detail::RtMsg::kGetIndexed) {
     const auto id = r.get<uint32_t>();
     const auto first = r.get<uint64_t>();
     const auto count = r.get<uint64_t>();
@@ -882,7 +1157,7 @@ void NodeRuntime::serve_deferred_gets() {
   for (auto& msg : deferred_gets_) {
     ByteReader r(msg.payload);
     uint64_t req_epoch;
-    if (detail::rt_class(msg.kind) == detail::RtMsg::kGetBlock) {
+    if (detail::rt_class(msg.kind) != detail::RtMsg::kGetIndexed) {
       (void)r.get<uint32_t>();
       (void)r.get<uint64_t>();
       (void)r.get<uint64_t>();

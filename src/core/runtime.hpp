@@ -26,6 +26,7 @@
 #include <memory>
 #include <span>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "check/validator.hpp"
@@ -231,6 +232,11 @@ class NodeRuntime {
   /// Bundled multi-element read: one request per owner node.
   void gather_elems(uint32_t id, std::span<const uint64_t> indices,
                     std::byte* out);
+  /// Non-blocking lookahead: issue block fetches covering the given
+  /// elements of a global array so later get()/view() calls find them
+  /// cached or in flight. Local and already-covered elements are skipped;
+  /// no-op when read bundling is off.
+  void prefetch_elems(uint32_t id, std::span<const uint64_t> indices);
 
   int owner_of(uint32_t id, uint64_t index) const;
 
@@ -261,6 +267,10 @@ class NodeRuntime {
     uint64_t reads_from_cache = 0;
     uint64_t write_entries = 0;
     uint64_t bundles_sent = 0;
+    uint64_t fetch_stall_ns = 0;    // VP time parked on remote fetches
+    uint64_t prefetch_issued = 0;   // lookahead block fetches sent
+    uint64_t prefetch_hits = 0;     // prefetched blocks demanded before use
+    uint64_t entries_combined = 0;  // writes folded into buffered entries
   };
   const Counters& counters() const { return counters_; }
 
@@ -279,6 +289,9 @@ class NodeRuntime {
     uint64_t write_entries = 0;   // entries logged during this phase
     uint64_t blocks_fetched = 0;  // remote blocks fetched during it
     uint64_t bundles_sent = 0;
+    uint64_t fetch_stall_ns = 0;     // VP time parked on fetches in it
+    uint64_t prefetch_hits = 0;      // prefetched blocks demanded in it
+    uint64_t entries_combined = 0;   // writes combined away in it
 
     int64_t compute_ns() const { return compute_done_ns - start_ns; }
     int64_t commit_ns() const { return committed_ns - compute_done_ns; }
@@ -303,6 +316,9 @@ class NodeRuntime {
     bool shutdown = false;
   };
 
+  /// BlockKey::block packs (owner << kBlockOwnerShift) | first_owner_local.
+  static constexpr int kBlockOwnerShift = 40;
+
   struct BlockKey {
     uint32_t array;
     uint64_t block;
@@ -310,6 +326,7 @@ class NodeRuntime {
   };
 
   struct FetchSlot {
+    explicit FetchSlot(sim::Engine& engine) : waiters(engine) {}
     bool done = false;
     Bytes data;
     // Block fetches: the service fiber inserts the payload straight into
@@ -317,9 +334,18 @@ class NodeRuntime {
     // direct-mapped block table), so combined waiters can be woken in any
     // order.
     bool cache_on_arrival = false;
+    // Issued by the lookahead engine: nobody waits, publication into the
+    // direct-mapped table is deferred to the first demand touch (so hits
+    // are observable), and the slot is abandoned if the phase commits
+    // before the response arrives.
+    bool prefetched = false;
+    bool abandoned = false;
     BlockKey key{};
     detail::ArrayRecord* record = nullptr;
     uint64_t block_slot = 0;
+    uint64_t req_id = 0;
+    // Fibers parked on this fetch; woken (only these) on completion.
+    sim::WaitList waiters;
   };
 
   struct TokenKey {
@@ -345,8 +371,35 @@ class NodeRuntime {
   uint64_t request_epoch() const;
   uint64_t next_req_id() { return req_id_counter_++; }
 
+  // Overlap engine (requester side).
+  std::shared_ptr<FetchSlot> issue_block_fetch(const detail::ArrayRecord& rec,
+                                               int owner, uint64_t first,
+                                               uint64_t count, bool prefetch);
+  /// Block until `slot` completes; with overlap_reads the calling core
+  /// first runs other ready VPs of the current phase (miss-switching) and
+  /// only parks when none are left. Parked time is charged to
+  /// fetch_stall_ns.
+  void wait_fetch(FetchSlot& slot);
+  /// Claim and run one not-yet-started VP of the current phase on the
+  /// calling fiber (nested under the blocked VP's frame). Returns false
+  /// when no VP is available or the nesting cap is reached.
+  bool run_one_ready_vp();
+  bool claim_one_vp(uint32_t fid, uint64_t* out_vp);
+  /// Fetch the next block(s) after `first` when the previous adjacent
+  /// block was already wanted (detected forward stream).
+  void maybe_stream_prefetch(const detail::ArrayRecord& rec, int owner,
+                             uint64_t first, uint64_t owner_len);
+  /// Publish a cached block in the array's direct-mapped table and count
+  /// the first demand touch of a prefetched block.
+  void publish_block(const detail::ArrayRecord& rec, const BlockKey& key,
+                     const Bytes& cached);
+
   // Write engine.
   ByteWriter& dest_buffer(int dest_node);
+  /// Fold this write into an earlier buffered entry for the same (array,
+  /// element) when legal (same VP, compatible op). True when combined.
+  bool try_combine(int dest_node, const detail::WireEntryHeader& hdr,
+                   const std::byte* value, const detail::ElemOps& ops);
   void maybe_eager_flush(int dest_node);
   void flush_all_bundles_final();
 
@@ -389,9 +442,42 @@ class NodeRuntime {
   std::unique_ptr<sim::ConditionVar> task_cv_;
   std::vector<Vp*> vp_by_fiber_;  // indexed by fiber id (dense, small)
 
+  // Miss-switching state, indexed by fiber id. Static scheduling publishes
+  // each core's remaining VP range through a cursor so nested execution can
+  // claim one VP at a time without double-running any (dynamic scheduling
+  // claims from task_.next directly).
+  struct StaticRange {
+    uint64_t next = 0;
+    uint64_t end = 0;
+  };
+  std::vector<StaticRange> static_range_;
+  std::vector<uint32_t> miss_depth_;  // nested VP bodies per fiber
+
   // Write buffers: per destination node (remote) + local log.
   std::vector<ByteWriter> dest_buffers_;
   ByteWriter local_log_;
+
+  // Sender-side write combining: per destination, the buffer offset of the
+  // last entry written to each (array, element) plus the VP/op that wrote
+  // it. Cleared whenever the destination's buffer is flushed.
+  struct ElemKey {
+    uint32_t array;
+    uint64_t index;
+    bool operator==(const ElemKey&) const = default;
+  };
+  struct ElemKeyHash {
+    size_t operator()(const ElemKey& k) const {
+      return std::hash<uint64_t>()((static_cast<uint64_t>(k.array) << 48) ^
+                                   k.index * 0x9e3779b97f4a7c15ULL);
+    }
+  };
+  struct CombineSlot {
+    size_t offset = 0;  // entry start within the dest buffer
+    uint64_t vp_rank = 0;
+    uint8_t op = 0;
+  };
+  std::vector<std::unordered_map<ElemKey, CombineSlot, ElemKeyHash>>
+      combine_maps_;
 
   // Read engine state (cleared every global commit).
   struct BlockKeyHash {
@@ -403,6 +489,10 @@ class NodeRuntime {
   std::unordered_map<BlockKey, Bytes, BlockKeyHash> block_cache_;
   std::unordered_map<BlockKey, std::shared_ptr<FetchSlot>, BlockKeyHash>
       pending_blocks_;
+  // Cached blocks that arrived via prefetch and have not been demanded
+  // yet; the first demand touch moves them into the published table and
+  // counts a prefetch hit.
+  std::unordered_set<BlockKey, BlockKeyHash> prefetched_keys_;
   std::vector<Bytes> unbundled_arena_;  // single-element fetches for views
   std::unordered_map<uint64_t, std::shared_ptr<FetchSlot>> outstanding_;
   std::unique_ptr<sim::ConditionVar> arrivals_cv_;

@@ -102,6 +102,15 @@ class GlobalShared {
     return out;
   }
 
+  /// Lookahead hint: start fetching the cache blocks holding these
+  /// elements now, without blocking. Later get()/view() calls find them
+  /// cached or in flight, so the round trips overlap the caller's compute.
+  /// Local elements and blocks already cached/in-flight are skipped;
+  /// RunResult::prefetch_hits counts blocks demanded before going unused.
+  void prefetch(std::span<const uint64_t> indices) const {
+    rt_->prefetch_elems(id_, indices);
+  }
+
   // -- Locality utilities (the paper's node/global "casting" functions) --
 
   /// First global index owned by this node (block distribution only).

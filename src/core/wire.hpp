@@ -19,6 +19,11 @@ enum class RtMsg : uint8_t {
   kBundle = 4,     // write bundle fragment for the current global phase
   kToken = 5,      // keyed control message (barriers, node collectives)
   kShutdown = 6,   // node program finished; service loop may exit
+  // Lookahead fetch: same payload and reply as kGetBlock, but an owner
+  // that already committed past the request's epoch drops it silently (the
+  // requester abandoned the slot at its own commit) instead of treating it
+  // as a protocol error.
+  kPrefetchBlock = 7,
 };
 
 inline uint64_t rt_kind(RtMsg m) {

@@ -177,6 +177,14 @@ void Engine::wake(Fiber::Id fiber_id, int64_t t_ns) {
   });
 }
 
+bool Engine::try_wake(Fiber::Id fiber_id, int64_t t_ns) {
+  Fiber* fiber = fiber_by_id(fiber_id);
+  PPM_CHECK(fiber != nullptr, "try_wake of unknown fiber %u", fiber_id);
+  if (fiber->state_ != FiberState::kBlocked) return false;
+  wake(fiber_id, t_ns);
+  return true;
+}
+
 Fiber::Id Engine::current_fiber_id() const {
   PPM_CHECK(current_ != nullptr, "no fiber is running");
   return current_->id();

@@ -89,6 +89,13 @@ class Engine {
   /// at max(t_ns, its own vclock)). Callable from fibers or event callbacks.
   void wake(Fiber::Id fiber, int64_t t_ns);
 
+  /// Like wake(), but a no-op returning false when the fiber is not
+  /// blocked. Completion handlers (e.g. a fetch response requeueing its
+  /// waiters) use this: a registered waiter may have been resumed through
+  /// another path, or be busy running borrowed work, by the time the
+  /// completion fires.
+  bool try_wake(Fiber::Id fiber, int64_t t_ns);
+
   Fiber::Id current_fiber_id() const;
   const std::string& current_fiber_name() const;
   bool on_fiber() const { return current_ != nullptr; }

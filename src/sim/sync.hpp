@@ -60,6 +60,39 @@ class ConditionVar {
   std::vector<Fiber::Id> waiters_;
 };
 
+/// Targeted wait list: fibers park on one instance (a fetch slot, an I/O
+/// completion) and the completion handler requeues exactly those fibers.
+/// Unlike ConditionVar::notify_all no unrelated waiter is woken to re-check
+/// its predicate, which matters when thousands of slots complete per phase.
+class WaitList {
+ public:
+  explicit WaitList(Engine& engine) : engine_(engine) {}
+
+  template <typename Pred>
+  void wait(Pred&& pred) {
+    while (!pred()) {
+      waiters_.push_back(engine_.current_fiber_id());
+      engine_.suspend_current();
+    }
+  }
+
+  void wake_all() {
+    const int64_t t = current_time_ns(engine_);
+    std::vector<Fiber::Id> woken;
+    woken.swap(waiters_);
+    // try_wake: a waiter registered here may have been resumed through
+    // another completion in the meantime (it re-registers if its predicate
+    // still fails).
+    for (Fiber::Id id : woken) engine_.try_wake(id, t);
+  }
+
+  size_t num_waiters() const { return waiters_.size(); }
+
+ private:
+  Engine& engine_;
+  std::vector<Fiber::Id> waiters_;
+};
+
 /// Reusable barrier for a fixed number of participants. The release time is
 /// the maximum arrival time, which is exactly the BSP superstep rule.
 class Barrier {

@@ -73,6 +73,10 @@ class ByteWriter {
   size_t size() const { return buf_.size(); }
   Bytes take() && { return std::move(buf_); }
   const Bytes& bytes() const { return buf_; }
+  /// Mutable access to already-written bytes (in-place record patching,
+  /// e.g. write combining folding a value into a buffered entry). The
+  /// pointer is invalidated by the next append.
+  std::byte* data() { return buf_.data(); }
 
  private:
   Bytes buf_;

@@ -275,6 +275,23 @@ TEST(RuntimeMisuse, OutOfRangeAccessRejected) {
                Error);
 }
 
+TEST(RuntimeMisuse, WriteToUnknownArrayRejected) {
+  // Regression: write_elem used to index arrays_ before validating the
+  // id, so an unknown array id was undefined behavior instead of Error.
+  EXPECT_THROW(run(cfg(1, 1),
+                   [&](Env& env) {
+                     auto vps = env.ppm_do(1);
+                     vps.global_phase([&](Vp& vp) {
+                       (void)vp;
+                       const int v = 1;
+                       env.runtime().write_elem(
+                           99, 0, reinterpret_cast<const std::byte*>(&v),
+                           detail::WriteOp::kSet);
+                     });
+                   }),
+               Error);
+}
+
 TEST(RuntimeMisuse, NestedPhasesRejected) {
   EXPECT_THROW(run(cfg(1, 1),
                    [&](Env& env) {

@@ -82,6 +82,84 @@ TEST(ConditionVar, NotifyOneWakesSingleWaiter) {
   EXPECT_EQ(through, 1);
 }
 
+TEST(WaitList, WakeAllReleasesOnlyCurrentWaiters) {
+  Engine engine;
+  WaitList wl(engine);
+  bool flag = false;
+  int through = 0;
+  for (int i = 0; i < 3; ++i) {
+    engine.spawn("w" + std::to_string(i), [&] {
+      wl.wait([&] { return flag; });
+      ++through;
+    });
+  }
+  engine.spawn("setter", [&] {
+    engine.advance_ns(2 * kSmallAdvanceNs);
+    EXPECT_EQ(wl.num_waiters(), 3u);
+    flag = true;
+    wl.wake_all();
+  });
+  engine.run();
+  EXPECT_EQ(through, 3);
+  EXPECT_EQ(wl.num_waiters(), 0u);
+}
+
+TEST(WaitList, PredicateAlreadyTrueDoesNotEnlist) {
+  Engine engine;
+  WaitList wl(engine);
+  bool done = false;
+  engine.spawn("w", [&] {
+    wl.wait([] { return true; });
+    done = true;
+  });
+  engine.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(wl.num_waiters(), 0u);
+}
+
+TEST(WaitList, SpuriousWakeReblocksUntilPredicateHolds) {
+  Engine engine;
+  WaitList wl(engine);
+  int value = 0;
+  int64_t woke_at = -1;
+  engine.spawn("waiter", [&] {
+    wl.wait([&] { return value >= 2; });
+    woke_at = engine.now_ns();
+  });
+  engine.spawn("ticker", [&] {
+    engine.advance_ns(100 * kSmallAdvanceNs);
+    value = 1;
+    wl.wake_all();  // predicate still false -> waiter re-enlists
+    engine.advance_ns(100 * kSmallAdvanceNs);
+    value = 2;
+    wl.wake_all();
+  });
+  engine.run();
+  EXPECT_EQ(woke_at, 200 * kSmallAdvanceNs);
+}
+
+TEST(WaitList, TryWakeOfRunnableFiberIsANoOp) {
+  // WaitList::wake_all relies on Engine::try_wake tolerating targets that
+  // are no longer blocked (woken by someone else, or never suspended).
+  // Engine::wake would CHECK-fail on such a target.
+  Engine engine;
+  WaitList wl(engine);
+  bool flag = false;
+  bool done = false;
+  const Fiber::Id waiter = engine.spawn("waiter", [&] {
+    wl.wait([&] { return flag; });
+    done = true;
+  });
+  engine.spawn("waker", [&] {
+    engine.advance_ns(2 * kSmallAdvanceNs);
+    flag = true;
+    wl.wake_all();  // waiter becomes runnable...
+    EXPECT_FALSE(engine.try_wake(waiter, engine.now_ns()));  // ...so no-op
+  });
+  engine.run();
+  EXPECT_TRUE(done);
+}
+
 TEST(Barrier, ReleasesAtMaxArrivalTime) {
   Engine engine;
   Barrier barrier(engine, 3);

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Figure/ablation bench harness: runs the figure benches and the overlap
+# ablation at fixed seeds and merges their JSON output into BENCH_fig.json
+# at the repo root (one object per bench row: name + every reported
+# counter, duration_ns / net_bytes / bundles / fetch_stall_ns included).
+#
+# The workloads are deterministic (fixed seeds, virtual-time simulator),
+# so the traffic counters are exactly reproducible; vtime under measured
+# calibration varies with host speed.
+#
+# Usage: tools/bench.sh [--smoke] [--out FILE]
+#   --smoke  shrink workloads (PPM_BENCH_SCALE=0.25) and run only the
+#            smallest node counts — a CI-speed sanity pass, not a
+#            measurement.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="BENCH_fig.json"
+smoke=0
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --smoke) smoke=1 ;;
+    --out) out="$2"; shift ;;
+    *) echo "unknown arg: $1" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+benches=(fig1_cg fig2_matgen fig3_barneshut ablation_overlap)
+
+filter="."
+if [ "${smoke}" = 1 ]; then
+  export PPM_BENCH_SCALE="${PPM_BENCH_SCALE:-0.25}"
+  # Smallest node counts only; keep all four overlap-engine configs.
+  filter='(/1/|/2/|OverlapEngine)'
+fi
+
+cmake --preset default >/dev/null
+cmake --build --preset default -j "$(nproc 2>/dev/null || echo 4)" \
+  $(printf -- '--target %s ' "${benches[@]}")
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "${tmpdir}"' EXIT
+for b in "${benches[@]}"; do
+  echo "=== bench: ${b} ==="
+  "build/bench/${b}" --benchmark_filter="${filter}" \
+    --benchmark_format=json >"${tmpdir}/${b}.json"
+done
+
+python3 - "${out}" "${tmpdir}" "${benches[@]}" <<'PY'
+import json, sys
+out, tmpdir, benches = sys.argv[1], sys.argv[2], sys.argv[3:]
+rows = []
+for b in benches:
+    with open(f"{tmpdir}/{b}.json") as f:
+        data = json.load(f)
+    for run in data.get("benchmarks", []):
+        row = {"bench": b, "name": run["name"]}
+        for key, val in run.items():
+            if isinstance(val, (int, float)) and key not in ("family_index",
+                    "per_family_instance_index", "repetition_index",
+                    "repetitions", "iterations", "threads"):
+                row[key] = val
+        rows.append(row)
+with open(out, "w") as f:
+    json.dump({"rows": rows}, f, indent=1, sort_keys=True)
+    f.write("\n")
+print(f"wrote {out}: {len(rows)} rows")
+PY

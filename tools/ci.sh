@@ -24,4 +24,14 @@ for preset in default san; do
   ctest --preset "${preset}" -j "${jobs}" "$@"
 done
 
+echo "=== bench smoke (run, not gated) ==="
+# Exercise the figure/ablation harness end-to-end at toy scale. Failures
+# here are reported but do not fail CI: the benches measure, they are not
+# correctness referees (the test suite above is).
+if tools/bench.sh --smoke --out build/BENCH_smoke.json; then
+  echo "bench smoke OK (build/BENCH_smoke.json)"
+else
+  echo "WARNING: bench smoke failed (not gating CI)" >&2
+fi
+
 echo "CI OK: both presets built, all tests passed."
