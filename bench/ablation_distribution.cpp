@@ -8,6 +8,9 @@
 // over all nodes.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <vector>
+
 #include "bench_common.hpp"
 #include "core/ppm.hpp"
 #include "util/rng.hpp"
@@ -48,11 +51,105 @@ void BM_Ablation_Distribution(benchmark::State& state) {
   state.counters["nodes"] = static_cast<double>(state.range(1));
 }
 
+// Ablation L — the locality engine ("automatic data distribution and
+// locality management", §3): access-profiled adaptive distribution with
+// deterministic block migration.
+//
+// Workload: a mismatched graph-style partition. The owner-computes VPs of
+// node p repeatedly read the chunk of `src` initially placed on node
+// (p+1)%P — the skew that arises when the compute partition and the data
+// layout were chosen independently. With the planner off, every round
+// refetches the neighbour's blocks over the wire; with it on, one
+// planning round moves each hot block to its dominant reader and the
+// remaining rounds run out of local memory. Committed contents are
+// bit-identical either way (checked against a static kBlock reference via
+// checksum, reported as the contents_match counter).
+
+constexpr uint64_t kLocalityRounds = 8;
+
+struct LocalityArm {
+  RunResult result;
+  uint64_t checksum = 0;
+};
+
+LocalityArm run_locality_arm(int nodes, Distribution dist,
+                             bool adaptive_on) {
+  const auto n = static_cast<uint64_t>(
+      bench::bench_scale() * static_cast<double>(uint64_t{1} << 15));
+  // Modeled-only calibration: the per-element compute is one add, so under
+  // measured calibration host noise would drown the communication delta
+  // this ablation isolates. Modeled time makes both arms' virtual times
+  // exactly reproducible (the traffic counters always are).
+  cluster::MachineConfig mcfg = bench::bench_machine(nodes);
+  mcfg.engine.calibration = sim::CalibrationMode::kModeledOnly;
+  cluster::Machine machine(mcfg);
+  RuntimeOptions opts = bench::bench_runtime_options();
+  opts.adaptive_distribution = adaptive_on;
+  LocalityArm arm;
+  arm.result = run_on(machine, opts, [&](Env& env) {
+    auto src = env.global_array<double>(n, dist);
+    auto out = env.global_array<double>(n, Distribution::kBlock);
+    const auto p = static_cast<uint64_t>(env.node_count());
+    const uint64_t chunk = n / p;
+    auto vps = env.ppm_do(chunk);  // one VP per owned element
+    vps.global_phase([&](Vp& vp) {
+      const uint64_t i = vp.global_rank();
+      src.set(i, static_cast<double>(i) * 0.5 + 1.0);
+    });
+    const uint64_t shift = chunk;  // the right neighbour's partition
+    for (uint64_t round = 0; round < kLocalityRounds; ++round) {
+      vps.global_phase([&](Vp& vp) {
+        const uint64_t i = vp.global_rank();
+        out.add(i, src.get((i + shift) % n));
+      });
+    }
+    // Fold both committed arrays into one checksum on node 0, so the
+    // arms can prove their logical results are bit-identical.
+    auto probe = env.ppm_do(env.node_id() == 0 ? 1 : 0);
+    probe.global_phase([&](Vp&) {
+      std::vector<uint64_t> idx(n);
+      for (uint64_t i = 0; i < n; ++i) idx[i] = i;
+      uint64_t h = 0xcbf29ce484222325ULL;
+      for (const auto& values : {src.gather(idx), out.gather(idx)}) {
+        for (const double v : values) {
+          uint64_t bits;
+          std::memcpy(&bits, &v, sizeof(bits));
+          h = (h ^ bits) * 0x100000001b3ULL;
+        }
+      }
+      arm.checksum = h;
+    });
+  });
+  return arm;
+}
+
+void BM_Ablation_Locality(benchmark::State& state) {
+  const bool adaptive_on = state.range(0) != 0;
+  const int nodes = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    const LocalityArm arm =
+        run_locality_arm(nodes, Distribution::kAdaptive, adaptive_on);
+    // Reference: the same program on a static block layout. Logical
+    // contents must not depend on placement or migration.
+    const LocalityArm ref =
+        run_locality_arm(nodes, Distribution::kBlock, false);
+    bench::report_run_counters(state, arm.result);
+    state.counters["contents_match"] =
+        arm.checksum == ref.checksum ? 1.0 : 0.0;
+  }
+  state.counters["adaptive"] = static_cast<double>(state.range(0));
+  state.counters["nodes"] = static_cast<double>(state.range(1));
+}
+
 }  // namespace
 
 BENCHMARK(BM_Ablation_Distribution)
     ->Args({0, 4})->Args({1, 4})->Args({0, 8})->Args({1, 8})
     ->Args({0, 16})->Args({1, 16})
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_Ablation_Locality)
+    ->Args({0, 4})->Args({1, 4})->Args({0, 8})->Args({1, 8})
     ->Iterations(1)->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

@@ -85,6 +85,12 @@ inline void report_run_counters(benchmark::State& state,
       static_cast<double>(r.fetch_stall_ns);
   state.counters["prefetch_hits"] = static_cast<double>(r.prefetch_hits);
   state.counters["combined"] = static_cast<double>(r.entries_combined);
+  state.counters["blocks_migrated"] =
+      static_cast<double>(r.blocks_migrated);
+  state.counters["migration_KB"] =
+      static_cast<double>(r.migration_bytes) / 1024.0;
+  state.counters["remote_to_local"] =
+      static_cast<double>(r.remote_to_local_conversions);
 }
 
 /// Scale factor for problem sizes: PPM_BENCH_SCALE=2 doubles workloads,

@@ -10,6 +10,12 @@ namespace ppm::apps::cg {
 PpmCgOutput cg_solve_ppm(Env& env, const ChimneyProblem& problem,
                          const CgOptions& options) {
   const uint64_t n = problem.unknowns();
+  // All four vectors stay kBlock deliberately: dot() and local_begin/
+  // local_end assume the contiguous block layout, and the chimney
+  // matrix's banded structure keeps p-reads clustered near each node's
+  // own chunk — there is no skewed hot set for the locality engine
+  // (Distribution::kAdaptive) to exploit here. The graph kernels are the
+  // owner-mapped showcase.
   auto x = env.global_array<double>(n);
   auto r = env.global_array<double>(n);
   auto p = env.global_array<double>(n);

@@ -6,6 +6,12 @@
 // commutative min_update on remote elements — exactly the "high-volume
 // random fine-grained data accesses" the paper motivates, with all
 // communication implicit.
+//
+// Pass Distribution::kAdaptive for the vertex-state arrays (with
+// RuntimeOptions::adaptive_distribution, or relying on the rebalance()
+// hint in components_ppm) to let the locality engine migrate hot blocks
+// toward their dominant readers; results are bit-identical under every
+// distribution.
 #pragma once
 
 #include "apps/graph/graph.hpp"

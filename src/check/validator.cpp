@@ -16,6 +16,7 @@ constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
 constexpr uint64_t kTagArray = 0xA1;
 constexpr uint64_t kTagGroup = 0xB2;
 constexpr uint64_t kTagGlobalPhase = 0xC3;
+constexpr uint64_t kTagMigration = 0xD4;
 
 uint8_t popcount8(uint8_t v) {
   uint8_t c = 0;
@@ -82,6 +83,13 @@ void PhaseValidator::on_group_coordinated() {
   ++groups_coordinated_;
   fold(kTagGroup);
   fold(groups_coordinated_);
+}
+
+void PhaseValidator::on_migration_round(uint64_t arrays_planned,
+                                        uint64_t moves, uint64_t plan_hash) {
+  fold(kTagMigration);
+  fold((arrays_planned << 32) | moves);
+  fold(plan_hash);
 }
 
 void PhaseValidator::on_phase_start(bool global) {

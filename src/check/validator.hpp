@@ -60,6 +60,13 @@ class PhaseValidator {
                         uint32_t elem_size, uint8_t dist, int nodes);
   /// A collective ppm_do group coordination completed on this node.
   void on_group_coordinated();
+  /// The locality engine ran a migration planning round at a global
+  /// commit. `plan_hash` digests the accepted moves (array, block,
+  /// source, destination, slot), so owner maps diverging between nodes —
+  /// which would silently corrupt every later remote access — surface as
+  /// a lockstep mismatch at the very next fingerprint exchange.
+  void on_migration_round(uint64_t arrays_planned, uint64_t moves,
+                          uint64_t plan_hash);
   /// A phase body is about to run.
   void on_phase_start(bool global);
   void on_read(uint64_t count = 1) { report_.reads_observed += count; }

@@ -117,6 +117,14 @@ class Env {
     a.prefetch(indices);
   }
 
+  /// Locality hint (see GlobalShared::rebalance): plan block migrations
+  /// for an owner-mapped array at the next global commit. Collective —
+  /// call between phases, identically on every node.
+  template <typename T>
+  void rebalance(const GlobalShared<T>& a) {
+    a.rebalance();
+  }
+
   /// Reduction over one value per node; every node gets the result.
   template <typename T, typename Op>
     requires std::is_trivially_copyable_v<T>

@@ -56,6 +56,22 @@ struct RuntimeOptions {
   /// bit-identical.
   bool combine_writes = true;
 
+  /// Locality engine: run the migration planner automatically at every
+  /// global-phase commit for owner-mapped (Distribution::kAdaptive)
+  /// arrays. Off, kAdaptive arrays keep their initial block-aligned layout
+  /// unless a program requests a one-shot planning round through
+  /// rebalance(). Either way the plan is computed identically on every
+  /// node from allgathered access counters, so no extra coordination
+  /// rounds are needed and committed logical contents are unaffected.
+  bool adaptive_distribution = false;
+  /// Migrate a block only when its dominant remote accessor recorded at
+  /// least this many times the owner's own accesses since the last
+  /// planning round (hysteresis against ping-ponging).
+  double migrate_remote_ratio = 2.0;
+  /// Cap on blocks moved per planning round across all arrays (bounds the
+  /// commit-time migration burst).
+  uint32_t migrate_max_blocks_per_phase = 64;
+
   SchedulePolicy schedule = SchedulePolicy::kDynamic;
   /// VPs per scheduling chunk; 0 chooses max(1, K / (cores * 8)).
   uint64_t chunk_size = 0;
@@ -114,6 +130,13 @@ struct RunResult {
   /// Write entries folded into an earlier buffered entry by sender-side
   /// write combining (never shipped or committed individually).
   uint64_t entries_combined = 0;
+  /// Locality engine: migration blocks that changed owners (counted at the
+  /// sending side) and the element bytes they carried over the wire.
+  uint64_t blocks_migrated = 0;
+  uint64_t migration_bytes = 0;
+  /// Accesses the planner observed going remote that its accepted moves
+  /// turned local (each counted once, on the node that gains the block).
+  uint64_t remote_to_local_conversions = 0;
   /// Findings of the phase-semantics sanitizer, merged over all nodes.
   /// Populated only when RuntimeOptions::validate_phases was set.
   check::Report check_report;

@@ -75,6 +75,9 @@ RunResult Runtime::collect() const {
     r.prefetch_issued += c.prefetch_issued;
     r.prefetch_hits += c.prefetch_hits;
     r.entries_combined += c.entries_combined;
+    r.blocks_migrated += c.blocks_migrated;
+    r.migration_bytes += c.migration_bytes;
+    r.remote_to_local_conversions += c.remote_to_local_conversions;
     if (const check::PhaseValidator* v = n->validator()) {
       r.check_report.merge(v->report());
     }
@@ -108,6 +111,7 @@ void NodeRuntime::start() {
   arrivals_cv_ = std::make_unique<sim::ConditionVar>(machine.engine());
   dest_buffers_.resize(static_cast<size_t>(node_count()));
   combine_maps_.resize(static_cast<size_t>(node_count()));
+  combine_hwm_.resize(static_cast<size_t>(node_count()), 0);
 
   machine.spawn_at({node_, 0}, strfmt("n%d.svc", node_),
                    [this] { service_loop(); });
@@ -150,6 +154,8 @@ uint32_t NodeRuntime::create_array(bool global, uint64_t n,
   PPM_CHECK(phase_scope_ == PhaseScope::kNone,
             "shared arrays must be created outside phases");
   PPM_CHECK(n > 0, "shared array needs at least one element");
+  PPM_CHECK(global || dist != Distribution::kAdaptive,
+            "node-shared arrays cannot be owner-mapped (kAdaptive)");
   detail::ArrayRecord rec;
   rec.id = static_cast<uint32_t>(arrays_.size());
   rec.global = global;
@@ -159,7 +165,47 @@ uint32_t NodeRuntime::create_array(bool global, uint64_t n,
   rec.nodes = node_count();
   if (global) {
     rec.chunk = chunk_of(n, node_count());
-    if (dist == Distribution::kBlock) {
+    if (dist == Distribution::kAdaptive) {
+      // Owner-mapped layout: the array is covered by fixed migration
+      // blocks, initially dealt out block-aligned (kBlock restricted to
+      // block granularity), with one block of storage headroom per freed
+      // slot: every node keeps cap_blocks slots so the planner can pull
+      // blocks in before (or without ever) giving its own away. Placement
+      // never affects logical contents, so the coarser initial alignment
+      // is invisible outside the wire/byte counters.
+      const uint64_t nodes64 = static_cast<uint64_t>(rec.nodes);
+      rec.mig_block_elems =
+          std::max<uint64_t>(1, options().read_block_bytes / ops.size);
+      rec.mig_blocks = (n + rec.mig_block_elems - 1) / rec.mig_block_elems;
+      const uint64_t bpc = (rec.mig_blocks + nodes64 - 1) / nodes64;
+      rec.cap_blocks = std::min(rec.mig_blocks, 2 * bpc);
+      rec.mig_owner.resize(rec.mig_blocks);
+      rec.mig_slot.resize(rec.mig_blocks);
+      rec.free_slots.assign(static_cast<size_t>(rec.nodes), {});
+      for (uint64_t b = 0; b < rec.mig_blocks; ++b) {
+        rec.mig_owner[b] = static_cast<int32_t>(b / bpc);
+        rec.mig_slot[b] = static_cast<uint32_t>(b % bpc);
+      }
+      for (int p = 0; p < rec.nodes; ++p) {
+        const uint64_t owned =
+            std::min(bpc, rec.mig_blocks -
+                              std::min(rec.mig_blocks,
+                                       bpc * static_cast<uint64_t>(p)));
+        auto& free = rec.free_slots[static_cast<size_t>(p)];
+        // An ascending run is already a valid min-heap.
+        for (uint64_t s = owned; s < rec.cap_blocks; ++s) {
+          free.push_back(static_cast<uint32_t>(s));
+        }
+      }
+      rec.access_count.assign(rec.mig_blocks, 0);
+      // Slotted storage: cap_blocks full slots per node. Setting chunk to
+      // the slot extent makes the bundling setup below size the block
+      // table so read-cache blocks coincide with migration slots.
+      rec.chunk = rec.cap_blocks * rec.mig_block_elems;
+      rec.chunk_base = 0;
+      rec.chunk_len = rec.chunk;
+      any_adaptive_ = true;
+    } else if (dist == Distribution::kBlock) {
       rec.chunk_base = std::min(n, rec.chunk * static_cast<uint64_t>(node_));
       rec.chunk_len = std::min(rec.chunk, n - rec.chunk_base);
     } else {
@@ -208,6 +254,18 @@ int NodeRuntime::owner_of(uint32_t id, uint64_t index) const {
   return rec.global ? rec.owner_of(index) : node_;
 }
 
+void NodeRuntime::request_rebalance(uint32_t id) {
+  const auto& rec = array(id);
+  if (rec.mig_block_elems == 0) return;  // static layout: nothing can move
+  PPM_CHECK(phase_scope_ == PhaseScope::kNone,
+            "rebalance must be requested outside phases");
+  const auto it = std::lower_bound(rebalance_requests_.begin(),
+                                   rebalance_requests_.end(), id);
+  if (it == rebalance_requests_.end() || *it != id) {
+    rebalance_requests_.insert(it, id);
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Element access
 // ---------------------------------------------------------------------------
@@ -231,6 +289,7 @@ void NodeRuntime::read_elem(uint32_t id, uint64_t index, std::byte* out) {
     engine_->advance_ns(opts_.access_overhead_ns);
   }
   if (validator_) [[unlikely]] validator_->on_read();
+  note_access(rec, index);
   // Committed storage holds phase-start values during a phase (writes are
   // deferred), so local reads are plain loads.
   if (!rec.global || rec.owner_of(index) == node_) {
@@ -249,6 +308,7 @@ const std::byte* NodeRuntime::read_ref(uint32_t id, uint64_t index) {
             static_cast<unsigned long long>(rec.n));
   charge_access();
   if (validator_) [[unlikely]] validator_->on_read();
+  note_access(rec, index);
   if (!rec.global || rec.owner_of(index) == node_) {
     const uint64_t local = rec.global ? rec.local_of(index) : index;
     return rec.storage.data() + local * rec.ops.size;
@@ -503,6 +563,7 @@ void NodeRuntime::gather_elems(uint32_t id,
     const uint64_t index = indices[pos];
     PPM_CHECK(index < rec.n, "gather index %llu out of range",
               static_cast<unsigned long long>(index));
+    note_access(rec, index);
     const int owner = rec.global ? rec.owner_of(index) : node_;
     if (owner == node_) {
       const uint64_t local = rec.global ? rec.local_of(index) : index;
@@ -558,6 +619,7 @@ void NodeRuntime::write_elem(uint32_t id, uint64_t index,
   if (opts_.access_overhead_ns > 0) {
     engine_->advance_ns(opts_.access_overhead_ns);
   }
+  note_access(rec, index);
 
   if (phase_scope_ == PhaseScope::kNone) {
     // Outside phases only the node program runs; writes apply immediately.
@@ -589,7 +651,7 @@ void NodeRuntime::write_elem(uint32_t id, uint64_t index,
       if (opts_.combine_writes && try_combine(owner, hdr, value, rec.ops)) {
         return;  // folded into a buffered entry; nothing new to flush
       }
-      ByteWriter& buf = dest_buffer(owner);
+      ByteWriter& buf = bundle_buffer(owner);
       const size_t offset = buf.size();
       detail::put_entry(buf, hdr, value, rec.ops.size);
       if (opts_.combine_writes) {
@@ -638,36 +700,74 @@ ByteWriter& NodeRuntime::dest_buffer(int dest_node) {
   return dest_buffers_[static_cast<size_t>(dest_node)];
 }
 
+ByteWriter& NodeRuntime::bundle_buffer(int dest_node) {
+  ByteWriter& buf = dest_buffers_[static_cast<size_t>(dest_node)];
+  if (buf.size() == 0) {
+    // The fragment header lives inside the buffer from the first entry
+    // on: flush_bundle patches the last-flag in place and ships the
+    // buffer itself, instead of re-copying the whole payload into a fresh
+    // writer per flush. Remote global writes only happen inside global
+    // phases, so every entry appended later belongs to this epoch.
+    buf.put(epoch_);
+    buf.put<uint8_t>(0);
+  }
+  return buf;
+}
+
+void NodeRuntime::flush_bundle(int dest_node, bool last) {
+  ByteWriter& buf = bundle_buffer(dest_node);  // header even when empty
+  buf.data()[kBundleLastOffset] = static_cast<std::byte>(last ? 1 : 0);
+  rt_send(dest_node, detail::rt_kind(detail::RtMsg::kBundle),
+          std::move(buf).take());
+  ++counters_.bundles_sent;
+  // Reseed from the recycled-allocation pool: steady-state flushes then
+  // never touch the allocator.
+  buf = ByteWriter(pool_take());
+  // Buffered-entry offsets died with the shipped payload.
+  reset_combine_map(dest_node);
+}
+
+Bytes NodeRuntime::pool_take() {
+  if (bundle_pool_.empty()) return Bytes{};
+  Bytes b = std::move(bundle_pool_.back());
+  bundle_pool_.pop_back();
+  return b;
+}
+
+void NodeRuntime::pool_put(Bytes b) {
+  if (b.capacity() != 0 && bundle_pool_.size() < kBundlePoolMax) {
+    b.clear();
+    bundle_pool_.push_back(std::move(b));
+  }
+}
+
+void NodeRuntime::reset_combine_map(int dest_node) {
+  auto& map = combine_maps_[static_cast<size_t>(dest_node)];
+  size_t& hwm = combine_hwm_[static_cast<size_t>(dest_node)];
+  hwm = std::max(hwm, map.size());
+  map.clear();
+  // clear() keeps the bucket array in practice, but that is not
+  // guaranteed; re-reserving the high-water size makes the no-rehash
+  // steady state explicit.
+  map.reserve(hwm);
+}
+
 void NodeRuntime::maybe_eager_flush(int dest_node) {
   if (!options().eager_flush) return;
-  ByteWriter& buf = dest_buffer(dest_node);
-  if (buf.size() < options().flush_threshold_bytes) return;
+  if (dest_buffer(dest_node).size() <
+      options().flush_threshold_bytes + kBundleHeaderBytes) {
+    return;
+  }
   // Stream a fragment now so the transfer overlaps remaining computation.
-  ByteWriter w;
-  w.put(epoch_);
-  w.put<uint8_t>(0);  // not the last fragment
-  w.put_raw(buf.bytes().data(), buf.size());
-  buf = ByteWriter{};
-  // Buffered-entry offsets died with the buffer.
-  combine_maps_[static_cast<size_t>(dest_node)].clear();
-  rt_send(dest_node, detail::rt_kind(detail::RtMsg::kBundle),
-          std::move(w).take());
-  ++counters_.bundles_sent;
+  flush_bundle(dest_node, /*last=*/false);
 }
 
 void NodeRuntime::flush_all_bundles_final() {
   for (int dest = 0; dest < node_count(); ++dest) {
     if (dest == node_) continue;
-    ByteWriter& buf = dest_buffer(dest);
-    ByteWriter w;
-    w.put(epoch_);
-    w.put<uint8_t>(1);  // last fragment: carries the end-of-phase marker
-    w.put_raw(buf.bytes().data(), buf.size());
-    buf = ByteWriter{};
-    combine_maps_[static_cast<size_t>(dest)].clear();
-    rt_send(dest, detail::rt_kind(detail::RtMsg::kBundle),
-            std::move(w).take());
-    ++counters_.bundles_sent;
+    // Every peer gets exactly one last-marker fragment per phase (possibly
+    // header-only).
+    flush_bundle(dest, /*last=*/true);
   }
 }
 
@@ -710,6 +810,8 @@ void NodeRuntime::run_phase(bool global, uint64_t k_local, uint64_t k_offset,
     profile.fetch_stall_ns = counters_.fetch_stall_ns;
     profile.prefetch_hits = counters_.prefetch_hits;
     profile.entries_combined = counters_.entries_combined;
+    profile.blocks_migrated = counters_.blocks_migrated;
+    profile.migration_bytes = counters_.migration_bytes;
   }
 
   task_.body = &body;
@@ -749,6 +851,10 @@ void NodeRuntime::run_phase(bool global, uint64_t k_local, uint64_t k_offset,
     profile.prefetch_hits = counters_.prefetch_hits - profile.prefetch_hits;
     profile.entries_combined =
         counters_.entries_combined - profile.entries_combined;
+    profile.blocks_migrated =
+        counters_.blocks_migrated - profile.blocks_migrated;
+    profile.migration_bytes =
+        counters_.migration_bytes - profile.migration_bytes;
     phase_profiles_.push_back(profile);
   }
 }
@@ -814,10 +920,34 @@ void NodeRuntime::commit_global() {
         [&] { return staged_last_markers_[epoch_] == node_count() - 1; });
   }
 
-  // 3. Global barrier: after it, no node still reads phase-start values
-  //    (reads are synchronous within the VP loop) and all bundles are
-  //    staged everywhere.
-  barrier_global();
+  // 3. Locality engine: decide — on SPMD-replicated state only, so
+  //    identically on every node — whether this commit runs a migration
+  //    planning round. Raising the flag before the barrier matters: a
+  //    peer can finish its whole commit while this node is still
+  //    applying, and its post-phase async reads then route by the NEW
+  //    owner map, which this node's storage honors only once its own
+  //    round is done. The flag makes the service fiber defer those reads
+  //    until then. All local access counting is finished here (reads are
+  //    synchronous in the VP loop; writes were counted when logged), so
+  //    the counters are final and ready to ship.
+  const bool migrate_round = migration_round_due();
+  std::vector<Bytes> mig_counts;
+  if (migrate_round) migration_in_progress_ = true;
+
+  // 3a. Global barrier: after it, no node still reads phase-start values
+  //     and all bundles are staged everywhere. On planning rounds the
+  //     barrier tokens carry each node's access counters (Bruck-style
+  //     dissemination), so the planner's allgather costs zero extra
+  //     latency rounds on top of the commit exchange.
+  if (migrate_round) {
+    ByteWriter w;
+    for (const uint32_t id : planned_array_ids()) {
+      w.put_vector(arrays_[id].access_count);
+    }
+    mig_counts = barrier_allgather(std::move(w).take());
+  } else {
+    barrier_global();
+  }
 
   // 3b. Sanitizer: exchange SPMD-lockstep fingerprints while every node is
   //     parked at this commit anyway (piggybacks on the token/allgather
@@ -834,9 +964,21 @@ void NodeRuntime::commit_global() {
   if (validator_) validator_->begin_commit(/*global_phase=*/true, epoch_);
   apply_staged_entries(std::move(buffers));
   validate_commit_finish();
-  local_log_ = ByteWriter{};
-  if (staged != staged_bundles_.end()) staged_bundles_.erase(staged);
+  local_log_.clear();  // keep the allocation for the next phase
+  if (staged != staged_bundles_.end()) {
+    // Recycle the staged fragments' allocations into the bundle pool.
+    for (Bytes& b : staged->second) pool_put(std::move(b));
+    staged_bundles_.erase(staged);
+  }
   staged_last_markers_.erase(epoch_);
+
+  // 4b. Migration planning round: every node computes the identical plan
+  //     from allgathered access counters, rewrites the owner maps, and
+  //     exchanges the moving block payloads. Must run after the apply
+  //     above (this phase's writes were routed by the old map) and before
+  //     the epoch bump below (peers' new-epoch gets stay deferred until
+  //     the maps and storage agree again).
+  if (migrate_round) run_migration_round(std::move(mig_counts));
 
   // 5. New epoch: phase-start snapshot changes, so the read cache dies.
   ++epoch_;
@@ -876,8 +1018,194 @@ void NodeRuntime::commit_node() {
   }
   apply_staged_entries(std::move(buffers));
   validate_commit_finish();
-  local_log_ = ByteWriter{};
+  local_log_.clear();  // keep the allocation for the next phase
   unbundled_arena_.clear();  // view() pointers die with the phase
+}
+
+// ---------------------------------------------------------------------------
+// Locality engine: commit-time migration planning
+// ---------------------------------------------------------------------------
+
+bool NodeRuntime::migration_round_due() const {
+  // Evaluated identically on every node: any_adaptive_ follows from array
+  // creation (SPMD-collective by contract), options are cluster-wide, and
+  // rebalance() requests are SPMD-collective by contract too.
+  if (!any_adaptive_ || node_count() <= 1) return false;
+  return opts_.adaptive_distribution || !rebalance_requests_.empty();
+}
+
+std::vector<uint32_t> NodeRuntime::planned_array_ids() const {
+  // Arrays up for planning: every owner-mapped array under automatic
+  // mode, else exactly the requested rebalances. Ascending id either way
+  // (and identical everywhere — both sources are SPMD-replicated).
+  std::vector<uint32_t> ids;
+  if (opts_.adaptive_distribution) {
+    for (const auto& rec : arrays_) {
+      if (rec.mig_block_elems != 0) ids.push_back(rec.id);
+    }
+  } else {
+    ids = rebalance_requests_;
+  }
+  return ids;
+}
+
+void NodeRuntime::run_migration_round(std::vector<Bytes> all) {
+  const std::vector<uint32_t> ids = planned_array_ids();
+  rebalance_requests_.clear();
+
+  // 1. Decode the counter exchange that rode on the commit barrier:
+  //    `all[n]` holds node n's access counters for the planned arrays.
+  const int p = node_count();
+  // counts[node][array position in ids][migration block]
+  std::vector<std::vector<std::vector<uint64_t>>> counts(
+      static_cast<size_t>(p));
+  for (int n = 0; n < p; ++n) {
+    ByteReader r(all[static_cast<size_t>(n)]);
+    auto& per_node = counts[static_cast<size_t>(n)];
+    per_node.reserve(ids.size());
+    for (size_t a = 0; a < ids.size(); ++a) {
+      per_node.push_back(r.get_vector<uint64_t>());
+    }
+  }
+
+  // 2. Greedy plan, computed identically everywhere from identical
+  //    inputs: a block is a candidate when some remote node out-accessed
+  //    the owner by migrate_remote_ratio; candidates move best-gain-first
+  //    (ties broken by array then block) until the per-round budget or
+  //    the destination's free slots run out. Applying a move updates the
+  //    replicated owner map and the free-slot heaps in the same
+  //    deterministic order on every node.
+  struct Move {
+    uint32_t array;
+    uint64_t block;
+    int from;
+    int to;
+    uint32_t from_slot;
+    uint32_t to_slot;
+    uint64_t gain;
+  };
+  std::vector<Move> cands;
+  for (size_t a = 0; a < ids.size(); ++a) {
+    const auto& rec = arrays_[ids[a]];
+    for (uint64_t b = 0; b < rec.mig_blocks; ++b) {
+      const int cur = rec.mig_owner[b];
+      int best = 0;
+      uint64_t best_c = counts[0][a][b];
+      for (int n = 1; n < p; ++n) {  // ties resolve to the lowest node id
+        if (counts[static_cast<size_t>(n)][a][b] > best_c) {
+          best = n;
+          best_c = counts[static_cast<size_t>(n)][a][b];
+        }
+      }
+      if (best == cur || best_c == 0) continue;
+      const uint64_t cur_c = counts[static_cast<size_t>(cur)][a][b];
+      if (static_cast<double>(best_c) <
+          opts_.migrate_remote_ratio *
+              static_cast<double>(std::max<uint64_t>(1, cur_c))) {
+        continue;
+      }
+      cands.push_back(Move{ids[a], b, cur, best, 0, 0, best_c - cur_c});
+    }
+  }
+  std::sort(cands.begin(), cands.end(), [](const Move& x, const Move& y) {
+    if (x.gain != y.gain) return x.gain > y.gain;
+    if (x.array != y.array) return x.array < y.array;
+    return x.block < y.block;
+  });
+
+  std::vector<Move> plan;
+  uint64_t plan_hash = 0xcbf29ce484222325ULL;
+  for (Move& m : cands) {
+    if (plan.size() >= opts_.migrate_max_blocks_per_phase) break;
+    auto& rec = arrays_[m.array];
+    auto& dst_free = rec.free_slots[static_cast<size_t>(m.to)];
+    if (dst_free.empty()) continue;  // destination at capacity
+    std::pop_heap(dst_free.begin(), dst_free.end(), std::greater<>());
+    m.to_slot = dst_free.back();
+    dst_free.pop_back();
+    m.from_slot = rec.mig_slot[m.block];
+    auto& src_free = rec.free_slots[static_cast<size_t>(m.from)];
+    src_free.push_back(m.from_slot);
+    std::push_heap(src_free.begin(), src_free.end(), std::greater<>());
+    rec.mig_owner[m.block] = m.to;
+    rec.mig_slot[m.block] = m.to_slot;
+    for (const uint64_t word :
+         {static_cast<uint64_t>(m.array), m.block,
+          (static_cast<uint64_t>(static_cast<uint32_t>(m.from)) << 32) |
+              static_cast<uint32_t>(m.to),
+          static_cast<uint64_t>(m.to_slot)}) {
+      plan_hash = (plan_hash ^ word) * 0x100000001b3ULL;
+    }
+    plan.push_back(m);
+  }
+  if (validator_) {
+    // The plan digest joins the lockstep fingerprint: owner maps silently
+    // diverging between nodes would corrupt every later remote access, so
+    // make them surface at the next fingerprint exchange.
+    validator_->on_migration_round(ids.size(), plan.size(), plan_hash);
+  }
+
+  // 3. Data movement. Serialize every outbound slot before applying any
+  //    inbound payload: an arriving block may have been assigned a slot
+  //    freed by an outbound one in this same round. The service fiber
+  //    only stages arrivals in mig_inbox_, so storage stays untouched
+  //    until the apply loop below.
+  std::vector<size_t> pos_of_array(arrays_.size(), 0);
+  for (size_t a = 0; a < ids.size(); ++a) pos_of_array[ids[a]] = a;
+  uint64_t expected = 0;
+  for (const Move& m : plan) {
+    if (m.to == node_) {
+      ++expected;
+      // Accesses this node made remotely that the move turns local, each
+      // counted once cluster-wide (on the node gaining the block).
+      counters_.remote_to_local_conversions +=
+          counts[static_cast<size_t>(node_)][pos_of_array[m.array]][m.block];
+    }
+    if (m.from != node_) continue;
+    const auto& rec = arrays_[m.array];
+    const size_t block_bytes = rec.mig_block_elems * rec.ops.size;
+    ByteWriter out;
+    out.put(m.array);
+    out.put(m.block);
+    out.put_raw(rec.storage.data() +
+                    static_cast<size_t>(m.from_slot) * block_bytes,
+                block_bytes);
+    rt_send(m.to, detail::rt_kind(detail::RtMsg::kMigrateBlock),
+            std::move(out).take());
+    ++counters_.blocks_migrated;
+    counters_.migration_bytes += block_bytes;
+  }
+
+  // 4. Wait for and apply this node's inbound blocks — the identical plan
+  //    tells every node exactly how many to expect, so no handshake or
+  //    extra round is needed. Arrivals cannot belong to a later round: a
+  //    peer reaches its next round only through a barrier this node has
+  //    not entered yet.
+  arrivals_cv_->wait([&] { return mig_inbox_.size() >= expected; });
+  PPM_CHECK(mig_inbox_.size() == expected,
+            "unexpected migration payload (%zu staged, %llu planned)",
+            mig_inbox_.size(), static_cast<unsigned long long>(expected));
+  for (const MigArrival& arr : mig_inbox_) {
+    PPM_CHECK(arr.array < arrays_.size(),
+              "migration payload for unknown array %u", arr.array);
+    auto& rec = arrays_[arr.array];
+    PPM_CHECK(rec.mig_block_elems != 0 && arr.block < rec.mig_blocks &&
+                  rec.mig_owner[arr.block] == node_,
+              "migration payload does not match the plan");
+    const size_t block_bytes = rec.mig_block_elems * rec.ops.size;
+    PPM_CHECK(arr.data.size() == block_bytes, "short migration payload");
+    std::memcpy(rec.storage.data() +
+                    static_cast<size_t>(rec.mig_slot[arr.block]) * block_bytes,
+                arr.data.data(), block_bytes);
+  }
+  mig_inbox_.clear();
+
+  // 5. Fresh profiling window for the next round.
+  for (const uint32_t id : ids) {
+    auto& ac = arrays_[id].access_count;
+    std::fill(ac.begin(), ac.end(), 0);
+  }
+  migration_in_progress_ = false;
 }
 
 void NodeRuntime::apply_staged_entries(
@@ -1068,6 +1396,20 @@ void NodeRuntime::service_loop() {
       case detail::RtMsg::kBundle:
         handle_bundle(std::move(msg));
         break;
+      case detail::RtMsg::kMigrateBlock: {
+        // Stage only: run_migration_round applies arrivals after all of
+        // this node's outbound slots are serialized, so an inbound block
+        // cannot clobber a slot still waiting to be shipped.
+        ByteReader r(msg.payload);
+        MigArrival arr;
+        arr.array = r.get<uint32_t>();
+        arr.block = r.get<uint64_t>();
+        const auto data = r.view(r.remaining());
+        arr.data.assign(data.begin(), data.end());
+        mig_inbox_.push_back(std::move(arr));
+        arrivals_cv_->notify_all();
+        break;
+      }
       case detail::RtMsg::kToken:
         handle_token(std::move(msg));
         break;
@@ -1092,7 +1434,15 @@ void NodeRuntime::handle_get(net::Message msg) {
     (void)r.get<uint64_t>();  // req id
     req_epoch = r.get<uint64_t>();
   }
-  if (req_epoch != detail::kAsyncEpoch) {
+  if (req_epoch == detail::kAsyncEpoch) {
+    if (migration_in_progress_) {
+      // This commit's migration round may be about to overwrite the slot
+      // the request resolves to (the requester routed it with the
+      // already-updated owner map). Serve once the round has applied.
+      deferred_gets_.push_back(std::move(msg));
+      return;
+    }
+  } else {
     if (req_epoch < epoch_) {
       // A lookahead fetch can legitimately straggle past the requester's
       // commit (the requester abandoned its slot there): drop it. For
@@ -1168,7 +1518,10 @@ void NodeRuntime::serve_deferred_gets() {
       (void)r.get<uint64_t>();
       req_epoch = r.get<uint64_t>();
     }
-    if (req_epoch <= epoch_) {
+    const bool servable = req_epoch == detail::kAsyncEpoch
+                              ? !migration_in_progress_
+                              : req_epoch <= epoch_;
+    if (servable) {
       serve_get(msg);
     } else {
       still_deferred.push_back(std::move(msg));
@@ -1187,6 +1540,8 @@ void NodeRuntime::handle_bundle(net::Message msg) {
     ++staged_last_markers_[epoch];
     arrivals_cv_->notify_all();
   }
+  // The delivered buffer's capacity feeds the sender-side free pool.
+  pool_put(std::move(msg.payload));
 }
 
 void NodeRuntime::handle_token(net::Message msg) {
@@ -1234,6 +1589,50 @@ void NodeRuntime::barrier_global() {
     token_send((node_ + offset) % p, kChBarrier, seq, round, Bytes{});
     (void)token_recv((node_ - offset % p + p) % p, kChBarrier, seq, round);
   }
+}
+
+std::vector<Bytes> NodeRuntime::barrier_allgather(Bytes mine) {
+  const int p = node_count();
+  std::vector<Bytes> blocks(static_cast<size_t>(p));
+  blocks[static_cast<size_t>(node_)] = std::move(mine);
+  if (p == 1) return blocks;
+  const uint64_t seq = barrier_seq_++;
+  // Bruck-style dissemination: the identical send/recv pattern (offsets
+  // 1, 2, 4, ... — and with it the round count and the synchronization
+  // property) as barrier_global, but each round's token carries the
+  // contributions its receiver is still missing. After round r every node
+  // holds the blocks of ranks node_, node_-1, ..., node_-(2^(r+1)-1).
+  int have = 1;
+  uint32_t round = 0;
+  for (int offset = 1; offset < p; offset *= 2, ++round) {
+    const int send_count = std::min(have, p - have);
+    ByteWriter w;
+    w.put(static_cast<uint32_t>(send_count));
+    for (int b = 0; b < send_count; ++b) {
+      const Bytes& blk = blocks[static_cast<size_t>((node_ - b + p) % p)];
+      w.put_span(std::span<const char>(
+          reinterpret_cast<const char*>(blk.data()), blk.size()));
+    }
+    token_send((node_ + offset) % p, kChBarrier, seq, round,
+               std::move(w).take());
+    const int peer = (node_ - offset % p + p) % p;
+    const Bytes in = token_recv(peer, kChBarrier, seq, round);
+    ByteReader r(in);
+    const auto count = r.get<uint32_t>();
+    PPM_CHECK(static_cast<int>(count) == send_count,
+              "counter exchange out of lockstep (round %u: got %u blocks, "
+              "expected %d)",
+              round, count, send_count);
+    for (uint32_t b = 0; b < count; ++b) {
+      const auto v = r.get_vector<char>();
+      Bytes& blk =
+          blocks[static_cast<size_t>((peer - static_cast<int>(b) + p) % p)];
+      blk.resize(v.size());
+      if (!v.empty()) std::memcpy(blk.data(), v.data(), v.size());
+    }
+    have += send_count;
+  }
+  return blocks;
 }
 
 std::vector<Bytes> NodeRuntime::allgather_bytes(Bytes mine) {

@@ -57,10 +57,14 @@ class Vp {
 /// How a global shared array's elements map onto nodes ("automatic data
 /// distribution", §3). Block keeps contiguous chunks together (good for
 /// owner-computes stencils); cyclic deals elements round-robin (spreads
-/// irregular hot spots).
+/// irregular hot spots). Adaptive starts block-aligned but materializes a
+/// per-block owner map that the locality engine rewrites at global-phase
+/// commits, moving blocks toward their dominant accessors (kBlock/kCyclic
+/// are the closed-form special cases of the same block→owner map).
 enum class Distribution : uint8_t {
   kBlock,
   kCyclic,
+  kAdaptive,
 };
 
 namespace detail {
@@ -114,21 +118,50 @@ struct ArrayRecord {
   uint64_t chunk = 0;  // max elements per owner (ceil(n / nodes))
   std::vector<std::byte> storage;  // committed values (zero-initialized)
 
+  // Owner-mapped (kAdaptive) distribution: elements are grouped into
+  // fixed migration blocks of mig_block_elems each, and a replicated
+  // block→(owner, slot) map — rewritten only inside the lockstep planning
+  // rounds of the locality engine — replaces the closed-form placement
+  // formulas. Every node stores cap_blocks slots; mig_slot[b] names the
+  // slot block b occupies on its owner. mig_block_elems == 0 means the
+  // array uses a static (kBlock/kCyclic) layout.
+  uint64_t mig_block_elems = 0;
+  uint64_t mig_blocks = 0;
+  uint64_t cap_blocks = 0;
+  std::vector<int32_t> mig_owner;
+  std::vector<uint32_t> mig_slot;
+  // Per-node min-heaps of unoccupied slots, replicated and updated
+  // identically everywhere by the planner (deterministic slot choice).
+  std::vector<std::vector<uint32_t>> free_slots;
+  // Locality profiler: accesses per migration block since the last
+  // planning round. Mutable: recorded through const handles on the read
+  // fast path. Empty unless the array is owner-mapped.
+  mutable std::vector<uint64_t> access_count;
+
   /// Node owning global element i.
   int owner_of(uint64_t i) const {
+    if (mig_block_elems != 0) return mig_owner[i / mig_block_elems];
     return dist == Distribution::kBlock
                ? static_cast<int>(i / chunk)
                : static_cast<int>(i % static_cast<uint64_t>(nodes));
   }
   /// Owner-local storage index of global element i.
   uint64_t local_of(uint64_t i) const {
+    if (mig_block_elems != 0) {
+      return static_cast<uint64_t>(mig_slot[i / mig_block_elems]) *
+                 mig_block_elems +
+             i % mig_block_elems;
+    }
     return dist == Distribution::kBlock
                ? i % chunk
                : i / static_cast<uint64_t>(nodes);
   }
-  /// Element count stored by `owner`.
+  /// Element count stored by `owner` (slot capacity for owner-mapped
+  /// arrays — slotted storage is sized for migration headroom, not for
+  /// the blocks currently resident).
   uint64_t owner_len(int owner) const {
     if (!global) return n;
+    if (mig_block_elems != 0) return cap_blocks * mig_block_elems;
     if (dist == Distribution::kBlock) {
       const uint64_t base = std::min(n, chunk * static_cast<uint64_t>(owner));
       return std::min(chunk, n - base);
@@ -216,6 +249,23 @@ class NodeRuntime {
   /// Bump the bundling counter from the handles' inline cached-read path.
   void note_cache_hit() { ++counters_.reads_from_cache; }
 
+  /// Locality profiler hook, called on every element access of the read/
+  /// write paths. Static-layout arrays keep access_count empty, so the
+  /// hook reduces to one never-taken branch there (same trick as the
+  /// validator's null-pointer hooks).
+  void note_access(const detail::ArrayRecord& rec, uint64_t index) {
+    if (!rec.access_count.empty()) [[unlikely]] {
+      ++rec.access_count[index / rec.mig_block_elems];
+    }
+  }
+
+  /// Ask the locality engine to run one migration planning round for this
+  /// array at the next global-phase commit. SPMD-collective by contract:
+  /// every node must request the same rebalances between the same phases
+  /// (the planner's allgather assumes it; ppm::check's lockstep
+  /// fingerprint catches divergence). No-op for static-layout arrays.
+  void request_rebalance(uint32_t id);
+
   /// Read-only view of this node's committed chunk (global arrays) or the
   /// whole committed array (node-shared) — the paper's node/global space
   /// "casting" utility.
@@ -271,6 +321,9 @@ class NodeRuntime {
     uint64_t prefetch_issued = 0;   // lookahead block fetches sent
     uint64_t prefetch_hits = 0;     // prefetched blocks demanded before use
     uint64_t entries_combined = 0;  // writes folded into buffered entries
+    uint64_t blocks_migrated = 0;   // migration blocks sent to a new owner
+    uint64_t migration_bytes = 0;   // element bytes those blocks carried
+    uint64_t remote_to_local_conversions = 0;  // see RunResult
   };
   const Counters& counters() const { return counters_; }
 
@@ -292,6 +345,8 @@ class NodeRuntime {
     uint64_t fetch_stall_ns = 0;     // VP time parked on fetches in it
     uint64_t prefetch_hits = 0;      // prefetched blocks demanded in it
     uint64_t entries_combined = 0;   // writes combined away in it
+    uint64_t blocks_migrated = 0;    // blocks this node shipped at commit
+    uint64_t migration_bytes = 0;    // bytes those blocks carried
 
     int64_t compute_ns() const { return compute_done_ns - start_ns; }
     int64_t commit_ns() const { return committed_ns - compute_done_ns; }
@@ -394,14 +449,48 @@ class NodeRuntime {
   void publish_block(const detail::ArrayRecord& rec, const BlockKey& key,
                      const Bytes& cached);
 
-  // Write engine.
+  // Write engine. Each destination buffer carries its fragment header
+  // (epoch + last-flag) in place from the first entry on, so a flush ships
+  // the buffer itself — no copy into a fresh writer — and reseeds it from
+  // a small pool of recycled allocations.
+  static constexpr size_t kBundleHeaderBytes =
+      sizeof(uint64_t) + sizeof(uint8_t);
+  static constexpr size_t kBundleLastOffset = sizeof(uint64_t);
+  static constexpr size_t kBundlePoolMax = 16;
   ByteWriter& dest_buffer(int dest_node);
+  /// dest_buffer plus lazily written fragment header.
+  ByteWriter& bundle_buffer(int dest_node);
+  /// Patch the last-flag, ship the buffer, reseed it from the pool, reset
+  /// the destination's combine map.
+  void flush_bundle(int dest_node, bool last);
   /// Fold this write into an earlier buffered entry for the same (array,
   /// element) when legal (same VP, compatible op). True when combined.
   bool try_combine(int dest_node, const detail::WireEntryHeader& hdr,
                    const std::byte* value, const detail::ElemOps& ops);
   void maybe_eager_flush(int dest_node);
   void flush_all_bundles_final();
+  Bytes pool_take();
+  void pool_put(Bytes b);
+  /// Clear a destination's combine map but keep its table at high-water
+  /// capacity, so steady-state flushes stop rehashing from empty.
+  void reset_combine_map(int dest_node);
+
+  // Locality engine (all nodes run these at the same global commits).
+  /// Deterministic cluster-wide predicate: does this commit run a
+  /// migration planning round? (Depends only on SPMD-replicated state.)
+  bool migration_round_due() const;
+  /// Arrays the next planning round covers, in ascending id order
+  /// (identical on every node).
+  std::vector<uint32_t> planned_array_ids() const;
+  /// Global barrier that doubles as an allgather: each dissemination
+  /// round's token carries the byte blobs its receiver is missing, so
+  /// the planner's counter exchange rides the commit barrier at zero
+  /// extra latency rounds. Result indexed by node.
+  std::vector<Bytes> barrier_allgather(Bytes mine);
+  /// From the allgathered access counters, compute the identical greedy
+  /// plan on every node, rewrite the owner maps, move block payloads via
+  /// kMigrateBlock, and reset the profiler.
+  void run_migration_round(std::vector<Bytes> all_counts);
 
   // Phase engine.
   void run_vp_loop(const std::function<void(Vp&)>& body);
@@ -453,9 +542,13 @@ class NodeRuntime {
   std::vector<StaticRange> static_range_;
   std::vector<uint32_t> miss_depth_;  // nested VP bodies per fiber
 
-  // Write buffers: per destination node (remote) + local log.
+  // Write buffers: per destination node (remote) + local log. Flushed
+  // buffers are reseeded from bundle_pool_ (fed by received bundle
+  // payloads and drained staging copies), keeping steady-state flushes
+  // allocation-free.
   std::vector<ByteWriter> dest_buffers_;
   ByteWriter local_log_;
+  std::vector<Bytes> bundle_pool_;
 
   // Sender-side write combining: per destination, the buffer offset of the
   // last entry written to each (array, element) plus the VP/op that wrote
@@ -478,6 +571,22 @@ class NodeRuntime {
   };
   std::vector<std::unordered_map<ElemKey, CombineSlot, ElemKeyHash>>
       combine_maps_;
+  std::vector<size_t> combine_hwm_;  // high-water map sizes, per dest
+
+  // Locality engine state. mig_inbox_ stages inbound kMigrateBlock
+  // payloads (appended by the service fiber, applied by the commit path
+  // once its own outbound copies are serialized); migration_in_progress_
+  // makes the service fiber defer async-epoch gets while owner maps are
+  // mid-rewrite anywhere in the cluster.
+  struct MigArrival {
+    uint32_t array = 0;
+    uint64_t block = 0;
+    Bytes data;
+  };
+  bool any_adaptive_ = false;
+  bool migration_in_progress_ = false;
+  std::vector<uint32_t> rebalance_requests_;  // sorted array ids
+  std::vector<MigArrival> mig_inbox_;
 
   // Read engine state (cleared every global commit).
   struct BlockKeyHash {

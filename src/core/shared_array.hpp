@@ -73,10 +73,11 @@ class GlobalShared {
       return local_data_[rel];
     }
     if (i < n_) {
-      // Cyclic local elements.
-      if (rec_->dist == Distribution::kCyclic &&
+      // Cyclic and owner-mapped local elements.
+      if (rec_->dist != Distribution::kBlock &&
           rec_->owner_of(i) == rt_->node_id()) {
         rt_->charge_access();
+        rt_->note_access(*rec_, i);
         return local_data_[rec_->local_of(i)];
       }
       // Remote element: consult the array's direct-mapped block table; a
@@ -86,6 +87,7 @@ class GlobalShared {
         if (block != nullptr) {
           rt_->charge_access();
           rt_->note_cache_hit();
+          rt_->note_access(*rec_, i);
           const uint64_t in_block = rec_->local_of(i) % rec_->block_elems;
           return *reinterpret_cast<const T*>(block + in_block * sizeof(T));
         }
@@ -111,6 +113,13 @@ class GlobalShared {
     rt_->prefetch_elems(id_, indices);
   }
 
+  /// Locality hint: run one migration planning round for this array at the
+  /// next global-phase commit, even when RuntimeOptions::
+  /// adaptive_distribution is off. SPMD-collective by contract (every node
+  /// must request the same rebalances between the same phases). No-op
+  /// unless the array was created with Distribution::kAdaptive.
+  void rebalance() const { rt_->request_rebalance(id_); }
+
   // -- Locality utilities (the paper's node/global "casting" functions) --
 
   /// First global index owned by this node (block distribution only).
@@ -133,8 +142,13 @@ class GlobalShared {
   uint64_t local_count() const { return rec_->chunk_len; }
 
   /// Read-only view of this node's committed chunk (phase-start values
-  /// during a phase).
+  /// during a phase). Static layouts only: owner-mapped storage is
+  /// slotted for migration headroom, so a raw span would mix live blocks
+  /// with free or stale slots.
   std::span<const T> local_span() const {
+    PPM_CHECK(rec_->mig_block_elems == 0,
+              "local_span is not defined for owner-mapped (kAdaptive) "
+              "arrays; use get()/gather() instead");
     const auto bytes = rt_->committed_bytes(id_);
     return {reinterpret_cast<const T*>(bytes.data()),
             bytes.size() / sizeof(T)};

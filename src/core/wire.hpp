@@ -24,6 +24,12 @@ enum class RtMsg : uint8_t {
   // requester abandoned the slot at its own commit) instead of treating it
   // as a protocol error.
   kPrefetchBlock = 7,
+  // Locality engine: one migration block changing owners at a global
+  // commit. Payload: u32 array id, u64 migration-block index, then the
+  // block's raw element bytes. The receiver stages the payload and applies
+  // it from its own commit path once its side of the (identical) plan is
+  // reached; no reply.
+  kMigrateBlock = 8,
 };
 
 inline uint64_t rt_kind(RtMsg m) {

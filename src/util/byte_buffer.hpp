@@ -22,6 +22,11 @@ using Bytes = std::vector<std::byte>;
 class ByteWriter {
  public:
   ByteWriter() = default;
+  /// Adopt an existing byte vector as backing store, keeping its capacity
+  /// but discarding its contents — recycles a flushed buffer's allocation.
+  explicit ByteWriter(Bytes recycled) : buf_(std::move(recycled)) {
+    buf_.clear();
+  }
 
   template <typename T>
     requires std::is_trivially_copyable_v<T>
@@ -71,6 +76,9 @@ class ByteWriter {
   }
 
   size_t size() const { return buf_.size(); }
+  /// Drop the contents but keep the allocation (hot paths that refill the
+  /// same writer every phase).
+  void clear() { buf_.clear(); }
   Bytes take() && { return std::move(buf_); }
   const Bytes& bytes() const { return buf_; }
   /// Mutable access to already-written bytes (in-place record patching,

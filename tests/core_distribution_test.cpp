@@ -157,6 +157,44 @@ TEST_P(CyclicDistribution, MatchesBlockDistributionResults) {
     return content;
   };
   EXPECT_EQ(run_with(Distribution::kBlock), run_with(Distribution::kCyclic));
+  // Owner-mapped placement (with or without the migration planner armed)
+  // must be just as invisible to logical contents.
+  EXPECT_EQ(run_with(Distribution::kBlock), run_with(Distribution::kAdaptive));
+}
+
+TEST_P(CyclicDistribution, AdaptiveMatchesUnderAutomaticMigration) {
+  const uint64_t n = 31;
+  auto run_with = [&](Distribution dist, bool adaptive_on) {
+    std::vector<int64_t> content;
+    PpmConfig c = config();
+    c.runtime.adaptive_distribution = adaptive_on;
+    c.runtime.read_block_bytes = 16;  // several migration blocks per node
+    run(c, [&](Env& env) {
+      auto a = env.global_array<int64_t>(n, dist);
+      const auto nodes = static_cast<uint64_t>(env.node_count());
+      const auto me = static_cast<uint64_t>(env.node_id());
+      const uint64_t k = n / nodes + (me < n % nodes ? 1 : 0);
+      auto vps = env.ppm_do(k);
+      vps.global_phase([&](Vp& vp) {
+        a.set(vp.global_rank(),
+              static_cast<int64_t>(vp.global_rank() * vp.global_rank()));
+      });
+      for (int round = 0; round < 4; ++round) {
+        vps.global_phase([&](Vp& vp) {
+          const uint64_t i = vp.global_rank();
+          a.add(i, a.get((i + 7) % n) % 100);
+        });
+      }
+      vps.global_phase([&](Vp& vp) {
+        if (env.node_id() == 0 && vp.node_rank() == 0) {
+          for (uint64_t i = 0; i < n; ++i) content.push_back(a.get(i));
+        }
+      });
+    });
+    return content;
+  };
+  EXPECT_EQ(run_with(Distribution::kBlock, false),
+            run_with(Distribution::kAdaptive, true));
 }
 
 INSTANTIATE_TEST_SUITE_P(

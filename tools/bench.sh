@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Figure/ablation bench harness: runs the figure benches and the overlap
-# ablation at fixed seeds and merges their JSON output into BENCH_fig.json
+# and distribution/locality ablations at fixed seeds and merges their
+# JSON output into BENCH_fig.json
 # at the repo root (one object per bench row: name + every reported
 # counter, duration_ns / net_bytes / bundles / fetch_stall_ns included).
 #
@@ -26,13 +27,15 @@ while [ $# -gt 0 ]; do
   shift
 done
 
-benches=(fig1_cg fig2_matgen fig3_barneshut ablation_overlap)
+benches=(fig1_cg fig2_matgen fig3_barneshut ablation_overlap
+         ablation_distribution)
 
 filter="."
 if [ "${smoke}" = 1 ]; then
   export PPM_BENCH_SCALE="${PPM_BENCH_SCALE:-0.25}"
-  # Smallest node counts only; keep all four overlap-engine configs.
-  filter='(/1/|/2/|OverlapEngine)'
+  # Smallest node counts only; keep all four overlap-engine configs and
+  # both locality-engine arms at the smallest node count.
+  filter='(/1/|/2/|OverlapEngine|Locality/[01]/4)'
 fi
 
 cmake --preset default >/dev/null

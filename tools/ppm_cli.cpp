@@ -50,8 +50,8 @@ struct CliOptions {
       "usage: %s [--app=cg|pcg|matgen|barneshut|bfs|components|matmul]\n"
       "          [--nodes=N] [--cores=C] [--size=S] [--steps=K]\n"
       "          [--levels=L] [--iters=I] [--tol=T] [--matrix=FILE.mtx]\n"
-      "          [--dist=block|cyclic] [--calibration=F] [--profile]\n"
-      "          [--check]\n",
+      "          [--dist=block|cyclic|adaptive] [--calibration=F]\n"
+      "          [--profile] [--check]\n",
       argv0);
   std::exit(2);
 }
@@ -89,6 +89,10 @@ CliOptions parse(int argc, char** argv) {
         opt.dist = Distribution::kCyclic;
       } else if (std::string(v) == "block") {
         opt.dist = Distribution::kBlock;
+      } else if (std::string(v) == "adaptive") {
+        // Owner-mapped layout with the migration planner armed at every
+        // global commit (the locality engine).
+        opt.dist = Distribution::kAdaptive;
       } else {
         usage(argv[0]);
       }
@@ -127,6 +131,14 @@ void print_result(const RunResult& r) {
               static_cast<unsigned long long>(r.remote_blocks_fetched),
               static_cast<unsigned long long>(
                   r.remote_reads_served_from_cache));
+  if (r.blocks_migrated != 0) {
+    std::printf("locality engine: %llu block(s) migrated (%.1f KB), "
+                "%llu remote accesses made local\n",
+                static_cast<unsigned long long>(r.blocks_migrated),
+                static_cast<double>(r.migration_bytes) / 1024.0,
+                static_cast<unsigned long long>(
+                    r.remote_to_local_conversions));
+  }
 }
 
 int run_cli(const CliOptions& opt) {
@@ -137,6 +149,7 @@ int run_cli(const CliOptions& opt) {
   cfg.machine.engine.calibration_factor = opt.calibration;
   cfg.runtime.profile_phases = opt.profile;
   cfg.runtime.validate_phases = opt.check;
+  cfg.runtime.adaptive_distribution = opt.dist == Distribution::kAdaptive;
 
   const apps::cg::CgOptions cg_opts{.max_iterations = opt.max_iterations,
                                     .tolerance = opt.tolerance};
