@@ -16,6 +16,7 @@ Machine::Machine(MachineConfig config) : config_(config) {
   fc.ports_per_node = config_.cores_per_node + 1;  // +1 runtime service port
   fc.network = config_.network;
   fc.intranode = config_.intranode;
+  fc.faults = config_.faults;
   fabric_ = std::make_unique<net::Fabric>(*engine_, fc);
 }
 

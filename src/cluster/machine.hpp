@@ -29,6 +29,7 @@ struct MachineConfig {
                             .bytes_per_ns = 6.0,
                             .send_overhead_ns = 150,
                             .recv_overhead_ns = 150};
+  net::FaultConfig faults{};  // deterministic delay/reorder injection
   sim::EngineConfig engine{};
 
   int total_cores() const { return nodes * cores_per_node; }

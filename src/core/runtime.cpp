@@ -246,6 +246,21 @@ std::span<const std::byte> NodeRuntime::committed_bytes(uint32_t id) const {
   return {rec.storage.data(), rec.storage.size()};
 }
 
+Bytes NodeRuntime::pack_owned_elems(uint32_t id) const {
+  const auto& rec = array(id);
+  ByteWriter w;
+  if (!rec.global) {
+    w.put_raw(rec.storage.data(), rec.n * rec.ops.size);
+    return std::move(w).take();
+  }
+  for (uint64_t i = 0; i < rec.n; ++i) {
+    if (rec.owner_of(i) != node_) continue;
+    w.put_raw(rec.storage.data() + rec.local_of(i) * rec.ops.size,
+              rec.ops.size);
+  }
+  return std::move(w).take();
+}
+
 int NodeRuntime::owner_of(uint32_t id, uint64_t index) const {
   const auto& rec = array(id);
   PPM_CHECK(index < rec.n, "index %llu out of range (array size %llu)",
@@ -1274,6 +1289,12 @@ void NodeRuntime::apply_staged_entries(
   } else {
     order.resize(entries.size());
     for (uint32_t idx = 0; idx < entries.size(); ++idx) order[idx] = idx;
+  }
+  if (detail::g_stress_flip_commit_order && !single_commutative_op)
+      [[unlikely]] {
+    // Planted fault for the stress harness's self-test: apply the ordered
+    // batch backwards. The differential oracle must catch this.
+    std::reverse(order.begin(), order.end());
   }
   for (const uint32_t idx : order) {
     const ParsedEntry& e = entries[idx];

@@ -188,6 +188,12 @@ struct ArrayRecord {
   }
 };
 
+/// Deliberate-fault hook for the stress harness's self-test (ppm::stress):
+/// when set, apply_staged_entries applies ordered commit batches in
+/// REVERSED (vp_rank, seq) order — a planted phase-semantics bug that the
+/// differential oracle must flag. Never set outside tests.
+inline bool g_stress_flip_commit_order = false;
+
 }  // namespace detail
 
 class NodeRuntime;
@@ -270,6 +276,15 @@ class NodeRuntime {
   /// whole committed array (node-shared) — the paper's node/global space
   /// "casting" utility.
   std::span<const std::byte> committed_bytes(uint32_t id) const;
+
+  /// This node's committed elements of array `id` packed in ascending
+  /// global-index order (node-shared arrays: all n elements). Unlike
+  /// committed_bytes this is layout-free — owner-mapped (kAdaptive) slot
+  /// storage and cyclic striding are flattened out — so an
+  /// allgather_bytes of it plus owner_of() reassembles the logical array
+  /// contents under any distribution. Introspection hook for tools
+  /// (ppm::stress snapshots); call outside phases.
+  Bytes pack_owned_elems(uint32_t id) const;
 
   // ---- Element access (phase-start read / deferred write semantics) ----
 

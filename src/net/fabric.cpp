@@ -15,7 +15,8 @@ int64_t transmission_ns(size_t bytes, const LinkParams& link) {
 }  // namespace
 
 Fabric::Fabric(sim::Engine& engine, FabricConfig config)
-    : engine_(engine), config_(config) {
+    : engine_(engine), config_(config),
+      fault_rng_(config.faults.seed ^ 0xfab51c0ffee5eedULL) {
   PPM_CHECK(config_.num_nodes > 0, "fabric needs at least one node");
   PPM_CHECK(config_.ports_per_node > 0, "fabric needs at least one port");
   PPM_CHECK(config_.network.bytes_per_ns > 0 &&
@@ -75,7 +76,31 @@ void Fabric::send(Message msg) {
     stats_.inter_bytes.add(bytes);
   }
 
-  dst.inbox_.push_at(deliver_ns, std::move(msg));
+  if (!config_.faults.delay_jitter) {
+    dst.inbox_.push_at(deliver_ns, std::move(msg));
+    return;
+  }
+
+  // Fault injection: maybe stretch the delivery, then enqueue AT delivery
+  // time (Engine::at) instead of at send time. Endpoint inboxes pop in
+  // push order, so the uniform at-delivery path makes arrivals from
+  // different (src, dst port) pairs reorder by their jittered times while
+  // the floor clamp keeps each individual pair FIFO (see FaultConfig).
+  const FaultConfig& faults = config_.faults;
+  if (fault_rng_.next_double() < faults.delay_probability &&
+      faults.max_extra_delay_ns > 0) {
+    deliver_ns += fault_rng_.next_below(
+        static_cast<uint64_t>(faults.max_extra_delay_ns) + 1);
+  }
+  const uint64_t pair_key = (static_cast<uint64_t>(msg.src_node) << 40) |
+                            (static_cast<uint64_t>(msg.dst_node) << 20) |
+                            static_cast<uint64_t>(msg.dst_port);
+  int64_t& floor = fault_floor_[pair_key];
+  deliver_ns = std::max(deliver_ns, floor);
+  floor = deliver_ns;
+  engine_.at(deliver_ns, [&dst, deliver_ns, m = std::move(msg)]() mutable {
+    dst.inbox_.push_at(deliver_ns, std::move(m));
+  });
 }
 
 int64_t Fabric::uncontended_network_time_ns(size_t bytes) const {

@@ -24,11 +24,13 @@
 
 #include <cstdint>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/engine.hpp"
 #include "sim/sync.hpp"
 #include "util/byte_buffer.hpp"
+#include "util/rng.hpp"
 #include "util/stats.hpp"
 
 namespace ppm::net {
@@ -40,6 +42,24 @@ struct LinkParams {
   int64_t recv_overhead_ns = 500;     // receiver-side software cost
 };
 
+/// Deterministic message-level fault injection (used by ppm::stress).
+///
+/// With delay_jitter on, every message is enqueued at its (possibly
+/// jittered) delivery time instead of at send time, so endpoints observe
+/// arrivals in delivery-time order: messages from different sources — and
+/// different ports of one source — reorder freely against each other.
+/// Delivery between one (src node, dst node, dst port) pair stays FIFO
+/// (jittered times are clamped to the pair's previous delivery), matching
+/// the in-order-per-pair contract real transports give and the runtime's
+/// bundle fragment protocol assumes. All randomness comes from `seed`, so
+/// a faulty schedule replays exactly.
+struct FaultConfig {
+  bool delay_jitter = false;
+  uint64_t seed = 0;
+  double delay_probability = 0.25;      // chance a message is delayed
+  int64_t max_extra_delay_ns = 100'000; // uniform extra delay in [0, max]
+};
+
 struct FabricConfig {
   int num_nodes = 1;
   int ports_per_node = 1;
@@ -48,6 +68,7 @@ struct FabricConfig {
                        .bytes_per_ns = 6.0,
                        .send_overhead_ns = 150,
                        .recv_overhead_ns = 150};
+  FaultConfig faults{};
 };
 
 struct Message {
@@ -122,6 +143,10 @@ class Fabric {
   std::vector<int64_t> egress_free_ns_;   // per node
   std::vector<int64_t> ingress_free_ns_;  // per node
   FabricStats stats_;
+  // Fault injection (see FaultConfig): jitter randomness and the per
+  // (src node, dst node, dst port) delivery floor that keeps pairwise FIFO.
+  Rng fault_rng_;
+  std::unordered_map<uint64_t, int64_t> fault_floor_;
 };
 
 }  // namespace ppm::net

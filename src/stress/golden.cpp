@@ -1,0 +1,77 @@
+#include "stress/golden.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace ppm::stress {
+
+namespace {
+
+void apply(uint64_t& elem, detail::WriteOp op, uint64_t v) {
+  switch (op) {
+    case detail::WriteOp::kSet: elem = v; break;
+    case detail::WriteOp::kAdd: elem += v; break;
+    case detail::WriteOp::kMin: elem = std::min(elem, v); break;
+    case detail::WriteOp::kMax: elem = std::max(elem, v); break;
+  }
+}
+
+// exec_op context: reads from the phase-start snapshot, writes live.
+struct GoldenCtx {
+  const ProgramSpec* spec;
+  const GoldenState* snap;
+  GoldenState* live;
+  int node;
+
+  uint64_t read(uint32_t a, uint64_t i) const {
+    return (*spec).arrays[a].global
+               ? snap->global_arrays[a][i]
+               : snap->node_arrays[a][static_cast<size_t>(node)][i];
+  }
+  uint64_t gather_sum(uint32_t a, const std::vector<uint64_t>& idx) const {
+    uint64_t s = 0;
+    for (const uint64_t i : idx) s += read(a, i);
+    return s;
+  }
+  void write(uint32_t a, uint64_t i, detail::WriteOp op, uint64_t v) const {
+    auto& arr = (*spec).arrays[a].global
+                    ? live->global_arrays[a]
+                    : live->node_arrays[a][static_cast<size_t>(node)];
+    apply(arr[i], op, v);
+  }
+  void prefetch(uint32_t, const std::vector<uint64_t>&) const {}
+};
+
+}  // namespace
+
+GoldenState run_golden(const ProgramSpec& spec, int nodes) {
+  PPM_CHECK(nodes > 0, "run_golden needs at least one node");
+  GoldenState g;
+  g.global_arrays.resize(spec.arrays.size());
+  g.node_arrays.resize(spec.arrays.size());
+  for (size_t a = 0; a < spec.arrays.size(); ++a) {
+    if (spec.arrays[a].global) {
+      g.global_arrays[a].assign(spec.arrays[a].n, 0);
+    } else {
+      g.node_arrays[a].assign(static_cast<size_t>(nodes),
+                              std::vector<uint64_t>(spec.arrays[a].n, 0));
+    }
+  }
+  for (const PhaseSpec& ph : spec.phases) {
+    const GoldenState snap = g;  // phase-start snapshot for every read
+    for (int node = 0; node < nodes; ++node) {
+      const uint64_t k_loc = spec.k_local(node, nodes);
+      const uint64_t off = spec.k_offset(node, nodes);
+      for (uint64_t r = 0; r < k_loc; ++r) {
+        GoldenCtx ctx{&spec, &snap, &g, node};
+        for (const OpSpec& op : ph.ops) {
+          exec_op(spec, op, off + r, ctx);
+        }
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace ppm::stress

@@ -97,6 +97,142 @@ TEST(FailureInjection, GetForUnknownArrayRejected) {
       Error);
 }
 
+namespace {
+// Send one raw runtime-service message from node 0 to node 1.
+void inject(cluster::Machine& machine, detail::RtMsg kind, Bytes payload) {
+  net::Message m;
+  m.src_node = 0;
+  m.src_port = machine.service_port();
+  m.dst_node = 1;
+  m.dst_port = machine.service_port();
+  m.kind = detail::rt_kind(kind);
+  m.payload = std::move(payload);
+  machine.fabric().send(std::move(m));
+}
+}  // namespace
+
+TEST(FailureInjection, TruncatedPrefetchBlockRejected) {
+  // A lookahead request too short to even carry its array id must be
+  // caught by the bounds-checked deserializer, not read past the buffer.
+  cluster::Machine machine({.nodes = 2, .cores_per_node = 1});
+  Runtime runtime(machine, RuntimeOptions{});
+  EXPECT_THROW(
+      machine.run_per_node([&](int node) {
+        NodeRuntime& nr = runtime.node(node);
+        nr.start();
+        if (node == 0) {
+          inject(machine, detail::RtMsg::kPrefetchBlock,
+                 Bytes(2, std::byte{0x5a}));
+        }
+        Env env(nr);
+        env.barrier();
+        nr.finish();
+      }),
+      Error);
+}
+
+TEST(FailureInjection, PrefetchForUnknownArrayRejected) {
+  // Well-formed prefetch at the async epoch (never treated as stale) for
+  // an array id that was never allocated: must fail loudly in serve_get.
+  cluster::Machine machine({.nodes = 2, .cores_per_node = 1});
+  Runtime runtime(machine, RuntimeOptions{});
+  EXPECT_THROW(
+      machine.run_per_node([&](int node) {
+        NodeRuntime& nr = runtime.node(node);
+        nr.start();
+        if (node == 0) {
+          ByteWriter w;
+          w.put<uint32_t>(42);  // no such array
+          w.put<uint64_t>(0);   // first
+          w.put<uint64_t>(1);   // count
+          w.put<uint64_t>(9);   // req id
+          w.put<uint64_t>(detail::kAsyncEpoch);
+          inject(machine, detail::RtMsg::kPrefetchBlock,
+                 std::move(w).take());
+        }
+        Env env(nr);
+        env.barrier();
+        nr.finish();
+      }),
+      Error);
+}
+
+TEST(FailureInjection, StalePrefetchSilentlyDropped) {
+  // The one legitimate garble: a lookahead that straggles past the
+  // requester's commit is dropped without error (the requester abandoned
+  // its slot), so a run with such a message still finishes clean.
+  cluster::Machine machine({.nodes = 2, .cores_per_node = 1});
+  Runtime runtime(machine, RuntimeOptions{});
+  uint64_t seen = 0;
+  machine.run_per_node([&](int node) {
+    NodeRuntime& nr = runtime.node(node);
+    nr.start();
+    Env env(nr);
+    auto a = env.global_array<uint64_t>(8);
+    auto vps = env.ppm_do(1);
+    vps.global_phase([&](Vp& vp) { a.set(vp.global_rank(), 5); });
+    vps.global_phase([&](Vp&) {});
+    if (node == 0) {
+      ByteWriter w;
+      w.put<uint32_t>(a.id());
+      w.put<uint64_t>(0);  // first
+      w.put<uint64_t>(1);  // count
+      w.put<uint64_t>(9);  // req id
+      w.put<uint64_t>(0);  // epoch 0: two commits stale by now
+      inject(machine, detail::RtMsg::kPrefetchBlock, std::move(w).take());
+    }
+    env.barrier();
+    vps.global_phase([&](Vp& vp) { seen = a.get(vp.global_rank()); });
+    nr.finish();
+  });
+  EXPECT_EQ(seen, 5u);
+}
+
+TEST(FailureInjection, TruncatedMigrateBlockRejected) {
+  cluster::Machine machine({.nodes = 2, .cores_per_node = 1});
+  Runtime runtime(machine, RuntimeOptions{});
+  EXPECT_THROW(
+      machine.run_per_node([&](int node) {
+        NodeRuntime& nr = runtime.node(node);
+        nr.start();
+        if (node == 0) {
+          inject(machine, detail::RtMsg::kMigrateBlock,
+                 Bytes(3, std::byte{0x7f}));
+        }
+        Env env(nr);
+        env.barrier();
+        nr.finish();
+      }),
+      Error);
+}
+
+TEST(FailureInjection, UnplannedMigrateBlockRejected) {
+  // A well-formed migration payload nobody planned: the receiver stages
+  // it, and the next migration round's arrival count check must reject it
+  // rather than splice foreign bytes into committed storage.
+  cluster::Machine machine({.nodes = 2, .cores_per_node = 1});
+  Runtime runtime(machine, RuntimeOptions{});
+  EXPECT_THROW(
+      machine.run_per_node([&](int node) {
+        NodeRuntime& nr = runtime.node(node);
+        nr.start();
+        Env env(nr);
+        auto a = env.global_array<uint64_t>(64, Distribution::kAdaptive);
+        if (node == 0) {
+          ByteWriter w;
+          w.put<uint32_t>(a.id());
+          w.put<uint64_t>(0);               // block 0
+          for (int i = 0; i < 8; ++i) w.put<uint64_t>(0xdead);  // elems
+          inject(machine, detail::RtMsg::kMigrateBlock, std::move(w).take());
+        }
+        a.rebalance();  // force a migration round at the next commit
+        auto vps = env.ppm_do(1);
+        vps.global_phase([&](Vp& vp) { a.set(vp.global_rank(), 1); });
+        nr.finish();
+      }),
+      Error);
+}
+
 TEST(FailureInjection, MismatchedReduceContributionsRejected) {
   cluster::Machine machine({.nodes = 2, .cores_per_node = 1});
   mp::World world(machine);

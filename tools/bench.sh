@@ -40,7 +40,7 @@ fi
 
 cmake --preset default >/dev/null
 cmake --build --preset default -j "$(nproc 2>/dev/null || echo 4)" \
-  $(printf -- '--target %s ' "${benches[@]}")
+  $(printf -- '--target %s ' "${benches[@]}") --target ppm_stress
 
 tmpdir=$(mktemp -d)
 trap 'rm -rf "${tmpdir}"' EXIT
@@ -50,7 +50,12 @@ for b in "${benches[@]}"; do
     --benchmark_format=json >"${tmpdir}/${b}.json"
 done
 
-python3 - "${out}" "${tmpdir}" "${benches[@]}" <<'PY'
+# Stress-harness throughput (programs/sec over the fixed smoke seeds);
+# emits the same benchmark JSON shape so the merger below folds it in.
+echo "=== bench: ppm_stress ==="
+build/tools/ppm_stress --smoke --json="${tmpdir}/ppm_stress.json"
+
+python3 - "${out}" "${tmpdir}" "${benches[@]}" ppm_stress <<'PY'
 import json, sys
 out, tmpdir, benches = sys.argv[1], sys.argv[2], sys.argv[3:]
 rows = []

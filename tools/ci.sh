@@ -16,12 +16,21 @@ cd "$(dirname "$0")/.."
 
 jobs=$(nproc 2>/dev/null || echo 4)
 
+declare -A builddir=([default]=build [san]=build-san)
+
 for preset in default san; do
   echo "=== configure+build preset: ${preset} ==="
   cmake --preset "${preset}"
   cmake --build --preset "${preset}" -j "${jobs}"
   echo "=== ctest preset: ${preset} ==="
   ctest --preset "${preset}" -j "${jobs}" "$@"
+  echo "=== stress smoke preset: ${preset} ==="
+  # Differential fuzz harness at fixed seeds (gating). On failure it
+  # prints the shrunk repro and a one-line --replay invocation; see
+  # docs/TESTING.md for how to reproduce locally. Same sanitizer env as
+  # the test preset (error-path fiber abandonment is not a leak).
+  ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=print_stacktrace=1 \
+    "${builddir[$preset]}/tools/ppm_stress" --smoke
 done
 
 echo "=== bench smoke (run, not gated) ==="
