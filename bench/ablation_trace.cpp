@@ -1,0 +1,67 @@
+// Ablation T — observation overhead of ppm::trace.
+//
+// The tracing hooks are a single never-taken branch per instrumentation
+// point when off; when on, each record is a bounds-checked ring store.
+// This bench runs the same remote-heavy workload with tracing off and on
+// and reports both wall time (host cost of recording) and virtual time
+// (which must NOT move: timestamps are virtual, so observation cannot
+// perturb the simulated schedule).
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "core/ppm.hpp"
+
+namespace {
+
+using namespace ppm;
+
+constexpr uint64_t kN = 1 << 15;
+
+void stencil_workload(Env& env, GlobalShared<double>& a) {
+  const uint64_t k = kN / static_cast<uint64_t>(env.node_count());
+  const uint64_t offset = k * static_cast<uint64_t>(env.node_id());
+  auto vps = env.ppm_do(k);
+  env.phase_label("stencil");
+  vps.global_phase([&](Vp& vp) {
+    const uint64_t i = offset + vp.node_rank();
+    // Wrapping neighbors cross the node boundary at the chunk edges, so
+    // every phase exercises the fetch/cache/bundle paths being traced.
+    const double left = a.get((i + kN - 1) % kN);
+    const double right = a.get((i + 1) % kN);
+    double acc = 0.25 * (left + right);
+    const auto x = static_cast<double>(i);
+    for (int t = 0; t < 20; ++t) acc += std::sin(x * 1e-3 + t) * 1e-6;
+    a.set(i, acc);
+  });
+}
+
+/// arg0: tracing off/on.
+void BM_Ablation_Trace(benchmark::State& state) {
+  RuntimeOptions opts = bench::bench_runtime_options();
+  opts.trace = state.range(0) != 0;
+  // Modeled-only virtual time: under kMeasured the host cost of recording
+  // would leak into the virtual clock and defeat the vtime comparison.
+  cluster::MachineConfig mc = bench::bench_machine(8);
+  mc.engine.calibration = sim::CalibrationMode::kModeledOnly;
+  for (auto _ : state) {
+    cluster::Machine machine(mc);
+    const RunResult r = run_on(machine, opts, [&](Env& env) {
+      auto a = env.global_array<double>(kN);
+      for (int round = 0; round < 4; ++round) stencil_workload(env, a);
+    });
+    state.counters["vtime_ms"] = r.duration_s() * 1e3;
+    state.counters["net_msgs"] = static_cast<double>(r.network_messages);
+    state.counters["trace_events"] =
+        static_cast<double>(r.trace_summary.events);
+    state.counters["trace_phases"] =
+        static_cast<double>(r.trace_summary.phases.size());
+  }
+  state.counters["trace"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_Ablation_Trace)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

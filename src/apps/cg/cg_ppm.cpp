@@ -31,6 +31,7 @@ PpmCgOutput cg_solve_ppm(Env& env, const ChimneyProblem& problem,
   auto vps = env.ppm_do(rows);
 
   // r = p = b, x = 0.
+  env.phase_label("init");
   vps.global_phase([&](Vp& vp) {
     const uint64_t i = row0 + vp.node_rank();
     x.set(i, 0.0);
@@ -50,6 +51,7 @@ PpmCgOutput cg_solve_ppm(Env& env, const ChimneyProblem& problem,
     // bundles them into block fetches. Announcing the row's column
     // pattern up front lets the off-chunk blocks stream in while the
     // accumulation walks the local ones.
+    env.phase_label("spmv");
     vps.global_phase([&](Vp& vp) {
       const uint64_t i = vp.node_rank();
       p.prefetch(std::span<const uint64_t>(
@@ -64,6 +66,7 @@ PpmCgOutput cg_solve_ppm(Env& env, const ChimneyProblem& problem,
     const double alpha = rr / dot(env, p, q);
 
     // x += alpha p;  r -= alpha q.
+    env.phase_label("axpy");
     vps.global_phase([&](Vp& vp) {
       const uint64_t i = row0 + vp.node_rank();
       x.add(i, alpha * p.get(i));
@@ -80,6 +83,7 @@ PpmCgOutput cg_solve_ppm(Env& env, const ChimneyProblem& problem,
     const double beta = rr_new / rr;
 
     // p = r + beta p.
+    env.phase_label("p_update");
     vps.global_phase([&](Vp& vp) {
       const uint64_t i = row0 + vp.node_rank();
       p.set(i, r.get(i) + beta * p.get(i));

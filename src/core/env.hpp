@@ -4,6 +4,7 @@
 
 #include <functional>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "core/runtime.hpp"
@@ -108,6 +109,11 @@ class Env {
   // ---- Utility functions (§3.1 item 6) ----
 
   void barrier() { rt_->barrier_global(); }
+
+  /// Name the next phase started on this node (`env.phase_label("spmv")`).
+  /// The label lands in PhaseProfile::label, ppm::trace events, and the
+  /// critical-path summary; consumed by the next global_phase/node_phase.
+  void phase_label(std::string_view label) { rt_->set_phase_label(label); }
 
   /// Lookahead prefetch of a global array's elements (see
   /// GlobalShared::prefetch); usable from VP bodies and between phases.

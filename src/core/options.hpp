@@ -3,8 +3,12 @@
 
 #include <cstdint>
 
+#include <string>
+#include <vector>
+
 #include "check/report.hpp"
 #include "cluster/machine.hpp"
+#include "trace/analyze.hpp"
 
 namespace ppm {
 
@@ -87,6 +91,22 @@ struct RuntimeOptions {
   /// (the real code cost still shows up under measured calibration).
   int64_t access_overhead_ns = 0;
 
+  /// Enable the ppm::trace event recorder (docs/OBSERVABILITY.md). Each
+  /// node then records phase, scheduling, read/write-engine, and
+  /// migration events into a per-node ring buffer, the fabric records
+  /// message spans, and the engine records step marks; exporters turn the
+  /// rings into Perfetto-loadable JSON and the analyzer into
+  /// RunResult::trace_summary. Timestamps are virtual, so under
+  /// CalibrationMode::kModeledOnly a fixed config traces bit-identically.
+  /// Default off: the hooks reduce to a never-taken null-pointer branch
+  /// (same trick as the validator), and committed results are unaffected
+  /// either way.
+  bool trace = false;
+  /// Ring capacity per track, in events. On wrap the OLDEST events are
+  /// overwritten and counted (trace::Recorder::dropped), keeping memory
+  /// bounded while always retaining the most recent window.
+  uint32_t trace_buffer_events = 1 << 16;
+
   /// Enable the ppm::check phase-semantics sanitizer (docs/validator.md).
   /// Each node then records per-phase access metadata, scans every commit
   /// batch for write-write set() races and non-commuting op mixes, and
@@ -140,6 +160,25 @@ struct RunResult {
   /// Findings of the phase-semantics sanitizer, merged over all nodes.
   /// Populated only when RuntimeOptions::validate_phases was set.
   check::Report check_report;
+
+  /// Per-run rollup of every NodeRuntime::Counters field: cluster-wide sum
+  /// plus the per-node extremes (and which nodes they sit on), so load
+  /// imbalance is visible without hand-summing node 0..N or parsing a
+  /// trace. One row per counter, in declaration order.
+  struct CounterRollup {
+    std::string name;
+    uint64_t sum = 0;
+    uint64_t min = 0;
+    uint64_t max = 0;
+    int min_node = 0;
+    int max_node = 0;
+  };
+  std::vector<CounterRollup> counter_rollup;
+
+  /// Critical-path / imbalance / efficiency analysis of the recorded
+  /// events. Populated only when RuntimeOptions::trace was set
+  /// (trace_summary.events is 0 otherwise).
+  trace::Summary trace_summary;
 
   double duration_s() const { return static_cast<double>(duration_ns) * 1e-9; }
 };

@@ -1,6 +1,7 @@
 #include "core/runtime.hpp"
 
 #include <algorithm>
+#include <iterator>
 
 #include "util/error.hpp"
 
@@ -41,13 +42,26 @@ struct ParsedEntry {
 
 Runtime::Runtime(cluster::Machine& machine, RuntimeOptions options)
     : machine_(machine), options_(options) {
+  if (options_.trace) {
+    trace_ = std::make_unique<trace::Trace>(machine.nodes(),
+                                            options_.trace_buffer_events);
+    machine.fabric().set_trace_recorder(&trace_->fabric());
+    machine.engine().set_trace_recorder(&trace_->engine());
+  }
   nodes_.reserve(static_cast<size_t>(machine.nodes()));
   for (int n = 0; n < machine.nodes(); ++n) {
     nodes_.push_back(std::unique_ptr<NodeRuntime>(new NodeRuntime(*this, n)));
   }
 }
 
-Runtime::~Runtime() = default;
+Runtime::~Runtime() {
+  if (trace_) {
+    // The machine can outlive this Runtime (benches reuse it); don't leave
+    // it pointing into the trace we are about to destroy.
+    machine_.fabric().set_trace_recorder(nullptr);
+    machine_.engine().set_trace_recorder(nullptr);
+  }
+}
 
 NodeRuntime& Runtime::node(int node_id) {
   PPM_CHECK(node_id >= 0 && node_id < static_cast<int>(nodes_.size()),
@@ -84,6 +98,48 @@ RunResult Runtime::collect() const {
   }
   // Phases are counted per node; report cluster-wide phase counts.
   r.global_phases /= static_cast<uint64_t>(std::max(1, machine_.nodes()));
+
+  // Per-counter rollup: sum plus per-node extremes, one row per
+  // NodeRuntime::Counters field in declaration order.
+  static constexpr struct {
+    const char* name;
+    uint64_t NodeRuntime::Counters::* field;
+  } kCounterFields[] = {
+      {"global_phases", &NodeRuntime::Counters::global_phases},
+      {"node_phases", &NodeRuntime::Counters::node_phases},
+      {"blocks_fetched", &NodeRuntime::Counters::blocks_fetched},
+      {"reads_from_cache", &NodeRuntime::Counters::reads_from_cache},
+      {"write_entries", &NodeRuntime::Counters::write_entries},
+      {"bundles_sent", &NodeRuntime::Counters::bundles_sent},
+      {"fetch_stall_ns", &NodeRuntime::Counters::fetch_stall_ns},
+      {"prefetch_issued", &NodeRuntime::Counters::prefetch_issued},
+      {"prefetch_hits", &NodeRuntime::Counters::prefetch_hits},
+      {"entries_combined", &NodeRuntime::Counters::entries_combined},
+      {"blocks_migrated", &NodeRuntime::Counters::blocks_migrated},
+      {"migration_bytes", &NodeRuntime::Counters::migration_bytes},
+      {"remote_to_local_conversions",
+       &NodeRuntime::Counters::remote_to_local_conversions},
+  };
+  r.counter_rollup.reserve(std::size(kCounterFields));
+  for (const auto& f : kCounterFields) {
+    RunResult::CounterRollup row;
+    row.name = f.name;
+    for (size_t n = 0; n < nodes_.size(); ++n) {
+      const uint64_t v = nodes_[n]->counters().*f.field;
+      row.sum += v;
+      if (n == 0 || v < row.min) {
+        row.min = v;
+        row.min_node = static_cast<int>(n);
+      }
+      if (n == 0 || v > row.max) {
+        row.max = v;
+        row.max_node = static_cast<int>(n);
+      }
+    }
+    r.counter_rollup.push_back(std::move(row));
+  }
+
+  if (trace_) r.trace_summary = trace::analyze(*trace_);
   return r;
 }
 
@@ -97,6 +153,7 @@ NodeRuntime::NodeRuntime(Runtime& shared, int node_id)
   if (opts_.validate_phases) {
     validator_ = std::make_unique<check::PhaseValidator>(node_);
   }
+  if (trace::Trace* t = shared.trace()) tracer_ = &t->node(node_);
 }
 
 int NodeRuntime::node_count() const { return shared_.machine().nodes(); }
@@ -113,10 +170,20 @@ void NodeRuntime::start() {
   combine_maps_.resize(static_cast<size_t>(node_count()));
   combine_hwm_.resize(static_cast<size_t>(node_count()), 0);
 
-  machine.spawn_at({node_, 0}, strfmt("n%d.svc", node_),
-                   [this] { service_loop(); });
+  // Map fiber ids to core indices so trace events land on per-core
+  // tracks. The node's main fiber (running this) and the service fiber
+  // both record as core 0.
+  const auto note_core = [this](uint32_t fid, int core) {
+    if (fid >= core_of_fiber_.size()) core_of_fiber_.resize(fid + 1, 0);
+    core_of_fiber_[fid] = static_cast<uint16_t>(core);
+  };
+  if (engine_->on_fiber()) note_core(engine_->current_fiber_id(), 0);
+  note_core(machine.spawn_at({node_, 0}, strfmt("n%d.svc", node_),
+                             [this] { service_loop(); }),
+            0);
   for (int core = 1; core < cores_per_node(); ++core) {
-    machine.spawn_at({node_, core}, strfmt("n%d.w%d", node_, core),
+    const auto fid = machine.spawn_at({node_, core},
+                                      strfmt("n%d.w%d", node_, core),
                      [this, core] {
                        uint64_t seen = 0;
                        for (;;) {
@@ -130,6 +197,7 @@ void NodeRuntime::start() {
                          task_cv_->notify_all();
                        }
                      });
+    note_core(fid, core);
   }
   started_ = true;
 }
@@ -355,6 +423,9 @@ const std::byte* NodeRuntime::remote_ref(const detail::ArrayRecord& rec,
   if (bundle) {
     if (const auto it = block_cache_.find(key); it != block_cache_.end()) {
       ++counters_.reads_from_cache;
+      if (tracer_) [[unlikely]] {
+        trace_rec(trace::EventKind::kCacheHit, rec.id, key.block);
+      }
       publish_block(rec, key, it->second);
       return elem_of(it->second);
     }
@@ -366,11 +437,18 @@ const std::byte* NodeRuntime::remote_ref(const detail::ArrayRecord& rec,
       auto slot = it->second;  // keep alive across the wait
       wait_fetch(*slot);
       ++counters_.reads_from_cache;
+      if (tracer_) [[unlikely]] {
+        trace_rec(trace::EventKind::kCacheHit, rec.id, key.block,
+                  /*c=*/0, trace::kFlagBit0);
+      }
       const auto cached = block_cache_.find(key);
       PPM_CHECK(cached != block_cache_.end(),
                 "combined fetch did not populate the block cache");
       publish_block(rec, key, cached->second);
       return elem_of(cached->second);
+    }
+    if (tracer_) [[unlikely]] {
+      trace_rec(trace::EventKind::kCacheMiss, rec.id, key.block);
     }
     auto slot = issue_block_fetch(rec, owner, first, count,
                                   /*prefetch=*/false);
@@ -416,6 +494,10 @@ std::shared_ptr<NodeRuntime::FetchSlot> NodeRuntime::issue_block_fetch(
   slot->req_id = next_req_id();
   outstanding_[slot->req_id] = slot;
   pending_blocks_[slot->key] = slot;
+  if (tracer_) [[unlikely]] {
+    trace_rec(trace::EventKind::kFetchIssued, rec.id, slot->key.block,
+              slot->req_id, prefetch ? trace::kFlagBit0 : 0);
+  }
   ByteWriter w;
   w.put(rec.id);
   w.put(first);
@@ -445,6 +527,10 @@ void NodeRuntime::wait_fetch(FetchSlot& slot) {
   const int64_t stalled = engine_->now_ns() - t0;
   if (stalled > 0) {
     counters_.fetch_stall_ns += static_cast<uint64_t>(stalled);
+    if (tracer_) [[unlikely]] {
+      trace_rec(trace::EventKind::kFetchStall, slot.req_id, 0,
+                static_cast<uint64_t>(t0));
+    }
   }
 }
 
@@ -479,7 +565,14 @@ bool NodeRuntime::run_one_ready_vp() {
   vp.node_rank_ = i;
   vp.global_rank_ = task_.k_offset + i;
   vp_by_fiber_[fid] = &vp;
+  const int64_t batch_start_ns = tracer_ ? engine_->now_ns() : 0;
   (*task_.body)(vp);
+  if (tracer_) [[unlikely]] {
+    // A miss-switched VP: runs nested inside another VP's remote-read
+    // stall on the same core (flag bit 0 marks the nesting).
+    trace_rec(trace::EventKind::kVpBatch, i, i + 1,
+              static_cast<uint64_t>(batch_start_ns), trace::kFlagBit0, 1);
+  }
   vp_by_fiber_[fid] = outer;
   --miss_depth_[fid];
   return true;
@@ -524,6 +617,9 @@ void NodeRuntime::publish_block(const detail::ArrayRecord& rec,
   }
   if (prefetched_keys_.erase(key) != 0) {
     ++counters_.prefetch_hits;
+    if (tracer_) [[unlikely]] {
+      trace_rec(trace::EventKind::kPrefetchHit, rec.id, key.block);
+    }
     // The consumer just reached a prefetched block: keep the stream one
     // block ahead (demand misses never happen again on a perfect stream,
     // so this touch is the only point that can extend it).
@@ -732,6 +828,11 @@ ByteWriter& NodeRuntime::bundle_buffer(int dest_node) {
 void NodeRuntime::flush_bundle(int dest_node, bool last) {
   ByteWriter& buf = bundle_buffer(dest_node);  // header even when empty
   buf.data()[kBundleLastOffset] = static_cast<std::byte>(last ? 1 : 0);
+  if (tracer_) [[unlikely]] {
+    trace_rec(trace::EventKind::kBundleFlush,
+              static_cast<uint64_t>(dest_node), buf.size(), 0,
+              last ? trace::kFlagBit0 : 0);
+  }
   rt_send(dest_node, detail::rt_kind(detail::RtMsg::kBundle),
           std::move(buf).take());
   ++counters_.bundles_sent;
@@ -813,10 +914,21 @@ void NodeRuntime::run_phase(bool global, uint64_t k_local, uint64_t k_offset,
   if (validator_) validator_->on_phase_start(global);
   phase_scope_ = global ? PhaseScope::kGlobal : PhaseScope::kNode;
 
+  // The label set by Env::phase_label applies to exactly this phase.
+  const std::string label = std::move(next_phase_label_);
+  next_phase_label_.clear();
+  if (tracer_) [[unlikely]] {
+    trace_rec(trace::EventKind::kPhaseBegin, phase_index_, k_local,
+              label.empty() ? 0 : tracer_->intern(label),
+              global ? trace::kFlagBit0 : 0);
+  }
+
   PhaseProfile profile;
   const bool profiling = opts_.profile_phases;
   if (profiling) {
     profile.global = global;
+    profile.phase_index = phase_index_;
+    profile.label = label;
     profile.k_local = k_local;
     profile.start_ns = engine_->now_ns();
     profile.write_entries = counters_.write_entries;
@@ -848,6 +960,9 @@ void NodeRuntime::run_phase(bool global, uint64_t k_local, uint64_t k_offset,
 
   phase_scope_ = PhaseScope::kNone;
   if (profiling) profile.compute_done_ns = engine_->now_ns();
+  if (tracer_) [[unlikely]] {
+    trace_rec(trace::EventKind::kPhaseComputeDone, phase_index_);
+  }
   if (global) {
     commit_global();
     ++counters_.global_phases;
@@ -855,6 +970,10 @@ void NodeRuntime::run_phase(bool global, uint64_t k_local, uint64_t k_offset,
     commit_node();
     ++counters_.node_phases;
   }
+  if (tracer_) [[unlikely]] {
+    trace_rec(trace::EventKind::kPhaseCommitted, phase_index_);
+  }
+  ++phase_index_;
   if (profiling) {
     profile.committed_ns = engine_->now_ns();
     profile.write_entries = counters_.write_entries - profile.write_entries;
@@ -901,12 +1020,22 @@ void NodeRuntime::run_chunks(int core_index) {
     // time guarantees none runs twice. No reference is held across the
     // body (another fiber may grow the vector while this one is blocked).
     if (fid >= static_range_.size()) static_range_.resize(fid + 1);
-    static_range_[fid] = StaticRange{begin, std::min(k, begin + per_core)};
+    const uint64_t range_end = std::min(k, begin + per_core);
+    static_range_[fid] = StaticRange{begin, range_end};
+    const int64_t batch_start_ns = tracer_ ? engine_->now_ns() : 0;
+    uint32_t executed = 0;
     for (;;) {
       const uint64_t i = static_range_[fid].next;
       if (i >= static_range_[fid].end) break;
       ++static_range_[fid].next;
       run_range(i, i + 1);
+      ++executed;
+    }
+    if (tracer_ && begin < range_end) [[unlikely]] {
+      // One span per core per phase (miss-switched steals from this range
+      // show up as their own nested batches on the stealing core).
+      trace_rec(trace::EventKind::kVpBatch, begin, range_end,
+                static_cast<uint64_t>(batch_start_ns), 0, executed);
     }
   } else {
     for (;;) {
@@ -914,7 +1043,13 @@ void NodeRuntime::run_chunks(int core_index) {
       if (begin >= k) break;
       const uint64_t end = std::min(k, begin + task_.chunk);
       task_.next = end;  // no yield between read and update: atomic enough
+      const int64_t batch_start_ns = tracer_ ? engine_->now_ns() : 0;
       run_range(begin, end);
+      if (tracer_) [[unlikely]] {
+        trace_rec(trace::EventKind::kVpBatch, begin, end,
+                  static_cast<uint64_t>(batch_start_ns), 0,
+                  static_cast<uint32_t>(end - begin));
+      }
       // Let the other core fibers grab chunks: without this, a body that
       // never blocks would drain the whole queue in one host slice and the
       // phase would execute serially in virtual time.
@@ -1159,6 +1294,10 @@ void NodeRuntime::run_migration_round(std::vector<Bytes> all) {
     // make them surface at the next fingerprint exchange.
     validator_->on_migration_round(ids.size(), plan.size(), plan_hash);
   }
+  if (tracer_) [[unlikely]] {
+    trace_rec(trace::EventKind::kMigrationPlan, ids.size(), plan.size(),
+              plan_hash);
+  }
 
   // 3. Data movement. Serialize every outbound slot before applying any
   //    inbound payload: an arriving block may have been assigned a slot
@@ -1189,6 +1328,11 @@ void NodeRuntime::run_migration_round(std::vector<Bytes> all) {
             std::move(out).take());
     ++counters_.blocks_migrated;
     counters_.migration_bytes += block_bytes;
+    if (tracer_) [[unlikely]] {
+      trace_rec(trace::EventKind::kMigrationMove, m.array, m.block,
+                (static_cast<uint64_t>(static_cast<uint32_t>(m.from)) << 32) |
+                    static_cast<uint32_t>(m.to));
+    }
   }
 
   // 4. Wait for and apply this node's inbound blocks — the identical plan
@@ -1390,6 +1534,11 @@ void NodeRuntime::service_loop() {
                   static_cast<unsigned long long>(req_id));
         auto slot = std::move(it->second);
         outstanding_.erase(it);
+        if (tracer_) [[unlikely]] {
+          trace_rec(trace::EventKind::kFetchDone, slot->key.array,
+                    slot->key.block, req_id,
+                    slot->abandoned ? trace::kFlagBit0 : 0);
+        }
         if (slot->abandoned) break;  // lookahead from a committed phase
         Bytes payload(msg.payload.begin() + sizeof(uint64_t),
                       msg.payload.end());

@@ -25,6 +25,8 @@
 #include <map>
 #include <memory>
 #include <span>
+#include <string>
+#include <string_view>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -34,6 +36,7 @@
 #include "core/options.hpp"
 #include "core/wire.hpp"
 #include "sim/sync.hpp"
+#include "trace/recorder.hpp"
 
 namespace ppm {
 
@@ -208,12 +211,20 @@ class Runtime {
   cluster::Machine& machine() { return machine_; }
   const RuntimeOptions& options() const { return options_; }
 
-  /// Sum per-node counters and fabric stats into a RunResult.
+  /// The run's event trace, or nullptr when options().trace is off. Owned
+  /// here; the fabric and engine recorders are attached for this Runtime's
+  /// lifetime (detached again by the destructor).
+  trace::Trace* trace() { return trace_.get(); }
+  const trace::Trace* trace() const { return trace_.get(); }
+
+  /// Sum per-node counters and fabric stats into a RunResult (including
+  /// the per-counter min/max rollup and, when tracing, trace_summary).
   RunResult collect() const;
 
  private:
   cluster::Machine& machine_;
   RuntimeOptions options_;
+  std::unique_ptr<trace::Trace> trace_;  // before nodes_: they point into it
   std::vector<std::unique_ptr<NodeRuntime>> nodes_;
 };
 
@@ -347,9 +358,26 @@ class NodeRuntime {
   /// docs/validator.md.
   const check::PhaseValidator* validator() const { return validator_.get(); }
 
+  /// Label the NEXT phase run on this node (consumed by it): shows up in
+  /// that phase's PhaseProfile::label and, under tracing, on its trace
+  /// spans, making profiles attributable to source phases instead of
+  /// positional indices. Called through Env::phase_label.
+  void set_phase_label(std::string_view label) { next_phase_label_ = label; }
+
+  /// Phases executed so far on this node (the next phase's index).
+  uint64_t phase_index() const { return phase_index_; }
+
+  /// The node's trace recorder, or nullptr when options().trace is off.
+  const trace::Recorder* tracer() const { return tracer_; }
+
   /// One record per executed phase (only when options().profile_phases).
   struct PhaseProfile {
     bool global = false;
+    /// Running index of the phase on this node (global and node phases
+    /// share the counter) and the app-set label, empty unless the program
+    /// called Env::phase_label before the phase.
+    uint64_t phase_index = 0;
+    std::string label;
     uint64_t k_local = 0;
     int64_t start_ns = 0;         // virtual time at phase entry
     int64_t compute_done_ns = 0;  // all VPs finished (pre-commit)
@@ -637,10 +665,40 @@ class NodeRuntime {
 
   Counters counters_;
   std::vector<PhaseProfile> phase_profiles_;
+  uint64_t phase_index_ = 0;
+  std::string next_phase_label_;  // consumed by the next run_phase
 
   // Phase-semantics sanitizer (null unless options().validate_phases; the
   // hot-path hooks are a single never-taken branch in that case).
   std::unique_ptr<check::PhaseValidator> validator_;
+
+  // ppm::trace recorder for this node (null unless options().trace; every
+  // hook below then reduces to one never-taken branch — the validator's
+  // trick). Points into the Runtime-owned trace::Trace.
+  trace::Recorder* tracer_ = nullptr;
+  // Core index per fiber id (service fiber and main fiber record as core
+  // 0), so events carry a per-core track for the exporter.
+  std::vector<uint16_t> core_of_fiber_;
+
+  uint16_t trace_core() const {
+    const uint32_t fid = engine_->current_fiber_id();
+    return fid < core_of_fiber_.size() ? core_of_fiber_[fid] : 0;
+  }
+  /// Record an event stamped with the current virtual time and core. Only
+  /// call under `if (tracer_) [[unlikely]]`.
+  void trace_rec(trace::EventKind kind, uint64_t a = 0, uint64_t b = 0,
+                 uint64_t c = 0, uint8_t flags = 0, uint32_t aux = 0) {
+    trace::Event e;
+    e.t_ns = engine_->now_ns();
+    e.kind = kind;
+    e.flags = flags;
+    e.core = engine_->on_fiber() ? trace_core() : 0;
+    e.aux = aux;
+    e.a = a;
+    e.b = b;
+    e.c = c;
+    tracer_->record(e);
+  }
 };
 
 }  // namespace ppm

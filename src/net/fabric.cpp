@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "trace/recorder.hpp"
 #include "util/error.hpp"
 
 namespace ppm::net {
@@ -76,28 +77,53 @@ void Fabric::send(Message msg) {
     stats_.inter_bytes.add(bytes);
   }
 
+  const int64_t modeled_deliver_ns = deliver_ns;
+  if (config_.faults.delay_jitter) {
+    // Fault injection: maybe stretch the delivery, then enqueue AT delivery
+    // time (Engine::at) instead of at send time. Endpoint inboxes pop in
+    // push order, so the uniform at-delivery path makes arrivals from
+    // different (src, dst port) pairs reorder by their jittered times while
+    // the floor clamp keeps each individual pair FIFO (see FaultConfig).
+    const FaultConfig& faults = config_.faults;
+    if (fault_rng_.next_double() < faults.delay_probability &&
+        faults.max_extra_delay_ns > 0) {
+      deliver_ns += fault_rng_.next_below(
+          static_cast<uint64_t>(faults.max_extra_delay_ns) + 1);
+    }
+    const uint64_t pair_key = (static_cast<uint64_t>(msg.src_node) << 40) |
+                              (static_cast<uint64_t>(msg.dst_node) << 20) |
+                              static_cast<uint64_t>(msg.dst_port);
+    int64_t& floor = fault_floor_[pair_key];
+    deliver_ns = std::max(deliver_ns, floor);
+    floor = deliver_ns;
+  }
+
+  if (tracer_ != nullptr) [[unlikely]] {
+    // One span per message: send time -> (possibly fault-stretched)
+    // delivery, with the stretch attributed separately in aux. The kind's
+    // top byte is the layer-above's message class (RtMsg for the PPM
+    // runtime; the mp library tags differently).
+    trace::Event e;
+    e.t_ns = t_send;
+    e.kind = trace::EventKind::kMsgSend;
+    e.flags = intra ? trace::kFlagBit0 : 0;
+    e.core = static_cast<uint16_t>(msg.src_node);
+    e.a = (static_cast<uint64_t>(static_cast<uint16_t>(msg.src_node)) << 48) |
+          (static_cast<uint64_t>(static_cast<uint16_t>(msg.src_port)) << 32) |
+          (static_cast<uint64_t>(static_cast<uint16_t>(msg.dst_node)) << 16) |
+          static_cast<uint64_t>(static_cast<uint16_t>(msg.dst_port));
+    e.b = ((msg.kind >> 56) << 56) |
+          (static_cast<uint64_t>(bytes) & ((uint64_t{1} << 56) - 1));
+    e.c = static_cast<uint64_t>(deliver_ns);
+    e.aux = static_cast<uint32_t>(std::min<int64_t>(
+        deliver_ns - modeled_deliver_ns, UINT32_MAX));
+    tracer_->record(e);
+  }
+
   if (!config_.faults.delay_jitter) {
     dst.inbox_.push_at(deliver_ns, std::move(msg));
     return;
   }
-
-  // Fault injection: maybe stretch the delivery, then enqueue AT delivery
-  // time (Engine::at) instead of at send time. Endpoint inboxes pop in
-  // push order, so the uniform at-delivery path makes arrivals from
-  // different (src, dst port) pairs reorder by their jittered times while
-  // the floor clamp keeps each individual pair FIFO (see FaultConfig).
-  const FaultConfig& faults = config_.faults;
-  if (fault_rng_.next_double() < faults.delay_probability &&
-      faults.max_extra_delay_ns > 0) {
-    deliver_ns += fault_rng_.next_below(
-        static_cast<uint64_t>(faults.max_extra_delay_ns) + 1);
-  }
-  const uint64_t pair_key = (static_cast<uint64_t>(msg.src_node) << 40) |
-                            (static_cast<uint64_t>(msg.dst_node) << 20) |
-                            static_cast<uint64_t>(msg.dst_port);
-  int64_t& floor = fault_floor_[pair_key];
-  deliver_ns = std::max(deliver_ns, floor);
-  floor = deliver_ns;
   engine_.at(deliver_ns, [&dst, deliver_ns, m = std::move(msg)]() mutable {
     dst.inbox_.push_at(deliver_ns, std::move(m));
   });

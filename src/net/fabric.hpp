@@ -33,6 +33,10 @@
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 
+namespace ppm::trace {
+class Recorder;
+}
+
 namespace ppm::net {
 
 struct LinkParams {
@@ -136,6 +140,12 @@ class Fabric {
   /// ignoring contention — useful for tests and analytic baselines.
   int64_t uncontended_network_time_ns(size_t bytes) const;
 
+  /// Attach (or detach, with nullptr) a ppm::trace recorder; every send
+  /// then records a kMsgSend span (send time -> delivery time, with kind/
+  /// bytes/addressing and fault-delay attribution). Null by default: the
+  /// hook is one never-taken branch per send.
+  void set_trace_recorder(trace::Recorder* recorder) { tracer_ = recorder; }
+
  private:
   sim::Engine& engine_;
   FabricConfig config_;
@@ -147,6 +157,7 @@ class Fabric {
   // (src node, dst node, dst port) delivery floor that keeps pairwise FIFO.
   Rng fault_rng_;
   std::unordered_map<uint64_t, int64_t> fault_floor_;
+  trace::Recorder* tracer_ = nullptr;
 };
 
 }  // namespace ppm::net

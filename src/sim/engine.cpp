@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "sim/stack_switch.hpp"
+#include "trace/recorder.hpp"
 #include "util/error.hpp"
 
 namespace ppm::sim {
@@ -78,6 +79,16 @@ void Engine::run() {
     events_.pop();
     engine_now_ns_ = std::max(engine_now_ns_, ev.t_ns);
     ++events_fired_;
+    if (tracer_ != nullptr && engine_now_ns_ >= next_trace_mark_ns_)
+        [[unlikely]] {
+      trace::Event mark;
+      mark.t_ns = engine_now_ns_;
+      mark.kind = trace::EventKind::kEngineStep;
+      mark.a = events_fired_;
+      tracer_->record(mark);
+      next_trace_mark_ns_ =
+          (engine_now_ns_ / trace_stride_ns_ + 1) * trace_stride_ns_;
+    }
     ev.fn();
     if (pending_error_) {
       running_ = false;
@@ -100,6 +111,14 @@ void Engine::run() {
   }
   PPM_CHECK(stuck.empty(), "simulation deadlock; blocked fibers: %s",
             stuck.c_str());
+}
+
+void Engine::set_trace_recorder(trace::Recorder* recorder,
+                                int64_t stride_ns) {
+  tracer_ = recorder;
+  trace_stride_ns_ = std::max<int64_t>(1, stride_ns);
+  // Mark immediately at the next fired event, then every stride.
+  next_trace_mark_ns_ = engine_now_ns_;
 }
 
 bool Engine::all_fibers_finished() const {

@@ -24,6 +24,10 @@
 
 #include "sim/fiber.hpp"
 
+namespace ppm::trace {
+class Recorder;
+}
+
 namespace ppm::sim {
 
 /// advance_ns charges below this threshold skip the conservative
@@ -108,6 +112,13 @@ class Engine {
   /// Engine running stats (events fired, slices executed) for tests.
   uint64_t events_fired() const { return events_fired_; }
 
+  /// Attach (or detach, with nullptr) a ppm::trace recorder: the run loop
+  /// then drops one kEngineStep mark per `stride_ns` of virtual time — a
+  /// bounded-volume progress track that anchors the other tracks'
+  /// timelines. Null by default; the check in the loop is one branch.
+  void set_trace_recorder(trace::Recorder* recorder,
+                          int64_t stride_ns = 100'000);
+
  private:
   friend class Fiber;
 
@@ -146,6 +157,9 @@ class Engine {
   int64_t engine_now_ns_ = 0;
   int64_t slice_wall_start_ns_ = 0;  // host steady_clock at slice start
   uint64_t events_fired_ = 0;
+  trace::Recorder* tracer_ = nullptr;
+  int64_t trace_stride_ns_ = 100'000;
+  int64_t next_trace_mark_ns_ = 0;
   bool running_ = false;
   std::exception_ptr pending_error_;
 };

@@ -4,6 +4,7 @@
 #include <map>
 #include <utility>
 
+#include "trace/export.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
@@ -187,12 +188,34 @@ std::vector<StressConfig> sample_configs(uint64_t seed, int count) {
   return out;
 }
 
-Snapshot run_under_config(const ProgramSpec& spec, const StressConfig& cfg) {
+void RunTotals::add(const RunResult& r) {
+  ++runs;
+  network_messages += r.network_messages;
+  network_bytes += r.network_bytes;
+  blocks_fetched += r.remote_blocks_fetched;
+  reads_from_cache += r.remote_reads_served_from_cache;
+  fetch_stall_ns += r.fetch_stall_ns;
+  blocks_migrated += r.blocks_migrated;
+}
+
+Snapshot run_under_config(const ProgramSpec& spec, const StressConfig& cfg,
+                          RunArtifacts* artifacts) {
   Snapshot snap;
   PpmConfig pc;
   pc.machine = cfg.machine;
   pc.runtime = cfg.runtime;
-  run(pc, [&](Env& env) {
+  if (artifacts != nullptr && artifacts->trace) pc.runtime.trace = true;
+  // Machine and Runtime are owned here (not via ppm::run) so the trace can
+  // be exported even when the node program throws mid-run.
+  cluster::Machine machine(pc.machine);
+  Runtime runtime(machine, pc.runtime);
+  auto export_trace = [&] {
+    if (artifacts != nullptr && artifacts->trace &&
+        runtime.trace() != nullptr) {
+      artifacts->trace_json = trace::to_chrome_json(*runtime.trace());
+    }
+  };
+  auto node_program = [&](Env& env) {
     const int nodes = env.node_count();
     std::vector<GlobalShared<uint64_t>> g(spec.arrays.size());
     std::vector<NodeShared<uint64_t>> nd(spec.arrays.size());
@@ -226,22 +249,41 @@ Snapshot run_under_config(const ProgramSpec& spec, const StressConfig& cfg) {
     }
     Snapshot local = collect_snapshot(spec, env, ids);
     if (env.node_id() == 0) snap = std::move(local);
-  });
+  };
+  try {
+    machine.run_per_node([&](int node) {
+      NodeRuntime& nr = runtime.node(node);
+      nr.start();
+      Env env(nr);
+      node_program(env);
+      nr.finish();
+    });
+  } catch (...) {
+    export_trace();
+    throw;
+  }
+  RunResult result = runtime.collect();
+  export_trace();
+  if (artifacts != nullptr) artifacts->result = std::move(result);
   return snap;
 }
 
 Verdict run_differential(const ProgramSpec& spec,
-                         const std::vector<StressConfig>& configs) {
+                         const std::vector<StressConfig>& configs,
+                         RunTotals* totals) {
   std::map<int, GoldenState> golden;  // keyed by machine node count
   GoldenState ref_snap;
   for (size_t i = 0; i < configs.size(); ++i) {
     const StressConfig& cfg = configs[i];
     Snapshot snap;
+    RunArtifacts artifacts;
     try {
-      snap = run_under_config(spec, cfg);
+      snap = run_under_config(spec, cfg,
+                              totals != nullptr ? &artifacts : nullptr);
     } catch (const Error& e) {
       return {false, i, cfg.name, strfmt("ppm::Error: %s", e.what())};
     }
+    if (totals != nullptr) totals->add(artifacts.result);
     auto [it, fresh] = golden.try_emplace(cfg.machine.nodes);
     if (fresh) it->second = run_golden(spec, cfg.machine.nodes);
     if (auto d = diff_states(spec, it->second, snap, /*globals_only=*/false,

@@ -37,9 +37,36 @@ std::vector<StressConfig> sample_configs(uint64_t seed, int count);
 /// free (identical no matter where blocks migrated to).
 using Snapshot = GoldenState;
 
+/// Optional observability side-channel of run_under_config. Set `trace`
+/// before the call to run under ppm::trace; afterwards `result` holds the
+/// run's statistics (counter rollup, trace summary) and `trace_json` the
+/// Chrome trace-event export. On a throwing run the trace captured up to
+/// the failure point is still exported — that is the whole point of
+/// --trace-on-failure repros.
+struct RunArtifacts {
+  bool trace = false;        // in: record a ppm::trace for this run
+  RunResult result;          // out: statistics (invalid if the run threw)
+  std::string trace_json;    // out: Chrome JSON (only when trace was set)
+};
+
 /// Execute the program under one config. Throws ppm::Error on any runtime
 /// or validator failure.
-Snapshot run_under_config(const ProgramSpec& spec, const StressConfig& cfg);
+Snapshot run_under_config(const ProgramSpec& spec, const StressConfig& cfg,
+                          RunArtifacts* artifacts = nullptr);
+
+/// Counters accumulated across every config run of a differential check,
+/// reported by ppm_stress --json.
+struct RunTotals {
+  uint64_t runs = 0;
+  uint64_t network_messages = 0;
+  uint64_t network_bytes = 0;
+  uint64_t blocks_fetched = 0;
+  uint64_t reads_from_cache = 0;
+  uint64_t fetch_stall_ns = 0;
+  uint64_t blocks_migrated = 0;
+
+  void add(const RunResult& r);
+};
 
 struct Verdict {
   bool ok = true;
@@ -49,7 +76,8 @@ struct Verdict {
 };
 
 Verdict run_differential(const ProgramSpec& spec,
-                         const std::vector<StressConfig>& configs);
+                         const std::vector<StressConfig>& configs,
+                         RunTotals* totals = nullptr);
 
 /// Greedy deterministic shrinker: starting from a failing (program,
 /// config) pair, repeatedly drop phases and ops, clear rebalance hints,

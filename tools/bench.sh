@@ -28,14 +28,14 @@ while [ $# -gt 0 ]; do
 done
 
 benches=(fig1_cg fig2_matgen fig3_barneshut ablation_overlap
-         ablation_distribution)
+         ablation_distribution ablation_trace)
 
 filter="."
 if [ "${smoke}" = 1 ]; then
   export PPM_BENCH_SCALE="${PPM_BENCH_SCALE:-0.25}"
   # Smallest node counts only; keep all four overlap-engine configs and
   # both locality-engine arms at the smallest node count.
-  filter='(/1/|/2/|OverlapEngine|Locality/[01]/4)'
+  filter='(/1/|/2/|OverlapEngine|Locality/[01]/4|Trace)'
 fi
 
 cmake --preset default >/dev/null

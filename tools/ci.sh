@@ -33,6 +33,34 @@ for preset in default san; do
     "${builddir[$preset]}/tools/ppm_stress" --smoke
 done
 
+echo "=== traced smoke (ppm::trace export gate) ==="
+# One traced CG run per CI pass: the Chrome-JSON export must stay loadable
+# (Perfetto-compatible) — validated structurally below. The artifact is
+# kept in build/ for eyeballing after a failure.
+trace_json="build/cg_smoke.trace.json"
+ASAN_OPTIONS=detect_leaks=0 \
+  build/tools/ppm_cli --app=cg --nodes=4 --size=4096 --iters=12 \
+    --calibration=0 --trace="${trace_json}" --profile >/dev/null
+python3 - "${trace_json}" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+events = doc["traceEvents"]
+assert isinstance(events, list) and events, "empty traceEvents"
+for e in events:
+    assert e["ph"] in ("M", "X", "i"), f"unexpected phase type {e['ph']}"
+    assert "pid" in e and "tid" in e and "name" in e, f"missing key in {e}"
+    if e["ph"] == "X":
+        assert "ts" in e and "dur" in e, f"span without ts/dur: {e}"
+    if e["ph"] == "i":
+        assert "ts" in e, f"instant without ts: {e}"
+procs = {e["args"]["name"] for e in events
+         if e["ph"] == "M" and e["name"] == "process_name"}
+assert {"node0", "node1", "node2", "node3", "fabric"} <= procs, procs
+print(f"trace schema OK: {len(events)} events, processes {sorted(procs)}")
+PY
+echo "traced smoke OK (artifact kept at ${trace_json})"
+
 echo "=== bench smoke (run, not gated) ==="
 # Exercise the figure/ablation harness end-to-end at toy scale. Failures
 # here are reported but do not fail CI: the benches measure, they are not

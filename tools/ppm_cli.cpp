@@ -23,6 +23,7 @@
 #include "apps/graph/graph_ppm.hpp"
 #include "apps/nbody/nbody_ppm.hpp"
 #include "core/ppm.hpp"
+#include "trace/export.hpp"
 
 namespace {
 
@@ -42,6 +43,9 @@ struct CliOptions {
   bool profile = false;
   bool check = false;  // run under the ppm::check phase sanitizer
   double calibration = 3.0;
+  std::string trace_json;    // --trace=FILE: Chrome trace-event JSON
+  std::string trace_binary;  // --trace-bin=FILE: compact binary dump
+  uint32_t trace_buffer = 0;  // --trace-buffer=N events/track (0 = default)
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -51,7 +55,8 @@ struct CliOptions {
       "          [--nodes=N] [--cores=C] [--size=S] [--steps=K]\n"
       "          [--levels=L] [--iters=I] [--tol=T] [--matrix=FILE.mtx]\n"
       "          [--dist=block|cyclic|adaptive] [--calibration=F]\n"
-      "          [--profile] [--check]\n",
+      "          [--profile] [--check] [--trace=FILE.json]\n"
+      "          [--trace-bin=FILE.bin] [--trace-buffer=EVENTS]\n",
       argv0);
   std::exit(2);
 }
@@ -96,6 +101,12 @@ CliOptions parse(int argc, char** argv) {
       } else {
         usage(argv[0]);
       }
+    } else if (const char* v = value_of("--trace=")) {
+      opt.trace_json = v;
+    } else if (const char* v = value_of("--trace-bin=")) {
+      opt.trace_binary = v;
+    } else if (const char* v = value_of("--trace-buffer=")) {
+      opt.trace_buffer = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
     } else if (arg == "--profile") {
       opt.profile = true;
     } else if (arg == "--check") {
@@ -109,17 +120,25 @@ CliOptions parse(int argc, char** argv) {
 
 void print_profile(NodeRuntime& rt) {
   std::printf("phase profile (node 0):\n");
-  std::printf("  %-4s %-6s %10s %12s %12s %8s\n", "#", "scope", "VPs",
-              "compute_us", "commit_us", "writes");
-  int idx = 0;
+  std::printf("  %-5s %-6s %-12s %10s %12s %12s %8s\n", "#", "scope",
+              "label", "VPs", "compute_us", "commit_us", "writes");
   for (const auto& p : rt.phase_profiles()) {
-    std::printf("  %-4d %-6s %10llu %12.1f %12.1f %8llu\n", idx++,
+    std::printf("  %-5llu %-6s %-12s %10llu %12.1f %12.1f %8llu\n",
+                static_cast<unsigned long long>(p.phase_index),
                 p.global ? "global" : "node",
+                p.label.empty() ? "-" : p.label.c_str(),
                 static_cast<unsigned long long>(p.k_local),
                 static_cast<double>(p.compute_ns()) * 1e-3,
                 static_cast<double>(p.commit_ns()) * 1e-3,
                 static_cast<unsigned long long>(p.write_entries));
   }
+}
+
+bool write_file(const std::string& path, const void* data, size_t size) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool ok = size == 0 || std::fwrite(data, 1, size, f) == size;
+  return std::fclose(f) == 0 && ok;
 }
 
 void print_result(const RunResult& r) {
@@ -145,10 +164,20 @@ int run_cli(const CliOptions& opt) {
   PpmConfig cfg;
   cfg.machine.nodes = opt.nodes;
   cfg.machine.cores_per_node = opt.cores;
-  cfg.machine.engine.calibration = sim::CalibrationMode::kMeasured;
-  cfg.machine.engine.calibration_factor = opt.calibration;
+  // --calibration=0 selects modeled-only virtual time: slower-converging
+  // timings but fully deterministic, so two identical --trace runs emit
+  // byte-identical JSON.
+  if (opt.calibration > 0) {
+    cfg.machine.engine.calibration = sim::CalibrationMode::kMeasured;
+    cfg.machine.engine.calibration_factor = opt.calibration;
+  } else {
+    cfg.machine.engine.calibration = sim::CalibrationMode::kModeledOnly;
+  }
   cfg.runtime.profile_phases = opt.profile;
   cfg.runtime.validate_phases = opt.check;
+  cfg.runtime.trace = !opt.trace_json.empty() || !opt.trace_binary.empty() ||
+                      opt.profile;
+  if (opt.trace_buffer != 0) cfg.runtime.trace_buffer_events = opt.trace_buffer;
   cfg.runtime.adaptive_distribution = opt.dist == Distribution::kAdaptive;
 
   const apps::cg::CgOptions cg_opts{.max_iterations = opt.max_iterations,
@@ -280,7 +309,34 @@ int run_cli(const CliOptions& opt) {
   }
 
   print_result(result);
-  if (opt.profile) print_profile(runtime.node(0));
+  if (runtime.trace() != nullptr) {
+    if (!opt.trace_json.empty()) {
+      const std::string json = trace::to_chrome_json(*runtime.trace());
+      if (!write_file(opt.trace_json, json.data(), json.size())) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     opt.trace_json.c_str());
+        return 1;
+      }
+      std::printf("trace: %llu events (%llu dropped) -> %s\n",
+                  static_cast<unsigned long long>(
+                      runtime.trace()->total_recorded()),
+                  static_cast<unsigned long long>(
+                      runtime.trace()->total_dropped()),
+                  opt.trace_json.c_str());
+    }
+    if (!opt.trace_binary.empty()) {
+      const Bytes bin = trace::to_binary(*runtime.trace());
+      if (!write_file(opt.trace_binary, bin.data(), bin.size())) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     opt.trace_binary.c_str());
+        return 1;
+      }
+    }
+  }
+  if (opt.profile) {
+    print_profile(runtime.node(0));
+    std::fputs(result.trace_summary.to_string().c_str(), stdout);
+  }
   if (opt.check) {
     std::fputs(result.check_report.to_string().c_str(), stdout);
     if (!result.check_report.clean()) return 3;

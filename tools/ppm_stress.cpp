@@ -12,6 +12,8 @@
 //   ppm_stress --seed=S --programs=P   explicit range
 //   ppm_stress --replay=SEED:CFG    re-run one failing (seed, config) pair
 //   ppm_stress --json=FILE          benchmark-format throughput record
+//   ppm_stress --trace-on-failure   dump ppm::trace JSON of a shrunken
+//                                   repro (reference + diverging config)
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
@@ -36,6 +38,7 @@ struct Args {
   int programs = 16;
   int configs = kDefaultConfigs;
   bool has_replay = false;
+  bool trace_on_failure = false;
   uint64_t replay_seed = 0;
   size_t replay_config = 0;
   std::string json_path;
@@ -46,7 +49,7 @@ struct Args {
       rc == 0 ? stdout : stderr,
       "usage: ppm_stress [--smoke] [--minutes=N] [--seed=S] [--programs=P]\n"
       "                  [--configs=C] [--replay=SEED:CFG] [--json=FILE]\n"
-      "                  [--verbose]\n");
+      "                  [--trace-on-failure] [--verbose]\n");
   std::exit(rc);
 }
 
@@ -61,6 +64,8 @@ Args parse(int argc, char** argv) {
       a.smoke = true;
     } else if (arg == "--verbose" || arg == "-v") {
       a.verbose = true;
+    } else if (arg == "--trace-on-failure") {
+      a.trace_on_failure = true;
     } else if (arg.rfind("--minutes=", 0) == 0) {
       a.minutes = std::strtod(val("--minutes=").c_str(), nullptr);
     } else if (arg.rfind("--seed=", 0) == 0) {
@@ -90,6 +95,34 @@ Args parse(int argc, char** argv) {
   return a;
 }
 
+bool write_text_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << text;
+  return static_cast<bool>(out);
+}
+
+// --trace-on-failure: re-run one config of the shrunken repro under
+// ppm::trace and dump the Chrome JSON. The failing run may throw — the
+// partial trace up to the failure point is exported anyway.
+void dump_repro_trace(const ppm::stress::ProgramSpec& spec,
+                      const ppm::stress::StressConfig& cfg,
+                      const std::string& path) {
+  ppm::stress::RunArtifacts artifacts;
+  artifacts.trace = true;
+  try {
+    (void)ppm::stress::run_under_config(spec, cfg, &artifacts);
+  } catch (const ppm::Error&) {
+    // expected for the diverging config; keep the partial trace
+  }
+  if (artifacts.trace_json.empty() ||
+      !write_text_file(path, artifacts.trace_json)) {
+    std::fprintf(stderr, "trace: could not write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(stderr, "trace (%s): %s\n", cfg.name.c_str(), path.c_str());
+}
+
 // On failure: report, shrink, print the replay line, exit 1.
 [[noreturn]] void report_failure(const Args& a, const ppm::stress::ProgramSpec& spec,
                                  const std::vector<ppm::stress::StressConfig>& cfgs,
@@ -105,6 +138,19 @@ Args parse(int argc, char** argv) {
   if (!vs.ok) {
     std::fprintf(stderr, "shrunk verdict: config %zu (%s): %s\n",
                  vs.config_index, vs.config_name.c_str(), vs.detail.c_str());
+  }
+  if (a.trace_on_failure) {
+    // Two traces, side by side: the reference config (golden behavior) and
+    // the diverging one, both on the shrunken repro.
+    char path[128];
+    std::snprintf(path, sizeof(path), "ppm_stress_seed%" PRIu64 "_ref.trace.json",
+                  spec.seed);
+    dump_repro_trace(sh.spec, sh.configs.front(), path);
+    if (sh.configs.size() > 1) {
+      std::snprintf(path, sizeof(path),
+                    "ppm_stress_seed%" PRIu64 "_fail.trace.json", spec.seed);
+      dump_repro_trace(sh.spec, sh.configs.back(), path);
+    }
   }
   std::fprintf(stderr, "replay: ppm_stress%s --replay=%" PRIu64 ":%zu\n",
                a.smoke ? " --smoke" : "", spec.seed, v.config_index);
@@ -143,6 +189,7 @@ int main(int argc, char** argv) {
   }
 
   int ran = 0;
+  ppm::stress::RunTotals totals;
   const auto run_one = [&](uint64_t seed) {
     const auto spec = ppm::stress::generate_program(seed);
     const auto cfgs = ppm::stress::sample_configs(seed, a.configs);
@@ -150,7 +197,8 @@ int main(int argc, char** argv) {
       std::printf("seed=%" PRIu64 " k=%" PRIu64 " phases=%zu arrays=%zu\n",
                   seed, spec.k_total, spec.phases.size(), spec.arrays.size());
     }
-    const auto v = ppm::stress::run_differential(spec, cfgs);
+    const auto v = ppm::stress::run_differential(
+        spec, cfgs, a.json_path.empty() ? nullptr : &totals);
     if (!v.ok) report_failure(a, spec, cfgs, v);
     ++ran;
   };
@@ -181,12 +229,23 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "cannot write %s\n", a.json_path.c_str());
       return 1;
     }
-    char buf[512];
-    std::snprintf(buf, sizeof(buf),
-                  "{\"benchmarks\": [{\"name\": \"stress/%s\", "
-                  "\"programs\": %d, \"configs_per_program\": %d, "
-                  "\"wall_seconds\": %.3f, \"programs_per_sec\": %.3f}]}\n",
-                  a.smoke ? "smoke" : "run", ran, a.configs, secs, rate);
+    char buf[1024];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\"benchmarks\": [{\"name\": \"stress/%s\", "
+        "\"programs\": %d, \"configs_per_program\": %d, "
+        "\"wall_seconds\": %.3f, \"programs_per_sec\": %.3f, "
+        "\"config_runs\": %" PRIu64 ", "
+        "\"network_messages\": %" PRIu64 ", "
+        "\"network_bytes\": %" PRIu64 ", "
+        "\"blocks_fetched\": %" PRIu64 ", "
+        "\"reads_from_cache\": %" PRIu64 ", "
+        "\"fetch_stall_ns\": %" PRIu64 ", "
+        "\"blocks_migrated\": %" PRIu64 "}]}\n",
+        a.smoke ? "smoke" : "run", ran, a.configs, secs, rate, totals.runs,
+        totals.network_messages, totals.network_bytes, totals.blocks_fetched,
+        totals.reads_from_cache, totals.fetch_stall_ns,
+        totals.blocks_migrated);
     out << buf;
   }
   return 0;
