@@ -17,6 +17,7 @@ Machine::Machine(MachineConfig config) : config_(config) {
   fc.network = config_.network;
   fc.intranode = config_.intranode;
   fc.faults = config_.faults;
+  fc.backbone_bytes_per_ns = config_.backbone_bytes_per_ns;
   fabric_ = std::make_unique<net::Fabric>(*engine_, fc);
 }
 

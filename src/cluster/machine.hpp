@@ -30,6 +30,10 @@ struct MachineConfig {
                             .send_overhead_ns = 150,
                             .recv_overhead_ns = 150};
   net::FaultConfig faults{};  // deterministic delay/reorder injection
+  /// Shared-backbone bandwidth for inter-node traffic (bytes/ns); 0 = off.
+  /// See net::FabricConfig::backbone_bytes_per_ns. ppm::jobs turns this on
+  /// so co-scheduled jobs on disjoint node sets contend for the fabric.
+  double backbone_bytes_per_ns = 0.0;
   sim::EngineConfig engine{};
 
   int total_cores() const { return nodes * cores_per_node; }

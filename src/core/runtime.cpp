@@ -40,18 +40,56 @@ struct ParsedEntry {
 // Runtime (cluster-wide)
 // ---------------------------------------------------------------------------
 
+namespace {
+std::vector<int> identity_partition(int nodes) {
+  std::vector<int> p(static_cast<size_t>(nodes));
+  for (int n = 0; n < nodes; ++n) p[static_cast<size_t>(n)] = n;
+  return p;
+}
+}  // namespace
+
 Runtime::Runtime(cluster::Machine& machine, RuntimeOptions options)
-    : machine_(machine), options_(options) {
+    : Runtime(machine, options, identity_partition(machine.nodes()), 0) {}
+
+Runtime::Runtime(cluster::Machine& machine, RuntimeOptions options,
+                 std::vector<int> machine_nodes, uint32_t run_tag)
+    : machine_(machine), options_(options),
+      partition_(std::move(machine_nodes)), run_tag_(run_tag) {
+  PPM_CHECK(!partition_.empty(), "runtime partition needs at least one node");
+  PPM_CHECK(run_tag_ <= detail::kRtTagMax, "run tag %u out of range",
+            run_tag_);
+  logical_of_.assign(static_cast<size_t>(machine.nodes()), -1);
+  for (size_t k = 0; k < partition_.size(); ++k) {
+    const int phys = partition_[k];
+    PPM_CHECK(phys >= 0 && phys < machine.nodes(),
+              "partition node %d outside machine", phys);
+    PPM_CHECK(logical_of_[static_cast<size_t>(phys)] < 0,
+              "machine node %d appears twice in partition", phys);
+    logical_of_[static_cast<size_t>(phys)] = static_cast<int>(k);
+  }
+  quiesce_cv_ = std::make_unique<sim::ConditionVar>(machine.engine());
   if (options_.trace) {
+    // The trace is keyed by physical node id, and the fabric/engine
+    // recorders are process-wide: with several traced tenants the last
+    // attached Runtime wins them. ppm::jobs runs tenants untraced.
     trace_ = std::make_unique<trace::Trace>(machine.nodes(),
                                             options_.trace_buffer_events);
     machine.fabric().set_trace_recorder(&trace_->fabric());
     machine.engine().set_trace_recorder(&trace_->engine());
   }
-  nodes_.reserve(static_cast<size_t>(machine.nodes()));
-  for (int n = 0; n < machine.nodes(); ++n) {
-    nodes_.push_back(std::unique_ptr<NodeRuntime>(new NodeRuntime(*this, n)));
+  nodes_.reserve(partition_.size());
+  for (size_t k = 0; k < partition_.size(); ++k) {
+    nodes_.push_back(std::unique_ptr<NodeRuntime>(
+        new NodeRuntime(*this, static_cast<int>(k))));
   }
+}
+
+void Runtime::note_runtime_fiber_exited() {
+  if (--live_runtime_fibers_ == 0) quiesce_cv_->notify_all();
+}
+
+void Runtime::wait_runtime_fibers_exited() {
+  quiesce_cv_->wait([this] { return live_runtime_fibers_ == 0; });
 }
 
 Runtime::~Runtime() {
@@ -92,12 +130,14 @@ RunResult Runtime::collect() const {
     r.blocks_migrated += c.blocks_migrated;
     r.migration_bytes += c.migration_bytes;
     r.remote_to_local_conversions += c.remote_to_local_conversions;
+    r.stale_messages_dropped += c.stale_msgs_dropped;
     if (const check::PhaseValidator* v = n->validator()) {
       r.check_report.merge(v->report());
     }
   }
-  // Phases are counted per node; report cluster-wide phase counts.
-  r.global_phases /= static_cast<uint64_t>(std::max(1, machine_.nodes()));
+  // Phases are counted per node; report runtime-wide phase counts (the
+  // partition's nodes for a tenant runtime).
+  r.global_phases /= static_cast<uint64_t>(std::max(1, nodes()));
 
   // Per-counter rollup: sum plus per-node extremes, one row per
   // NodeRuntime::Counters field in declaration order.
@@ -119,6 +159,7 @@ RunResult Runtime::collect() const {
       {"migration_bytes", &NodeRuntime::Counters::migration_bytes},
       {"remote_to_local_conversions",
        &NodeRuntime::Counters::remote_to_local_conversions},
+      {"stale_msgs_dropped", &NodeRuntime::Counters::stale_msgs_dropped},
   };
   r.counter_rollup.reserve(std::size(kCounterFields));
   for (const auto& f : kCounterFields) {
@@ -153,10 +194,14 @@ NodeRuntime::NodeRuntime(Runtime& shared, int node_id)
   if (opts_.validate_phases) {
     validator_ = std::make_unique<check::PhaseValidator>(node_);
   }
-  if (trace::Trace* t = shared.trace()) tracer_ = &t->node(node_);
+  // Trace tracks are keyed by physical node id (they describe the machine,
+  // not one tenant).
+  if (trace::Trace* t = shared.trace()) {
+    tracer_ = &t->node(shared.machine_node(node_));
+  }
 }
 
-int NodeRuntime::node_count() const { return shared_.machine().nodes(); }
+int NodeRuntime::node_count() const { return shared_.nodes(); }
 int NodeRuntime::cores_per_node() const {
   return shared_.machine().cores_per_node();
 }
@@ -178,24 +223,35 @@ void NodeRuntime::start() {
     core_of_fiber_[fid] = static_cast<uint16_t>(core);
   };
   if (engine_->on_fiber()) note_core(engine_->current_fiber_id(), 0);
-  note_core(machine.spawn_at({node_, 0}, strfmt("n%d.svc", node_),
-                             [this] { service_loop(); }),
+  // Fibers live at the node's physical place (fiber names carry it too —
+  // it is the machine-level identity). Each spawned runtime fiber is
+  // registered with the Runtime's quiesce latch so a scheduler can wait
+  // for full teardown before reallocating the node to another tenant.
+  const int phys = shared_.machine_node(node_);
+  shared_.note_runtime_fiber_spawned();
+  note_core(machine.spawn_at({phys, 0}, strfmt("n%d.svc", phys),
+                             [this] {
+                               service_loop();
+                               shared_.note_runtime_fiber_exited();
+                             }),
             0);
   for (int core = 1; core < cores_per_node(); ++core) {
-    const auto fid = machine.spawn_at({node_, core},
-                                      strfmt("n%d.w%d", node_, core),
+    shared_.note_runtime_fiber_spawned();
+    const auto fid = machine.spawn_at({phys, core},
+                                      strfmt("n%d.w%d", phys, core),
                      [this, core] {
                        uint64_t seen = 0;
                        for (;;) {
                          task_cv_->wait([&] {
                            return task_.shutdown || task_.generation != seen;
                          });
-                         if (task_.shutdown) return;
+                         if (task_.shutdown) break;
                          seen = task_.generation;
                          run_chunks(core);
                          ++task_.workers_done;
                          task_cv_->notify_all();
                        }
+                       shared_.note_runtime_fiber_exited();
                      });
     note_core(fid, core);
   }
@@ -1504,21 +1560,39 @@ void NodeRuntime::validate_lockstep() {
 // ---------------------------------------------------------------------------
 
 void NodeRuntime::rt_send(int dst_node, uint64_t kind, Bytes payload) {
+  // The single logical→physical translation point of the runtime: all
+  // node ids above this line are partition-logical; the wire carries
+  // physical addresses plus the tenancy's run tag (see wire.hpp).
   net::Message m;
-  m.src_node = node_;
+  m.src_node = shared_.machine_node(node_);
   m.src_port = shared_.machine().service_port();
-  m.dst_node = dst_node;
+  m.dst_node = shared_.machine_node(dst_node);
   m.dst_port = shared_.machine().service_port();
-  m.kind = kind;
+  m.kind = kind | detail::rt_tag_bits(shared_.run_tag());
   m.payload = std::move(payload);
   shared_.machine().fabric().send(std::move(m));
 }
 
 void NodeRuntime::service_loop() {
   auto& endpoint = shared_.machine().fabric().endpoint(
-      node_, shared_.machine().service_port());
+      shared_.machine_node(node_), shared_.machine().service_port());
   for (;;) {
     net::Message msg = endpoint.recv();
+    // Tenancy fence: a reallocated node can still receive straggler
+    // traffic from the previous tenant of this endpoint (e.g. a
+    // fault-delayed kGetResp). Wrong-tag messages are dropped, never
+    // interpreted.
+    if (detail::rt_run_tag(msg.kind) != shared_.run_tag()) {
+      ++counters_.stale_msgs_dropped;
+      continue;
+    }
+    // Translate the wire's physical source back into this partition's
+    // logical node id; everything below the fence is logical again.
+    const int src_logical = shared_.logical_node(msg.src_node);
+    PPM_CHECK(src_logical >= 0,
+              "runtime message from machine node %d outside the partition",
+              msg.src_node);
+    msg.src_node = src_logical;
     switch (detail::rt_class(msg.kind)) {
       case detail::RtMsg::kGetBlock:
       case detail::RtMsg::kPrefetchBlock:

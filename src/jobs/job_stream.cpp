@@ -1,0 +1,82 @@
+#include "jobs/jobs.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace ppm::jobs {
+
+const char* kind_name(JobKind kind) {
+  switch (kind) {
+    case JobKind::kCg: return "cg";
+    case JobKind::kMatgen: return "matgen";
+    case JobKind::kBarnesHut: return "barneshut";
+  }
+  return "?";
+}
+
+const char* policy_name(Policy policy) {
+  switch (policy) {
+    case Policy::kFifo: return "fifo";
+    case Policy::kBackfill: return "backfill";
+    case Policy::kSmallestFirst: return "smallest";
+  }
+  return "?";
+}
+
+bool parse_policy(std::string_view name, Policy* out) {
+  if (name == "fifo") {
+    *out = Policy::kFifo;
+  } else if (name == "backfill") {
+    *out = Policy::kBackfill;
+  } else if (name == "smallest" || name == "smallest-first") {
+    *out = Policy::kSmallestFirst;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::vector<JobSpec> sample_jobs(uint64_t seed, int count,
+                                 int machine_nodes) {
+  Rng rng(mix64(seed ^ 0x10b5c4ed01e5ULL));
+  std::vector<JobSpec> out;
+  out.reserve(static_cast<size_t>(std::max(0, count)));
+  int64_t arrival = 0;
+  for (int i = 0; i < count; ++i) {
+    JobSpec s;
+    s.id = static_cast<uint64_t>(i);
+    const uint64_t kind_pick = rng.next_below(10);
+    s.kind = kind_pick < 4   ? JobKind::kCg
+             : kind_pick < 7 ? JobKind::kMatgen
+                             : JobKind::kBarnesHut;
+    // Gang-size mix: mostly 1-2 nodes, some half-machine, occasionally the
+    // whole machine. The big gangs are what separates FIFO (head-of-line
+    // blocked behind them) from backfill on the bench.
+    const uint64_t nd = rng.next_below(8);
+    const int want = nd < 3   ? 1
+                     : nd < 5 ? 2
+                     : nd < 7 ? std::max(1, machine_nodes / 2)
+                              : machine_nodes;
+    s.nodes_required = std::min(want, std::max(1, machine_nodes));
+    switch (s.kind) {
+      case JobKind::kCg:
+        s.size = 256 + 64 * rng.next_below(8);
+        break;
+      case JobKind::kMatgen:
+        s.size = 384 + 128 * rng.next_below(8);
+        break;
+      case JobKind::kBarnesHut:
+        s.size = 128 + 32 * rng.next_below(8);
+        break;
+    }
+    s.steps = 2 + rng.next_below(4);
+    s.seed = rng.next_u64();
+    arrival += 20'000 + static_cast<int64_t>(rng.next_below(180'000));
+    s.arrival_ns = arrival;
+    out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace ppm::jobs

@@ -1,0 +1,142 @@
+// ppm::jobs — a deterministic multi-tenant job scheduler for the simulated
+// machine (docs/SCHEDULER.md).
+//
+// A seeded stream of heterogeneous job specs (CG solves, matgen, Barnes-
+// Hut-style steps at mixed sizes and node counts) is admitted through a
+// bounded JobQueue; a gang scheduler allocates disjoint node sets of one
+// shared cluster::Machine under a pluggable policy (FIFO, backfill,
+// smallest-first). Each running job is a tenant ppm::Runtime on its node
+// partition — jobs share the one fabric, so inter-job contention is real
+// (turn MachineConfig::backbone_bytes_per_ns on to make disjoint node
+// sets contend) and attributed per job from FabricStats::per_node deltas.
+//
+// Everything runs in virtual time on the deterministic sim engine: the
+// same seed + policy reproduce the job stream, the placements, the
+// completion order, every per-job vtime, and every counter bit-for-bit.
+// Committed job state is timing-independent (the PPM phase contract), so
+// each co-scheduled job's final state digest equals the digest of the
+// same job run alone on an idle machine — ppm_stress --multi-job checks
+// exactly that.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cluster/machine.hpp"
+#include "core/options.hpp"
+
+namespace ppm::jobs {
+
+enum class JobKind : uint8_t {
+  kCg = 0,         // conjugate-gradient solve on a 1-D Laplacian
+  kMatgen = 1,     // scattered-write matrix/histogram generator
+  kBarnesHut = 2,  // n-body-style force/integrate steps
+};
+const char* kind_name(JobKind kind);
+
+struct JobSpec {
+  uint64_t id = 0;            // assigned by the stream (dense, arrival order)
+  JobKind kind = JobKind::kCg;
+  int nodes_required = 1;     // gang size; > machine nodes => clean rejection
+  uint64_t size = 1024;       // elements / particles
+  uint64_t steps = 4;         // workload steps (CG iterations, sim steps)
+  uint64_t seed = 1;          // workload-content seed
+  int64_t arrival_ns = 0;     // virtual submission time
+};
+
+/// Deterministic heterogeneous job stream: mixed kinds, mostly small gangs
+/// with occasional near-full-machine jobs (those make FIFO head-of-line
+/// blocking visible against backfill), arrivals spread over virtual time.
+std::vector<JobSpec> sample_jobs(uint64_t seed, int count, int machine_nodes);
+
+enum class Policy : uint8_t {
+  kFifo,           // strict arrival order; head-of-line blocks the queue
+  kBackfill,       // first queued job that fits the free nodes
+  kSmallestFirst,  // smallest fitting gang (ties: queue order)
+};
+const char* policy_name(Policy policy);
+bool parse_policy(std::string_view name, Policy* out);
+
+struct JobsConfig {
+  /// The one shared machine all jobs are co-scheduled onto. Set
+  /// backbone_bytes_per_ns to make inter-job fabric contention real.
+  cluster::MachineConfig machine{};
+  /// Runtime options for every job's tenant Runtime (trace must stay off:
+  /// the fabric/engine trace recorders are machine-wide singletons).
+  RuntimeOptions runtime{};
+  Policy policy = Policy::kFifo;
+  uint64_t seed = 1;
+  int job_count = 8;
+  /// Explicit job stream (must be sorted by arrival_ns); empty => the
+  /// seeded sample_jobs stream. Ids are reassigned densely either way.
+  std::vector<JobSpec> jobs;
+  /// Admission backpressure: the generator blocks while this many jobs
+  /// are queued (a preempted job's requeue is exempt — drain cannot
+  /// deadlock against admission).
+  size_t queue_capacity = 4;
+  /// Workload steps between drain checks (each check is one broadcast).
+  uint64_t steps_per_chunk = 2;
+  /// Drain/preempt exercise: when >= 0, the job with this id is preempted
+  /// at its first chunk boundary (checkpoint -> requeue at the head ->
+  /// relaunch from the checkpoint, possibly on different nodes).
+  int64_t preempt_job_id = -1;
+};
+
+/// Per-job outcome. Contention-attribution fields are deltas of
+/// FabricStats::per_node over the job's node allocation and run window —
+/// exact attribution, since node sets are disjoint and runtime traffic
+/// never leaves the partition.
+struct JobStats {
+  JobSpec spec;
+  bool rejected = false;       // wanted more nodes than the machine has
+  int64_t start_ns = 0;        // first launch vtime
+  int64_t finish_ns = 0;       // last node fiber done (0 if rejected)
+  int64_t wait_ns = 0;         // arrival -> first launch
+  int64_t latency_ns = 0;      // arrival -> finish
+  int preemptions = 0;
+  std::vector<int> machine_nodes;  // final placement (physical node ids)
+  uint64_t state_digest = 0;       // FNV-1a over final committed arrays
+  uint64_t fabric_tx_messages = 0;
+  uint64_t fabric_tx_bytes = 0;
+  uint64_t backbone_wait_ns = 0;   // queued behind other tenants' traffic
+  uint64_t fetch_stall_ns = 0;     // summed over the job's NodeRuntimes
+  uint64_t blocks_fetched = 0;
+};
+
+struct JobsResult {
+  std::vector<JobStats> jobs;              // indexed by job id
+  std::vector<uint64_t> completion_order;  // job ids by finish vtime
+  int completed_jobs = 0;
+  int rejected_jobs = 0;
+  int64_t makespan_ns = 0;  // first admitted arrival -> last finish
+  double throughput_jobs_per_s = 0.0;  // completed jobs per vtime second
+  int64_t p50_latency_ns = 0;
+  int64_t p99_latency_ns = 0;
+  /// Allocated node-time over machine node-time across the makespan.
+  double node_utilization = 0.0;
+  /// Achieved inter-node bytes/ns over the fabric capacity (the backbone
+  /// when modeled, else the aggregate per-node NIC bandwidth).
+  double fabric_utilization = 0.0;
+  uint64_t fabric_bytes = 0;
+  uint64_t backbone_wait_ns = 0;
+  int64_t backpressure_ns = 0;  // generator vtime blocked on a full queue
+  size_t max_queue_depth = 0;
+};
+
+/// Run the full stream to completion and report. Deterministic: same
+/// config => bit-identical JobsResult (and to_json bytes).
+JobsResult run_jobs(const JobsConfig& cfg);
+
+/// Differential oracle helper: run one job alone on a fresh idle machine
+/// (same per-node shape, no faults, no backbone) and return its final
+/// state digest. A co-scheduled job's JobStats::state_digest must equal
+/// this — contention and faults may move vtimes, never committed state.
+uint64_t run_job_isolated(const JobSpec& spec, const JobsConfig& cfg);
+
+/// Deterministic machine-readable report (schema "ppm_jobs/v1"; see
+/// docs/SCHEDULER.md). Byte-identical across replays of the same config.
+std::string to_json(const JobsConfig& cfg, const JobsResult& result);
+
+}  // namespace ppm::jobs

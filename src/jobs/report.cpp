@@ -1,0 +1,106 @@
+// Deterministic JSON report for a jobs run (schema "ppm_jobs/v1").
+//
+// Built with snprintf into a std::string: no locale, no iostream state,
+// fixed formats — replaying the same config must produce byte-identical
+// output (the CLI smoke and the replay test compare raw bytes).
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+#include "jobs/jobs.hpp"
+
+namespace ppm::jobs {
+
+namespace {
+
+void appendf(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  const int n = vsnprintf(buf, sizeof buf, fmt, ap);
+  va_end(ap);
+  out.append(buf, static_cast<size_t>(n));
+}
+
+void append_u64(std::string& out, const char* key, uint64_t v,
+                bool comma = true) {
+  appendf(out, "\"%s\": %" PRIu64 "%s", key, v, comma ? ", " : "");
+}
+
+void append_i64(std::string& out, const char* key, int64_t v,
+                bool comma = true) {
+  appendf(out, "\"%s\": %" PRId64 "%s", key, v, comma ? ", " : "");
+}
+
+void append_f(std::string& out, const char* key, double v,
+              bool comma = true) {
+  appendf(out, "\"%s\": %.6f%s", key, v, comma ? ", " : "");
+}
+
+}  // namespace
+
+std::string to_json(const JobsConfig& cfg, const JobsResult& result) {
+  std::string out;
+  out.reserve(4096);
+  out += "{\n \"schema\": \"ppm_jobs/v1\",\n ";
+  appendf(out, "\"policy\": \"%s\", ", policy_name(cfg.policy));
+  append_u64(out, "seed", cfg.seed);
+  appendf(out, "\"machine_nodes\": %d, ", cfg.machine.nodes);
+  appendf(out, "\"cores_per_node\": %d, ", cfg.machine.cores_per_node);
+  append_f(out, "backbone_bytes_per_ns", cfg.machine.backbone_bytes_per_ns);
+  append_u64(out, "queue_capacity", cfg.queue_capacity);
+  appendf(out, "\"jobs\": %zu,\n ", result.jobs.size());
+  appendf(out, "\"completed_jobs\": %d, ", result.completed_jobs);
+  appendf(out, "\"rejected_jobs\": %d, ", result.rejected_jobs);
+  append_i64(out, "makespan_ns", result.makespan_ns);
+  append_f(out, "throughput_jobs_per_s", result.throughput_jobs_per_s);
+  append_i64(out, "p50_latency_ns", result.p50_latency_ns);
+  append_i64(out, "p99_latency_ns", result.p99_latency_ns);
+  out += "\n ";
+  append_f(out, "node_utilization", result.node_utilization);
+  append_f(out, "fabric_utilization", result.fabric_utilization);
+  append_u64(out, "fabric_bytes", result.fabric_bytes);
+  append_u64(out, "backbone_wait_ns", result.backbone_wait_ns);
+  append_i64(out, "backpressure_ns", result.backpressure_ns);
+  append_u64(out, "max_queue_depth", result.max_queue_depth, false);
+  out += ",\n \"completion_order\": [";
+  for (size_t i = 0; i < result.completion_order.size(); ++i) {
+    appendf(out, "%s%" PRIu64, i == 0 ? "" : ", ",
+            result.completion_order[i]);
+  }
+  out += "],\n \"per_job\": [\n";
+  for (size_t i = 0; i < result.jobs.size(); ++i) {
+    const JobStats& st = result.jobs[i];
+    out += "  {";
+    append_u64(out, "id", st.spec.id);
+    appendf(out, "\"kind\": \"%s\", ", kind_name(st.spec.kind));
+    appendf(out, "\"nodes\": %d, ", st.spec.nodes_required);
+    append_u64(out, "size", st.spec.size);
+    append_u64(out, "steps", st.spec.steps);
+    append_i64(out, "arrival_ns", st.spec.arrival_ns);
+    appendf(out, "\"rejected\": %s,\n   ", st.rejected ? "true" : "false");
+    append_i64(out, "start_ns", st.start_ns);
+    append_i64(out, "finish_ns", st.finish_ns);
+    append_i64(out, "wait_ns", st.wait_ns);
+    append_i64(out, "latency_ns", st.latency_ns);
+    appendf(out, "\"preemptions\": %d, ", st.preemptions);
+    out += "\"placement\": [";
+    for (size_t k = 0; k < st.machine_nodes.size(); ++k) {
+      appendf(out, "%s%d", k == 0 ? "" : ", ", st.machine_nodes[k]);
+    }
+    out += "],\n   ";
+    appendf(out, "\"digest\": \"%016" PRIx64 "\", ", st.state_digest);
+    append_u64(out, "fabric_tx_messages", st.fabric_tx_messages);
+    append_u64(out, "fabric_tx_bytes", st.fabric_tx_bytes);
+    out += "\n   ";
+    append_u64(out, "backbone_wait_ns", st.backbone_wait_ns);
+    append_u64(out, "fetch_stall_ns", st.fetch_stall_ns);
+    append_u64(out, "blocks_fetched", st.blocks_fetched, false);
+    out += i + 1 < result.jobs.size() ? "},\n" : "}\n";
+  }
+  out += " ]\n}\n";
+  return out;
+}
+
+}  // namespace ppm::jobs

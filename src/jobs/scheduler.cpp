@@ -1,0 +1,377 @@
+// The multi-tenant gang scheduler (docs/SCHEDULER.md).
+//
+// Three kinds of fibers cooperate in virtual time on one machine:
+//   * the generator admits the job stream through a bounded queue
+//     (blocking on a full queue = admission backpressure),
+//   * the scheduler fiber reaps finished jobs, frees their nodes, and
+//     launches every queued job the policy admits against the free set,
+//   * per-job node fibers run the tenant Runtime's SPMD node program.
+//
+// Determinism: every decision is a pure function of replicated state,
+// taken at virtual times the deterministic engine reproduces exactly.
+// Ties are broken explicitly (finished jobs reap in ascending id order;
+// allocation takes the lowest-numbered free nodes), so the same seed and
+// policy replay bit-identically.
+#include <algorithm>
+#include <deque>
+#include <memory>
+
+#include "core/env.hpp"
+#include "sim/sync.hpp"
+#include "core/ppm.hpp"
+#include "jobs/workloads.hpp"
+#include "util/error.hpp"
+
+namespace ppm::jobs {
+
+namespace {
+
+constexpr size_t kNone = static_cast<size_t>(-1);
+
+struct PendingJob {
+  JobSpec spec;
+  std::unique_ptr<Checkpoint> resume;  // non-null for a preempted job
+};
+
+struct RunningJob {
+  JobSpec spec;
+  std::vector<int> nodes;  // physical allocation, ascending
+  uint32_t tag = 0;
+  int64_t launch_ns = 0;
+  std::unique_ptr<Checkpoint> resume;  // keeps ctl.resume alive
+  std::unique_ptr<JobControl> ctl;
+  std::unique_ptr<JobOutcome> outcome;
+  std::unique_ptr<Runtime> runtime;
+  int fibers_remaining = 0;
+  bool finished = false;  // all node fibers returned
+  int64_t finish_ns = 0;
+  // FabricStats::per_node at launch, for this job's nodes (delta = the
+  // job's own traffic: allocations are disjoint and runtime messages
+  // never leave the partition).
+  std::vector<net::FabricStats::NodeTraffic> fabric_base;
+};
+
+/// Index into `queue` of the job the policy would launch now, or kNone.
+size_t pick_next(Policy policy, const std::deque<PendingJob>& queue,
+                 int free_nodes) {
+  switch (policy) {
+    case Policy::kFifo:
+      // Strict arrival order: the head either fits or blocks the line.
+      if (!queue.empty() && queue.front().spec.nodes_required <= free_nodes) {
+        return 0;
+      }
+      return kNone;
+    case Policy::kBackfill:
+      for (size_t i = 0; i < queue.size(); ++i) {
+        if (queue[i].spec.nodes_required <= free_nodes) return i;
+      }
+      return kNone;
+    case Policy::kSmallestFirst: {
+      size_t best = kNone;
+      for (size_t i = 0; i < queue.size(); ++i) {
+        if (queue[i].spec.nodes_required > free_nodes) continue;
+        if (best == kNone ||
+            queue[i].spec.nodes_required < queue[best].spec.nodes_required) {
+          best = i;
+        }
+      }
+      return best;
+    }
+  }
+  return kNone;
+}
+
+int64_t percentile_ns(std::vector<int64_t> sorted, double p) {
+  if (sorted.empty()) return 0;
+  const auto idx = static_cast<size_t>(
+      static_cast<double>(sorted.size() - 1) * p + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+}  // namespace
+
+JobsResult run_jobs(const JobsConfig& cfg) {
+  PPM_CHECK(!cfg.runtime.trace,
+            "ppm::jobs tenants cannot run traced: the fabric/engine trace "
+            "recorders are machine-wide (trace a job via run_job_isolated)");
+  PPM_CHECK(cfg.queue_capacity > 0, "job queue needs capacity >= 1");
+
+  cluster::Machine machine(cfg.machine);
+  sim::Engine& engine = machine.engine();
+  const int machine_nodes = machine.nodes();
+
+  std::vector<JobSpec> specs =
+      cfg.jobs.empty() ? sample_jobs(cfg.seed, cfg.job_count, machine_nodes)
+                       : cfg.jobs;
+  for (size_t i = 0; i < specs.size(); ++i) {
+    specs[i].id = i;
+    PPM_CHECK(i == 0 || specs[i].arrival_ns >= specs[i - 1].arrival_ns,
+              "job stream must be sorted by arrival_ns");
+  }
+
+  JobsResult res;
+  res.jobs.resize(specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) res.jobs[i].spec = specs[i];
+  if (specs.empty()) return res;  // degenerate: empty stream, nothing to run
+
+  sim::ConditionVar cv(engine);
+  std::deque<PendingJob> queue;
+  std::vector<std::unique_ptr<RunningJob>> running;
+  std::vector<bool> node_busy(static_cast<size_t>(machine_nodes), false);
+  bool gen_done = false;
+  uint32_t next_tag = 1;
+  uint64_t busy_node_ns = 0;
+
+  const auto free_count = [&] {
+    int free = 0;
+    for (const bool b : node_busy) free += b ? 0 : 1;
+    return free;
+  };
+
+  // ---- Generator: seeded arrivals through the bounded queue ----
+  engine.spawn("jobs.gen", [&] {
+    for (const JobSpec& spec : specs) {
+      if (engine.now_ns() < spec.arrival_ns) {
+        engine.sleep_until_ns(spec.arrival_ns);
+      }
+      JobStats& st = res.jobs[spec.id];
+      if (spec.nodes_required <= 0 || spec.nodes_required > machine_nodes) {
+        // Clean rejection at admission: an unsatisfiable gang must never
+        // enter the queue (it would wedge every policy's head-of-line).
+        st.rejected = true;
+        ++res.rejected_jobs;
+        cv.notify_all();
+        continue;
+      }
+      const int64_t t0 = engine.now_ns();
+      cv.wait([&] { return queue.size() < cfg.queue_capacity; });
+      res.backpressure_ns += engine.now_ns() - t0;
+      queue.push_back(PendingJob{spec, nullptr});
+      res.max_queue_depth = std::max(res.max_queue_depth, queue.size());
+      cv.notify_all();
+    }
+    gen_done = true;
+    cv.notify_all();
+  });
+
+  // ---- Launch / reap (called from the scheduler fiber) ----
+  const auto launch = [&](PendingJob pj) {
+    auto rj = std::make_unique<RunningJob>();
+    rj->spec = pj.spec;
+    rj->resume = std::move(pj.resume);
+    // Gang allocation: the lowest-numbered free nodes (deterministic).
+    for (int n = 0; n < machine_nodes &&
+                    static_cast<int>(rj->nodes.size()) <
+                        rj->spec.nodes_required;
+         ++n) {
+      if (node_busy[static_cast<size_t>(n)]) continue;
+      node_busy[static_cast<size_t>(n)] = true;
+      rj->nodes.push_back(n);
+    }
+    PPM_CHECK(rj->nodes.size() ==
+                  static_cast<size_t>(rj->spec.nodes_required),
+              "launch without enough free nodes");
+    PPM_CHECK(next_tag <= detail::kRtTagMax, "run tags exhausted");
+    rj->tag = next_tag++;
+    rj->launch_ns = engine.now_ns();
+    JobStats& st = res.jobs[rj->spec.id];
+    if (rj->resume == nullptr) {
+      st.start_ns = rj->launch_ns;
+      st.wait_ns = rj->launch_ns - rj->spec.arrival_ns;
+    }
+    rj->ctl = std::make_unique<JobControl>();
+    rj->ctl->resume = rj->resume.get();
+    if (cfg.preempt_job_id >= 0 &&
+        rj->spec.id == static_cast<uint64_t>(cfg.preempt_job_id) &&
+        st.preemptions == 0 && rj->resume == nullptr) {
+      // Arm the drain: the job will checkpoint at its first chunk
+      // boundary and come back through the queue.
+      rj->ctl->preempt = true;
+    }
+    rj->outcome = std::make_unique<JobOutcome>();
+    rj->runtime =
+        std::make_unique<Runtime>(machine, cfg.runtime, rj->nodes, rj->tag);
+    rj->fibers_remaining = rj->spec.nodes_required;
+    const auto& per_node = machine.fabric().stats().per_node;
+    for (const int phys : rj->nodes) {
+      rj->fabric_base.push_back(per_node[static_cast<size_t>(phys)]);
+    }
+    RunningJob* raw = rj.get();
+    for (int k = 0; k < rj->spec.nodes_required; ++k) {
+      machine.spawn_at(
+          {rj->nodes[static_cast<size_t>(k)], 0},
+          strfmt("job%llu.n%d",
+                 static_cast<unsigned long long>(rj->spec.id),
+                 rj->nodes[static_cast<size_t>(k)]),
+          [raw, k, &cfg, &engine, &cv] {
+            NodeRuntime& nr = raw->runtime->node(k);
+            nr.start();
+            Env env(nr);
+            run_job_program(env, raw->spec, cfg.steps_per_chunk, *raw->ctl,
+                            k == 0 ? raw->outcome.get() : nullptr);
+            nr.finish();
+            if (--raw->fibers_remaining == 0) {
+              raw->finished = true;
+              raw->finish_ns = engine.now_ns();
+              cv.notify_all();
+            }
+          });
+    }
+    running.push_back(std::move(rj));
+  };
+
+  const auto reap = [&](size_t idx) {
+    auto rj = std::move(running[idx]);
+    running.erase(running.begin() + static_cast<ptrdiff_t>(idx));
+    // The nodes are not reusable until the tenant's service and worker
+    // fibers actually exited (they outlive the node program slightly).
+    rj->runtime->wait_runtime_fibers_exited();
+    JobStats& st = res.jobs[rj->spec.id];
+    const auto& per_node = machine.fabric().stats().per_node;
+    for (size_t k = 0; k < rj->nodes.size(); ++k) {
+      const auto& now = per_node[static_cast<size_t>(rj->nodes[k])];
+      const auto& base = rj->fabric_base[k];
+      st.fabric_tx_messages += now.tx_messages - base.tx_messages;
+      st.fabric_tx_bytes += now.tx_bytes - base.tx_bytes;
+      st.backbone_wait_ns += now.backbone_wait_ns - base.backbone_wait_ns;
+    }
+    for (int k = 0; k < rj->spec.nodes_required; ++k) {
+      const auto& c = rj->runtime->node(k).counters();
+      st.fetch_stall_ns += c.fetch_stall_ns;
+      st.blocks_fetched += c.blocks_fetched;
+    }
+    busy_node_ns += rj->nodes.size() *
+                    static_cast<uint64_t>(rj->finish_ns - rj->launch_ns);
+    for (const int phys : rj->nodes) {
+      node_busy[static_cast<size_t>(phys)] = false;
+    }
+    if (rj->outcome->completed) {
+      st.finish_ns = rj->finish_ns;
+      st.latency_ns = rj->finish_ns - rj->spec.arrival_ns;
+      st.machine_nodes = rj->nodes;
+      st.state_digest = rj->outcome->digest;
+      res.completion_order.push_back(rj->spec.id);
+      ++res.completed_jobs;
+    } else {
+      // Drained: requeue at the head (it keeps its place in arrival
+      // order) with the checkpoint to resume from. Deliberately exempt
+      // from queue_capacity — drain must not deadlock against admission.
+      ++st.preemptions;
+      PendingJob pj;
+      pj.spec = rj->spec;
+      pj.resume = std::make_unique<Checkpoint>(
+          std::move(rj->outcome->checkpoint));
+      queue.push_front(std::move(pj));
+    }
+    cv.notify_all();
+    // rj (and its tenant Runtime) destroyed here, after quiesce.
+  };
+
+  // ---- Scheduler fiber ----
+  engine.spawn("jobs.sched", [&] {
+    for (;;) {
+      cv.wait([&] {
+        if (gen_done && queue.empty() && running.empty()) return true;
+        for (const auto& rj : running) {
+          if (rj->finished) return true;
+        }
+        return pick_next(cfg.policy, queue, free_count()) != kNone;
+      });
+      // Reap every finished job, ascending job id — the deterministic
+      // tie-break when several finish at the same vtime.
+      for (;;) {
+        size_t best = kNone;
+        for (size_t i = 0; i < running.size(); ++i) {
+          if (!running[i]->finished) continue;
+          if (best == kNone ||
+              running[i]->spec.id < running[best]->spec.id) {
+            best = i;
+          }
+        }
+        if (best == kNone) break;
+        reap(best);
+      }
+      // Launch everything the policy admits against the free nodes.
+      for (;;) {
+        const size_t i = pick_next(cfg.policy, queue, free_count());
+        if (i == kNone) break;
+        PendingJob pj = std::move(queue[i]);
+        queue.erase(queue.begin() + static_cast<ptrdiff_t>(i));
+        cv.notify_all();  // queue shrank: unblock the generator
+        launch(std::move(pj));
+      }
+      if (gen_done && queue.empty() && running.empty()) return;
+    }
+  });
+
+  engine.run();
+
+  // ---- Aggregate ----
+  int64_t first_arrival = 0;
+  int64_t last_finish = 0;
+  bool any_admitted = false;
+  std::vector<int64_t> latencies;
+  for (const JobStats& st : res.jobs) {
+    if (st.rejected) continue;
+    if (!any_admitted || st.spec.arrival_ns < first_arrival) {
+      first_arrival = st.spec.arrival_ns;
+    }
+    any_admitted = true;
+    last_finish = std::max(last_finish, st.finish_ns);
+    latencies.push_back(st.latency_ns);
+  }
+  std::sort(latencies.begin(), latencies.end());
+  res.makespan_ns = any_admitted ? last_finish - first_arrival : 0;
+  res.p50_latency_ns = percentile_ns(latencies, 0.50);
+  res.p99_latency_ns = percentile_ns(latencies, 0.99);
+  const double makespan_s = static_cast<double>(res.makespan_ns) * 1e-9;
+  res.throughput_jobs_per_s =
+      makespan_s > 0.0 ? static_cast<double>(res.completed_jobs) / makespan_s
+                       : 0.0;
+  res.node_utilization =
+      res.makespan_ns > 0
+          ? static_cast<double>(busy_node_ns) /
+                (static_cast<double>(machine_nodes) *
+                 static_cast<double>(res.makespan_ns))
+          : 0.0;
+  const auto& fs = machine.fabric().stats();
+  res.fabric_bytes = fs.inter_bytes.value();
+  for (const auto& nt : fs.per_node) res.backbone_wait_ns += nt.backbone_wait_ns;
+  const double capacity_bytes_per_ns =
+      cfg.machine.backbone_bytes_per_ns > 0.0
+          ? cfg.machine.backbone_bytes_per_ns
+          : cfg.machine.network.bytes_per_ns *
+                static_cast<double>(machine_nodes);
+  res.fabric_utilization =
+      res.makespan_ns > 0 && capacity_bytes_per_ns > 0.0
+          ? static_cast<double>(res.fabric_bytes) /
+                (static_cast<double>(res.makespan_ns) * capacity_bytes_per_ns)
+          : 0.0;
+  return res;
+}
+
+uint64_t run_job_isolated(const JobSpec& spec, const JobsConfig& cfg) {
+  PPM_CHECK(spec.nodes_required > 0, "job needs at least one node");
+  // Idle-machine baseline: same node/core shape and runtime options the
+  // tenant ran with, but no co-tenants, no faults, no backbone. Only the
+  // committed state is compared, and that must be timing-independent.
+  cluster::MachineConfig mc = cfg.machine;
+  mc.nodes = spec.nodes_required;
+  mc.faults = net::FaultConfig{};
+  mc.backbone_bytes_per_ns = 0.0;
+  cluster::Machine machine(mc);
+  Runtime runtime(machine, cfg.runtime);
+  JobControl ctl;
+  JobOutcome out;
+  machine.run_per_node([&](int node) {
+    NodeRuntime& nr = runtime.node(node);
+    nr.start();
+    Env env(nr);
+    run_job_program(env, spec, cfg.steps_per_chunk, ctl,
+                    node == 0 ? &out : nullptr);
+    nr.finish();
+  });
+  return out.digest;
+}
+
+}  // namespace ppm::jobs

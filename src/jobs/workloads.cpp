@@ -1,0 +1,294 @@
+#include "jobs/workloads.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <functional>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace ppm::jobs {
+
+namespace {
+
+/// Deterministic double in [0, 1) from (seed, index).
+double u01(uint64_t seed, uint64_t i) {
+  const uint64_t bits = mix64(seed ^ (i * 0x9e3779b97f4a7c15ULL));
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+/// This node's share of n VPs under the canonical balanced split; the
+/// coordinate_group offsets then make vp.global_rank() == element index.
+uint64_t vp_share(const Env& env, uint64_t n) {
+  const auto node = static_cast<uint64_t>(env.node_id());
+  const auto nodes = static_cast<uint64_t>(env.node_count());
+  return n * (node + 1) / nodes - n * node / nodes;
+}
+
+/// Order-deterministic dot product: per-node partials over owned elements
+/// in index order, combined in node order (never the commutative commit
+/// path — float add there would depend on bundle arrival order).
+double dot_owned(Env& env, const GlobalShared<double>& a,
+                 const GlobalShared<double>& b) {
+  double part = 0.0;
+  for (uint64_t i = a.local_begin(); i < a.local_end(); ++i) {
+    part += a.get(i) * b.get(i);
+  }
+  double sum = 0.0;
+  for (const double v : env.allgather(part)) sum += v;
+  return sum;
+}
+
+/// Shared chunk loop: restore-or-init, run steps with a drain check at
+/// chunk boundaries, snapshot, report on node 0.
+void run_chunked(Env& env, const JobSpec& spec, uint64_t steps_per_chunk,
+                 const JobControl& ctl, JobOutcome* out,
+                 const std::vector<uint32_t>& ids,
+                 const std::function<void()>& init,
+                 const std::function<void(uint64_t)>& do_step) {
+  uint64_t step = 0;
+  if (ctl.resume != nullptr) {
+    PPM_CHECK(ctl.resume->arrays.size() == ids.size(),
+              "checkpoint shape mismatch: %zu arrays, expected %zu",
+              ctl.resume->arrays.size(), ids.size());
+    restore_checkpoint(env, ids, *ctl.resume);
+    step = ctl.resume->step;
+  } else {
+    init();
+  }
+  bool preempted = false;
+  const uint64_t chunk = std::max<uint64_t>(1, steps_per_chunk);
+  while (step < spec.steps) {
+    const uint64_t chunk_end = std::min(spec.steps, step + chunk);
+    for (; step < chunk_end; ++step) do_step(step);
+    if (step >= spec.steps) break;
+    // Drain decision at the chunk boundary: node 0 reads the scheduler's
+    // flag at one well-defined vtime and broadcasts it, so every node of
+    // the gang takes the same branch regardless of timing.
+    std::vector<uint8_t> flag(1, 0);
+    if (env.node_id() == 0 && ctl.preempt) flag[0] = 1;
+    env.broadcast(flag, 0);
+    if (flag[0] != 0) {
+      preempted = true;
+      break;
+    }
+  }
+  Checkpoint cp = collect_checkpoint(env, ids, step);
+  if (out != nullptr && env.node_id() == 0) {
+    out->completed = !preempted;
+    out->digest = checkpoint_digest(cp);
+    out->checkpoint = std::move(cp);
+  }
+}
+
+/// Conjugate gradient on the 1-D Laplacian stencil [-1, 2, -1] with a
+/// seeded right-hand side. One step = one CG iteration: an owner-computes
+/// SpMV phase (remote reads at chunk borders), two order-deterministic
+/// dots, and two update phases. rho is recomputed from committed r each
+/// iteration, so no scalar state survives outside the arrays.
+void run_cg(Env& env, const JobSpec& spec, uint64_t steps_per_chunk,
+            const JobControl& ctl, JobOutcome* out) {
+  const uint64_t n = spec.size;
+  auto x = env.global_array<double>(n);
+  auto r = env.global_array<double>(n);
+  auto p = env.global_array<double>(n);
+  auto q = env.global_array<double>(n);
+  const std::vector<uint32_t> ids = {x.id(), r.id(), p.id(), q.id()};
+  auto g = env.ppm_do(vp_share(env, n));
+
+  const auto init = [&] {
+    env.phase_label("cg.init");
+    g.global_phase([&](Vp& vp) {
+      const uint64_t i = vp.global_rank();
+      const double bi = u01(spec.seed, i);
+      x.set(i, 0.0);
+      r.set(i, bi);
+      p.set(i, bi);
+      q.set(i, 0.0);
+    });
+  };
+  const auto do_step = [&](uint64_t) {
+    env.phase_label("cg.spmv");
+    g.global_phase([&](Vp& vp) {
+      const uint64_t i = vp.global_rank();
+      const double pi = p.get(i);
+      const double pl = i > 0 ? p.get(i - 1) : 0.0;
+      const double pr = i + 1 < n ? p.get(i + 1) : 0.0;
+      q.set(i, 2.0 * pi - pl - pr);
+    });
+    const double rho = dot_owned(env, r, r);
+    const double pq = dot_owned(env, p, q);
+    const double alpha = pq != 0.0 ? rho / pq : 0.0;
+    env.phase_label("cg.update");
+    g.global_phase([&](Vp& vp) {
+      const uint64_t i = vp.global_rank();
+      x.set(i, x.get(i) + alpha * p.get(i));
+      r.set(i, r.get(i) - alpha * q.get(i));
+    });
+    const double rho_new = dot_owned(env, r, r);
+    const double beta = rho != 0.0 ? rho_new / rho : 0.0;
+    env.phase_label("cg.direction");
+    g.global_phase([&](Vp& vp) {
+      const uint64_t i = vp.global_rank();
+      p.set(i, r.get(i) + beta * p.get(i));
+    });
+  };
+  run_chunked(env, spec, steps_per_chunk, ctl, out, ids, init, do_step);
+}
+
+/// Scattered-write generator: every VP hashes into a cyclic array (max
+/// merge — commutative on integers, so order-independent and exact) and
+/// histograms what it read. All-to-all fine-grained traffic; the kind of
+/// irregular workload read bundling exists for.
+void run_matgen(Env& env, const JobSpec& spec, uint64_t steps_per_chunk,
+                const JobControl& ctl, JobOutcome* out) {
+  const uint64_t n = spec.size;
+  auto a = env.global_array<uint64_t>(n, Distribution::kCyclic);
+  auto hist = env.global_array<uint64_t>(256);
+  const std::vector<uint32_t> ids = {a.id(), hist.id()};
+  auto g = env.ppm_do(vp_share(env, n));
+
+  const auto init = [&] {
+    env.phase_label("matgen.init");
+    g.global_phase([&](Vp& vp) {
+      const uint64_t i = vp.global_rank();
+      a.set(i, mix64(spec.seed ^ i));
+    });
+  };
+  const auto do_step = [&](uint64_t step) {
+    env.phase_label("matgen.scatter");
+    g.global_phase([&](Vp& vp) {
+      const uint64_t rank = vp.global_rank();
+      const uint64_t h =
+          mix64(spec.seed ^ (step * 0x9e3779b97f4a7c15ULL) ^ (rank << 1));
+      a.max_update(h % n, h);
+      const uint64_t peeked = a.get((h >> 8) % n);  // phase-start value
+      hist.add(h & 255, 1 + (peeked & 1));
+    });
+  };
+  run_chunked(env, spec, steps_per_chunk, ctl, out, ids, init, do_step);
+}
+
+/// Barnes-Hut-style step: each body samples a deterministic set of
+/// interaction partners (a stand-in for a tree traversal — strided, so
+/// reads spread across every owner), then integrates. Owner-computes:
+/// exactly one VP writes each element, with reads from the phase-start
+/// snapshot, so commits are order-independent.
+void run_barneshut(Env& env, const JobSpec& spec, uint64_t steps_per_chunk,
+                   const JobControl& ctl, JobOutcome* out) {
+  const uint64_t n = spec.size;
+  auto pos = env.global_array<double>(n);
+  auto vel = env.global_array<double>(n);
+  const std::vector<uint32_t> ids = {pos.id(), vel.id()};
+  auto g = env.ppm_do(vp_share(env, n));
+
+  const auto init = [&] {
+    env.phase_label("bh.init");
+    g.global_phase([&](Vp& vp) {
+      const uint64_t i = vp.global_rank();
+      pos.set(i, u01(spec.seed, i) * 2.0 - 1.0);
+      vel.set(i, 0.0);
+    });
+  };
+  const auto do_step = [&](uint64_t) {
+    env.phase_label("bh.step");
+    g.global_phase([&](Vp& vp) {
+      const uint64_t i = vp.global_rank();
+      const double xi = pos.get(i);
+      double force = 0.0;
+      const uint64_t stride = std::max<uint64_t>(1, n / 8);
+      for (uint64_t k = 0; k < 8; ++k) {
+        const uint64_t j = (i + 1 + k * stride + k) % n;
+        const double d = pos.get(j) - xi;
+        force += d * (0.5 / (1.0 + d * d));
+      }
+      const double v = vel.get(i) * 0.99 + 1e-3 * force;
+      vel.set(i, v);
+      pos.set(i, xi + 1e-3 * v);
+    });
+  };
+  run_chunked(env, spec, steps_per_chunk, ctl, out, ids, init, do_step);
+}
+
+}  // namespace
+
+uint64_t checkpoint_digest(const Checkpoint& cp) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](const void* data, size_t len) {
+    const auto* b = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < len; ++i) {
+      h ^= b[i];
+      h *= 0x100000001b3ULL;
+    }
+  };
+  mix(&cp.step, sizeof cp.step);
+  for (const Bytes& a : cp.arrays) {
+    const uint64_t len = a.size();
+    mix(&len, sizeof len);
+    mix(a.data(), a.size());
+  }
+  return h;
+}
+
+Checkpoint collect_checkpoint(Env& env, const std::vector<uint32_t>& ids,
+                              uint64_t step) {
+  Checkpoint cp;
+  cp.step = step;
+  NodeRuntime& rt = env.runtime();
+  for (const uint32_t id : ids) {
+    const detail::ArrayRecord& rec = rt.array(id);
+    // pack_owned_elems is layout-free (ascending global index), so the
+    // reassembly below is one cursor per owner walked in owner_of order.
+    auto all = rt.allgather_bytes(rt.pack_owned_elems(id));
+    const size_t esz = rec.ops.size;
+    Bytes logical(rec.n * esz);
+    std::vector<size_t> cursor(all.size(), 0);
+    for (uint64_t i = 0; i < rec.n; ++i) {
+      const auto o = static_cast<size_t>(rec.owner_of(i));
+      std::memcpy(logical.data() + i * esz, all[o].data() + cursor[o], esz);
+      cursor[o] += esz;
+    }
+    cp.arrays.push_back(std::move(logical));
+  }
+  return cp;
+}
+
+void restore_checkpoint(Env& env, const std::vector<uint32_t>& ids,
+                        const Checkpoint& cp) {
+  NodeRuntime& rt = env.runtime();
+  for (size_t k = 0; k < ids.size(); ++k) {
+    const detail::ArrayRecord& rec = rt.array(ids[k]);
+    const size_t esz = rec.ops.size;
+    const Bytes& logical = cp.arrays[k];
+    PPM_CHECK(logical.size() == rec.n * esz,
+              "checkpoint array %u byte-size mismatch", ids[k]);
+    for (uint64_t i = 0; i < rec.n; ++i) {
+      if (rec.owner_of(i) != env.node_id()) continue;
+      rt.write_elem(ids[k], i, logical.data() + i * esz,
+                    detail::WriteOp::kSet);
+    }
+  }
+  // No node may enter a phase (and serve remote reads of restored data)
+  // before every node finished rewriting its owned elements.
+  env.barrier();
+}
+
+void run_job_program(Env& env, const JobSpec& spec, uint64_t steps_per_chunk,
+                     const JobControl& ctl, JobOutcome* out) {
+  PPM_CHECK(spec.size > 0, "job %llu has zero size",
+            static_cast<unsigned long long>(spec.id));
+  switch (spec.kind) {
+    case JobKind::kCg:
+      run_cg(env, spec, steps_per_chunk, ctl, out);
+      return;
+    case JobKind::kMatgen:
+      run_matgen(env, spec, steps_per_chunk, ctl, out);
+      return;
+    case JobKind::kBarnesHut:
+      run_barneshut(env, spec, steps_per_chunk, ctl, out);
+      return;
+  }
+  PPM_CHECK(false, "unknown job kind %d", static_cast<int>(spec.kind));
+}
+
+}  // namespace ppm::jobs

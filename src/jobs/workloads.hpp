@@ -1,0 +1,63 @@
+// Checkpointable PPM workloads run by the ppm::jobs scheduler.
+//
+// Every workload keeps ALL cross-step state in global shared arrays, so a
+// generic collective snapshot (pack_owned_elems + allgather + owner_of
+// reassembly) plus the step counter is a complete checkpoint; restoring is
+// each node rewriting its owned elements outside phases. That is what
+// makes drain/preempt possible without workload-specific state plumbing.
+//
+// Determinism contract (the multi-job oracle depends on it): committed
+// results are bit-identical regardless of timing, placement, or
+// co-tenants. Floating-point reductions therefore never ride the
+// commutative commit path (arrival order is timing-dependent); they are
+// computed over owned elements in index order and combined in node order.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/env.hpp"
+#include "jobs/jobs.hpp"
+
+namespace ppm::jobs {
+
+/// Logical contents of every shared array (creation order) + the step
+/// counter: everything needed to resume the workload elsewhere.
+struct Checkpoint {
+  uint64_t step = 0;
+  std::vector<Bytes> arrays;
+};
+
+/// Scheduler -> job control surface. `preempt` may flip to true at any
+/// vtime; the job acts on it only at chunk boundaries, where node 0 reads
+/// it and broadcasts the decision (SPMD-consistent by construction).
+struct JobControl {
+  const Checkpoint* resume = nullptr;  // null => fresh start
+  bool preempt = false;
+};
+
+/// Written by logical node 0 before the node program returns.
+struct JobOutcome {
+  bool completed = false;  // false => preempted at checkpoint.step
+  Checkpoint checkpoint;   // final state (complete or preemption point)
+  uint64_t digest = 0;     // checkpoint_digest(checkpoint)
+};
+
+/// FNV-1a over the step counter and every array's logical bytes.
+uint64_t checkpoint_digest(const Checkpoint& cp);
+
+/// Collective snapshot / restore of the given arrays (call outside
+/// phases, on every node of the job's partition).
+Checkpoint collect_checkpoint(Env& env, const std::vector<uint32_t>& ids,
+                              uint64_t step);
+void restore_checkpoint(Env& env, const std::vector<uint32_t>& ids,
+                        const Checkpoint& cp);
+
+/// SPMD node program of one job: dispatches on spec.kind, restores from
+/// ctl.resume when set, runs steps in chunks of steps_per_chunk with a
+/// drain check between chunks, and (on logical node 0, when out != null)
+/// reports the final checkpoint + digest.
+void run_job_program(Env& env, const JobSpec& spec, uint64_t steps_per_chunk,
+                     const JobControl& ctl, JobOutcome* out);
+
+}  // namespace ppm::jobs

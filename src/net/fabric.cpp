@@ -32,6 +32,7 @@ Fabric::Fabric(sim::Engine& engine, FabricConfig config)
   }
   egress_free_ns_.assign(static_cast<size_t>(config_.num_nodes), 0);
   ingress_free_ns_.assign(static_cast<size_t>(config_.num_nodes), 0);
+  stats_.per_node.assign(static_cast<size_t>(config_.num_nodes), {});
 }
 
 Endpoint& Fabric::endpoint(int node, int port) {
@@ -66,15 +67,31 @@ void Fabric::send(Message msg) {
     // Egress NIC serializes this node's outbound traffic.
     const int64_t tx_start = std::max(t_send, egress_free_ns_[src]);
     egress_free_ns_[src] = tx_start + tx;
+    // Optional shared backbone: all inter-node traffic — including between
+    // disjoint node sets — serializes through one machine-wide stage after
+    // egress, so co-scheduled tenants contend. Off (0) by default, leaving
+    // the wire timing bit-identical to the two-NIC model.
+    int64_t wire_enter_ns = tx_start;
+    FabricStats::NodeTraffic& nt = stats_.per_node[src];
+    if (config_.backbone_bytes_per_ns > 0.0) {
+      const int64_t bb_tx = static_cast<int64_t>(std::llround(
+          static_cast<double>(bytes) / config_.backbone_bytes_per_ns));
+      const int64_t bb_start = std::max(tx_start, backbone_free_ns_);
+      backbone_free_ns_ = bb_start + bb_tx;
+      nt.backbone_wait_ns += static_cast<uint64_t>(bb_start - tx_start);
+      wire_enter_ns = bb_start + bb_tx;
+    }
     // First byte reaches the destination after the wire latency; the
     // ingress NIC then absorbs the message, serializing with other arrivals.
     const int64_t rx_start =
-        std::max(tx_start + link.latency_ns, ingress_free_ns_[dstn]);
+        std::max(wire_enter_ns + link.latency_ns, ingress_free_ns_[dstn]);
     const int64_t rx_end = rx_start + tx;
     ingress_free_ns_[dstn] = rx_end;
     deliver_ns = rx_end + link.recv_overhead_ns;
     stats_.inter_messages.add();
     stats_.inter_bytes.add(bytes);
+    ++nt.tx_messages;
+    nt.tx_bytes += bytes;
   }
 
   const int64_t modeled_deliver_ns = deliver_ns;

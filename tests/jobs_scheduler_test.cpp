@@ -1,0 +1,241 @@
+// ppm::jobs scheduler: degenerate launches, admission backpressure,
+// replay determinism, policy behavior, drain/preempt, and contention
+// attribution (docs/SCHEDULER.md).
+#include <gtest/gtest.h>
+
+#include "jobs/jobs.hpp"
+
+namespace ppm::jobs {
+namespace {
+
+JobsConfig base_config() {
+  JobsConfig cfg;
+  cfg.machine.nodes = 4;
+  cfg.machine.cores_per_node = 2;
+  cfg.machine.engine.calibration = sim::CalibrationMode::kModeledOnly;
+  return cfg;
+}
+
+JobSpec job(uint64_t id, JobKind kind, int nodes, uint64_t size,
+            uint64_t steps, int64_t arrival_ns) {
+  JobSpec s;
+  s.id = id;
+  s.kind = kind;
+  s.nodes_required = nodes;
+  s.size = size;
+  s.steps = steps;
+  s.seed = 7 + id;
+  s.arrival_ns = arrival_ns;
+  return s;
+}
+
+TEST(JobsScheduler, EmptyStreamCompletesCleanly) {
+  JobsConfig cfg = base_config();
+  cfg.job_count = 0;
+  const JobsResult res = run_jobs(cfg);
+  EXPECT_TRUE(res.jobs.empty());
+  EXPECT_EQ(res.completed_jobs, 0);
+  EXPECT_EQ(res.makespan_ns, 0);
+  EXPECT_EQ(res.throughput_jobs_per_s, 0.0);
+}
+
+TEST(JobsScheduler, SingleOneNodeJob) {
+  JobsConfig cfg = base_config();
+  cfg.jobs = {job(0, JobKind::kCg, 1, 128, 2, 1000)};
+  const JobsResult res = run_jobs(cfg);
+  ASSERT_EQ(res.jobs.size(), 1u);
+  EXPECT_EQ(res.completed_jobs, 1);
+  EXPECT_EQ(res.rejected_jobs, 0);
+  const JobStats& st = res.jobs[0];
+  EXPECT_EQ(st.start_ns, 1000);  // idle machine: launched at arrival
+  EXPECT_GT(st.finish_ns, st.start_ns);
+  EXPECT_EQ(st.machine_nodes, std::vector<int>{0});
+  EXPECT_EQ(st.state_digest, run_job_isolated(st.spec, cfg));
+}
+
+TEST(JobsScheduler, OversizedJobRejectedNotHung) {
+  // A gang wider than the machine must be rejected at admission — under
+  // FIFO it would otherwise block the head of the queue forever.
+  JobsConfig cfg = base_config();
+  cfg.jobs = {job(0, JobKind::kMatgen, cfg.machine.nodes + 1, 128, 2, 0),
+              job(1, JobKind::kCg, 2, 128, 2, 100)};
+  const JobsResult res = run_jobs(cfg);
+  EXPECT_EQ(res.rejected_jobs, 1);
+  EXPECT_EQ(res.completed_jobs, 1);
+  EXPECT_TRUE(res.jobs[0].rejected);
+  EXPECT_EQ(res.jobs[0].finish_ns, 0);
+  EXPECT_FALSE(res.jobs[1].rejected);
+  ASSERT_EQ(res.completion_order.size(), 1u);
+  EXPECT_EQ(res.completion_order[0], 1u);
+}
+
+TEST(JobsScheduler, BackpressureAccountedWhenQueueFull) {
+  // Whole-machine jobs arriving back-to-back through a capacity-1 queue:
+  // the generator must block (and the vtime it spends blocked must be
+  // visible as backpressure_ns).
+  JobsConfig cfg = base_config();
+  cfg.queue_capacity = 1;
+  const int nodes = cfg.machine.nodes;
+  for (int i = 0; i < 4; ++i) {
+    cfg.jobs.push_back(
+        job(static_cast<uint64_t>(i), JobKind::kMatgen, nodes, 512, 3, 0));
+  }
+  const JobsResult res = run_jobs(cfg);
+  EXPECT_EQ(res.completed_jobs, 4);
+  EXPECT_GT(res.backpressure_ns, 0);
+  EXPECT_EQ(res.max_queue_depth, 1u);
+  // Whole-machine gangs serialize: each waits for its predecessor.
+  EXPECT_GT(res.jobs[3].wait_ns, 0);
+}
+
+TEST(JobsScheduler, ReplayIsByteIdenticalAcrossPolicies) {
+  for (const Policy policy :
+       {Policy::kFifo, Policy::kBackfill, Policy::kSmallestFirst}) {
+    JobsConfig cfg = base_config();
+    cfg.machine.nodes = 8;
+    cfg.machine.backbone_bytes_per_ns = 4.0;
+    cfg.policy = policy;
+    cfg.seed = 11;
+    cfg.job_count = 10;
+    const std::string a = to_json(cfg, run_jobs(cfg));
+    const std::string b = to_json(cfg, run_jobs(cfg));
+    EXPECT_EQ(a, b) << "policy " << policy_name(policy);
+    EXPECT_NE(a.find("\"schema\": \"ppm_jobs/v1\""), std::string::npos);
+  }
+}
+
+TEST(JobsScheduler, BackfillOvertakesFifoHeadOfLineBlocking) {
+  // Stream: a long 2-node job holding half the machine, then a whole-
+  // machine gang that cannot start while it runs, then a 1-node job.
+  // FIFO keeps the third job stuck behind the gang; backfill slots it
+  // onto a free node immediately, so it completes first. (The blocker is
+  // multi-node on purpose: single-node jobs have no inter-node traffic
+  // and finish in near-zero virtual time.)
+  const auto stream = [](int nodes) {
+    return std::vector<JobSpec>{
+        job(0, JobKind::kMatgen, 2, 1024, 6, 0),
+        job(1, JobKind::kMatgen, nodes, 512, 3, 10'000),
+        job(2, JobKind::kCg, 1, 128, 2, 20'000),
+    };
+  };
+  JobsConfig fifo = base_config();
+  fifo.jobs = stream(fifo.machine.nodes);
+  fifo.policy = Policy::kFifo;
+  JobsConfig bf = fifo;
+  bf.policy = Policy::kBackfill;
+  const JobsResult rf = run_jobs(fifo);
+  const JobsResult rb = run_jobs(bf);
+  ASSERT_EQ(rf.completed_jobs, 3);
+  ASSERT_EQ(rb.completed_jobs, 3);
+  // Under FIFO job 2 waits for the gang; under backfill it does not.
+  EXPECT_GT(rf.jobs[2].wait_ns, 0);
+  EXPECT_EQ(rb.jobs[2].wait_ns, 0);
+  EXPECT_NE(rf.completion_order, rb.completion_order);
+  EXPECT_LT(rb.jobs[2].latency_ns, rf.jobs[2].latency_ns);
+  // Scheduling differences must never leak into committed state.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(rf.jobs[i].state_digest, rb.jobs[i].state_digest);
+  }
+}
+
+TEST(JobsScheduler, SmallestFirstPicksSmallestFittingGang) {
+  // Two free nodes; queue holds a 2-node job (first) and a 1-node job.
+  // Backfill launches the 2-node job, smallest-first the 1-node one.
+  const auto stream = [](int nodes) {
+    return std::vector<JobSpec>{
+        job(0, JobKind::kMatgen, nodes, 512, 4, 0),  // occupy everything
+        job(1, JobKind::kMatgen, 2, 256, 2, 5'000),
+        job(2, JobKind::kCg, 1, 128, 2, 6'000),
+    };
+  };
+  JobsConfig bf = base_config();
+  bf.machine.nodes = 2;
+  bf.jobs = stream(2);
+  bf.policy = Policy::kBackfill;
+  JobsConfig sf = bf;
+  sf.policy = Policy::kSmallestFirst;
+  const JobsResult rb = run_jobs(bf);
+  const JobsResult rs = run_jobs(sf);
+  ASSERT_EQ(rb.completed_jobs, 3);
+  ASSERT_EQ(rs.completed_jobs, 3);
+  // After job 0 finishes both queued jobs fit; the tie-break differs.
+  EXPECT_LT(rb.jobs[1].start_ns, rb.jobs[2].start_ns);
+  EXPECT_LT(rs.jobs[2].start_ns, rs.jobs[1].start_ns);
+}
+
+TEST(JobsScheduler, PreemptedJobResumesAndMatchesIsolated) {
+  // Job 0 is drained at its first chunk boundary while a gang is queued;
+  // the gang takes the machine, then job 0 relaunches from its checkpoint
+  // — on whatever nodes are free — and must still commit the exact state
+  // of an uninterrupted isolated run.
+  JobsConfig cfg = base_config();
+  cfg.jobs = {
+      job(0, JobKind::kCg, 2, 256, 6, 0),
+      job(1, JobKind::kMatgen, cfg.machine.nodes, 512, 2, 5'000),
+  };
+  cfg.steps_per_chunk = 2;
+  cfg.preempt_job_id = 0;
+  const JobsResult res = run_jobs(cfg);
+  EXPECT_EQ(res.completed_jobs, 2);
+  const JobStats& st = res.jobs[0];
+  EXPECT_EQ(st.preemptions, 1);
+  EXPECT_EQ(st.state_digest, run_job_isolated(st.spec, cfg));
+  EXPECT_EQ(res.jobs[1].state_digest, run_job_isolated(res.jobs[1].spec, cfg));
+  // The whole run replays bit-identically, preemption included.
+  EXPECT_EQ(to_json(cfg, res), to_json(cfg, run_jobs(cfg)));
+}
+
+TEST(JobsScheduler, ContentionIsAttributedPerJob) {
+  // Two 2-node jobs co-resident on disjoint halves of a 4-node machine
+  // with a slow shared backbone: both must record fabric traffic, at
+  // least one must record backbone queueing, and the totals must add up.
+  JobsConfig cfg = base_config();
+  cfg.machine.backbone_bytes_per_ns = 0.05;
+  cfg.jobs = {
+      job(0, JobKind::kMatgen, 2, 2048, 3, 0),
+      job(1, JobKind::kMatgen, 2, 2048, 3, 0),
+  };
+  const JobsResult res = run_jobs(cfg);
+  ASSERT_EQ(res.completed_jobs, 2);
+  // Truly co-scheduled: disjoint placements, overlapping run windows.
+  EXPECT_EQ(res.jobs[0].machine_nodes, (std::vector<int>{0, 1}));
+  EXPECT_EQ(res.jobs[1].machine_nodes, (std::vector<int>{2, 3}));
+  EXPECT_LT(res.jobs[1].start_ns, res.jobs[0].finish_ns);
+  uint64_t bytes = 0;
+  uint64_t wait = 0;
+  for (const JobStats& st : res.jobs) {
+    EXPECT_GT(st.fabric_tx_bytes, 0u);
+    bytes += st.fabric_tx_bytes;
+    wait += st.backbone_wait_ns;
+  }
+  EXPECT_GT(wait, 0u);
+  EXPECT_EQ(bytes, res.fabric_bytes);
+  EXPECT_EQ(wait, res.backbone_wait_ns);
+  // Contention moves time, never state.
+  EXPECT_EQ(res.jobs[0].state_digest, run_job_isolated(res.jobs[0].spec, cfg));
+  EXPECT_EQ(res.jobs[1].state_digest, run_job_isolated(res.jobs[1].spec, cfg));
+}
+
+TEST(JobsScheduler, SampledStreamDigestsMatchIsolatedRuns) {
+  // The full multi-tenant oracle over a sampled heterogeneous stream with
+  // contention on: every completed job committed exactly what it would
+  // have alone.
+  JobsConfig cfg = base_config();
+  cfg.machine.nodes = 8;
+  cfg.machine.backbone_bytes_per_ns = 4.0;
+  cfg.policy = Policy::kBackfill;
+  cfg.seed = 5;
+  cfg.job_count = 8;
+  const JobsResult res = run_jobs(cfg);
+  EXPECT_EQ(res.completed_jobs + res.rejected_jobs,
+            static_cast<int>(res.jobs.size()));
+  EXPECT_GT(res.completed_jobs, 0);
+  for (const JobStats& st : res.jobs) {
+    if (st.rejected) continue;
+    EXPECT_EQ(st.state_digest, run_job_isolated(st.spec, cfg))
+        << "job " << st.spec.id << " (" << kind_name(st.spec.kind) << ")";
+  }
+}
+
+}  // namespace
+}  // namespace ppm::jobs

@@ -40,7 +40,8 @@ fi
 
 cmake --preset default >/dev/null
 cmake --build --preset default -j "$(nproc 2>/dev/null || echo 4)" \
-  $(printf -- '--target %s ' "${benches[@]}") --target ppm_stress
+  $(printf -- '--target %s ' "${benches[@]}") --target ppm_stress \
+  --target ppm_jobs
 
 tmpdir=$(mktemp -d)
 trap 'rm -rf "${tmpdir}"' EXIT
@@ -69,6 +70,50 @@ for b in benches:
                     "per_family_instance_index", "repetition_index",
                     "repetitions", "iterations", "threads"):
                 row[key] = val
+        rows.append(row)
+with open(out, "w") as f:
+    json.dump({"rows": rows}, f, indent=1, sort_keys=True)
+    f.write("\n")
+print(f"wrote {out}: {len(rows)} rows")
+PY
+
+# Multi-tenant scheduler bench (docs/SCHEDULER.md): FIFO vs backfill over
+# the same sampled job stream at 8 and 16 nodes, fixed seed. Written as
+# BENCH_jobs.json next to the main output; per-job fabric bytes and
+# backbone/fetch stalls ride along so contention attribution is in the
+# artifact, not just the aggregates.
+echo "=== bench: ppm_jobs ==="
+jobs_out="$(dirname "${out}")/BENCH_jobs.json"
+jobs_n=24
+if [ "${smoke}" = 1 ]; then
+  jobs_n=8
+fi
+for policy in fifo backfill; do
+  for nodes in 8 16; do
+    build/tools/ppm_jobs --policy="${policy}" --nodes="${nodes}" \
+      --jobs="${jobs_n}" --seed=1 \
+      --json="${tmpdir}/jobs_${policy}_${nodes}.json"
+  done
+done
+
+python3 - "${jobs_out}" "${tmpdir}" <<'PY'
+import json, sys
+out, tmpdir = sys.argv[1], sys.argv[2]
+rows = []
+for policy in ("fifo", "backfill"):
+    for nodes in (8, 16):
+        with open(f"{tmpdir}/jobs_{policy}_{nodes}.json") as f:
+            doc = json.load(f)
+        row = {"bench": "ppm_jobs", "name": f"jobs/{policy}/{nodes}"}
+        for key, val in doc.items():
+            if isinstance(val, (int, float)) and not isinstance(val, bool):
+                row[key] = val
+        row["per_job"] = [
+            {k: j[k] for k in ("id", "kind", "nodes", "latency_ns",
+                               "fabric_tx_bytes", "backbone_wait_ns",
+                               "fetch_stall_ns")}
+            for j in doc["per_job"] if not j["rejected"]
+        ]
         rows.append(row)
 with open(out, "w") as f:
     json.dump({"rows": rows}, f, indent=1, sort_keys=True)

@@ -31,6 +31,16 @@ for preset in default san; do
   # the test preset (error-path fiber abandonment is not a leak).
   ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=print_stacktrace=1 \
     "${builddir[$preset]}/tools/ppm_stress" --smoke
+  echo "=== jobs smoke preset: ${preset} ==="
+  # Multi-tenant scheduler gates (docs/SCHEDULER.md): ppm_jobs --smoke
+  # checks replay determinism (byte-identical JSON across two runs per
+  # policy) and the isolation oracle on its own stream; ppm_stress
+  # --multi-job re-checks the oracle across seeds x policies x {clean,
+  # faulted} fabrics.
+  ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=print_stacktrace=1 \
+    "${builddir[$preset]}/tools/ppm_jobs" --smoke
+  ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=print_stacktrace=1 \
+    "${builddir[$preset]}/tools/ppm_stress" --multi-job --smoke
 done
 
 echo "=== traced smoke (ppm::trace export gate) ==="
@@ -60,6 +70,45 @@ assert {"node0", "node1", "node2", "node3", "fabric"} <= procs, procs
 print(f"trace schema OK: {len(events)} events, processes {sorted(procs)}")
 PY
 echo "traced smoke OK (artifact kept at ${trace_json})"
+
+echo "=== jobs report schema (ppm_jobs --json gate) ==="
+# The ppm_jobs/v1 JSON report is a stable machine-readable surface
+# (docs/SCHEDULER.md); validate field presence and types structurally.
+jobs_json="build/jobs_smoke.json"
+ASAN_OPTIONS=detect_leaks=0 \
+  build/tools/ppm_jobs --policy=backfill --jobs=10 --seed=3 \
+    --json="${jobs_json}"
+python3 - "${jobs_json}" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["schema"] == "ppm_jobs/v1", doc.get("schema")
+top = {"policy": str, "seed": int, "machine_nodes": int,
+       "cores_per_node": int, "backbone_bytes_per_ns": float,
+       "queue_capacity": int, "jobs": int, "completed_jobs": int,
+       "rejected_jobs": int, "makespan_ns": int,
+       "throughput_jobs_per_s": float, "p50_latency_ns": int,
+       "p99_latency_ns": int, "node_utilization": float,
+       "fabric_utilization": float, "fabric_bytes": int,
+       "backbone_wait_ns": int, "backpressure_ns": int,
+       "max_queue_depth": int, "completion_order": list, "per_job": list}
+for key, ty in top.items():
+    assert isinstance(doc[key], ty), f"{key}: {doc.get(key)!r}"
+per_job = {"id": int, "kind": str, "nodes": int, "size": int, "steps": int,
+           "arrival_ns": int, "rejected": bool, "start_ns": int,
+           "finish_ns": int, "wait_ns": int, "latency_ns": int,
+           "preemptions": int, "placement": list, "digest": str,
+           "fabric_tx_messages": int, "fabric_tx_bytes": int,
+           "backbone_wait_ns": int, "fetch_stall_ns": int,
+           "blocks_fetched": int}
+assert doc["per_job"], "no jobs in report"
+for j in doc["per_job"]:
+    for key, ty in per_job.items():
+        assert isinstance(j[key], ty), f"per_job.{key}: {j.get(key)!r}"
+assert doc["completed_jobs"] + doc["rejected_jobs"] == doc["jobs"]
+print(f"jobs schema OK: {doc['jobs']} jobs, policy {doc['policy']}")
+PY
+echo "jobs report schema OK (artifact kept at ${jobs_json})"
 
 echo "=== bench smoke (run, not gated) ==="
 # Exercise the figure/ablation harness end-to-end at toy scale. Failures

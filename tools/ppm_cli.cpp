@@ -9,12 +9,17 @@
 //   ppm_cli --app=bfs --size=50000 --dist=cyclic
 //   ppm_cli --app=matmul --size=64
 //   ppm_cli --app=cg --profile          # per-phase breakdown
+//   ppm_cli --app=cg --json=out.json    # machine-readable RunResult
+#include <cinttypes>
 #include <cmath>
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <set>
 #include <string>
+
+#include <unistd.h>
 
 #include "apps/cg/cg_ppm.hpp"
 #include "apps/cg/mm_io.hpp"
@@ -46,6 +51,8 @@ struct CliOptions {
   std::string trace_json;    // --trace=FILE: Chrome trace-event JSON
   std::string trace_binary;  // --trace-bin=FILE: compact binary dump
   uint32_t trace_buffer = 0;  // --trace-buffer=N events/track (0 = default)
+  bool json = false;          // --json[=FILE]: RunResult as JSON
+  std::string json_path;      // empty = stdout (after the human summary)
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -56,7 +63,8 @@ struct CliOptions {
       "          [--levels=L] [--iters=I] [--tol=T] [--matrix=FILE.mtx]\n"
       "          [--dist=block|cyclic|adaptive] [--calibration=F]\n"
       "          [--profile] [--check] [--trace=FILE.json]\n"
-      "          [--trace-bin=FILE.bin] [--trace-buffer=EVENTS]\n",
+      "          [--trace-bin=FILE.bin] [--trace-buffer=EVENTS]\n"
+      "          [--json[=FILE]]\n",
       argv0);
   std::exit(2);
 }
@@ -107,6 +115,11 @@ CliOptions parse(int argc, char** argv) {
       opt.trace_binary = v;
     } else if (const char* v = value_of("--trace-buffer=")) {
       opt.trace_buffer = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (const char* v = value_of("--json=")) {
+      opt.json = true;
+      opt.json_path = v;
+    } else if (arg == "--json") {
+      opt.json = true;
     } else if (arg == "--profile") {
       opt.profile = true;
     } else if (arg == "--check") {
@@ -160,7 +173,122 @@ void print_result(const RunResult& r) {
   }
 }
 
+void appendf(std::string& out, const char* fmt, ...) {
+  char buf[512];
+  va_list ap;
+  va_start(ap, fmt);
+  const int n = vsnprintf(buf, sizeof buf, fmt, ap);
+  va_end(ap);
+  out.append(buf, static_cast<size_t>(n));
+}
+
+// Full RunResult as JSON (schema "ppm_cli/v1"). Counter names match the
+// ppm_stress --json record where the two overlap (network_messages,
+// network_bytes, blocks_fetched, reads_from_cache, fetch_stall_ns,
+// blocks_migrated), so downstream tooling can diff the two tools' output
+// without a field-name translation table. counter_rollup is always
+// present; phase_profiles and trace_summary appear when --profile /
+// tracing were on (docs/TESTING.md documents the schema).
+std::string result_to_json(const CliOptions& opt, const RunResult& r,
+                           NodeRuntime& node0) {
+  std::string out;
+  out.reserve(4096);
+  out += "{\n \"schema\": \"ppm_cli/v1\",\n ";
+  appendf(out, "\"app\": \"%s\", \"nodes\": %d, \"cores\": %d,\n ",
+          opt.app.c_str(), opt.nodes, opt.cores);
+  appendf(out, "\"duration_ns\": %" PRId64 ", ", r.duration_ns);
+  appendf(out, "\"network_messages\": %" PRIu64 ", ", r.network_messages);
+  appendf(out, "\"network_bytes\": %" PRIu64 ",\n ", r.network_bytes);
+  appendf(out, "\"intranode_messages\": %" PRIu64 ", ",
+          r.intranode_messages);
+  appendf(out, "\"intranode_bytes\": %" PRIu64 ", ", r.intranode_bytes);
+  appendf(out, "\"global_phases\": %" PRIu64 ", ", r.global_phases);
+  appendf(out, "\"node_phases\": %" PRIu64 ",\n ", r.node_phases);
+  appendf(out, "\"blocks_fetched\": %" PRIu64 ", ", r.remote_blocks_fetched);
+  appendf(out, "\"reads_from_cache\": %" PRIu64 ", ",
+          r.remote_reads_served_from_cache);
+  appendf(out, "\"write_entries\": %" PRIu64 ", ", r.write_entries);
+  appendf(out, "\"bundles_sent\": %" PRIu64 ",\n ", r.bundles_sent);
+  appendf(out, "\"fetch_stall_ns\": %" PRIu64 ", ", r.fetch_stall_ns);
+  appendf(out, "\"prefetch_issued\": %" PRIu64 ", ", r.prefetch_issued);
+  appendf(out, "\"prefetch_hits\": %" PRIu64 ", ", r.prefetch_hits);
+  appendf(out, "\"entries_combined\": %" PRIu64 ",\n ", r.entries_combined);
+  appendf(out, "\"blocks_migrated\": %" PRIu64 ", ", r.blocks_migrated);
+  appendf(out, "\"migration_bytes\": %" PRIu64 ", ", r.migration_bytes);
+  appendf(out, "\"remote_to_local_conversions\": %" PRIu64 ", ",
+          r.remote_to_local_conversions);
+  appendf(out, "\"stale_messages_dropped\": %" PRIu64 ",\n",
+          r.stale_messages_dropped);
+  out += " \"counter_rollup\": [\n";
+  for (size_t i = 0; i < r.counter_rollup.size(); ++i) {
+    const auto& c = r.counter_rollup[i];
+    appendf(out,
+            "  {\"name\": \"%s\", \"sum\": %" PRIu64 ", \"min\": %" PRIu64
+            ", \"max\": %" PRIu64 ", \"min_node\": %d, \"max_node\": %d}%s\n",
+            c.name.c_str(), c.sum, c.min, c.max, c.min_node, c.max_node,
+            i + 1 < r.counter_rollup.size() ? "," : "");
+  }
+  out += " ]";
+  if (opt.profile) {
+    out += ",\n \"phase_profiles\": [\n";
+    const auto& profiles = node0.phase_profiles();
+    for (size_t i = 0; i < profiles.size(); ++i) {
+      const auto& p = profiles[i];
+      appendf(out,
+              "  {\"index\": %" PRIu64 ", \"scope\": \"%s\", "
+              "\"label\": \"%s\", \"vps\": %" PRIu64
+              ", \"compute_ns\": %" PRId64 ", \"commit_ns\": %" PRId64
+              ", \"write_entries\": %" PRIu64 ", \"fetch_stall_ns\": %" PRIu64
+              "}%s\n",
+              p.phase_index, p.global ? "global" : "node", p.label.c_str(),
+              p.k_local, p.compute_ns(), p.commit_ns(), p.write_entries,
+              p.fetch_stall_ns, i + 1 < profiles.size() ? "," : "");
+    }
+    out += " ]";
+  }
+  if (r.trace_summary.events != 0) {
+    const auto& t = r.trace_summary;
+    int64_t critical_path_ns = 0;
+    double imbalance_max = 0.0;
+    double imbalance_sum = 0.0;
+    for (const auto& p : t.phases) {
+      critical_path_ns += p.compute_max_ns + p.commit_max_ns;
+      imbalance_max = std::max(imbalance_max, p.imbalance());
+      imbalance_sum += p.imbalance();
+    }
+    out += ",\n \"trace_summary\": {";
+    appendf(out, "\"events\": %" PRIu64 ", \"dropped\": %" PRIu64
+            ", \"phases\": %zu,\n  ",
+            t.events, t.dropped, t.phases.size());
+    appendf(out, "\"critical_path_ns\": %" PRId64 ", ", critical_path_ns);
+    appendf(out, "\"imbalance_max\": %.6f, ", imbalance_max);
+    appendf(out, "\"imbalance_mean\": %.6f,\n  ",
+            t.phases.empty()
+                ? 0.0
+                : imbalance_sum / static_cast<double>(t.phases.size()));
+    appendf(out, "\"cache_hits\": %" PRIu64 ", \"cache_misses\": %" PRIu64
+            ", \"fetches\": %" PRIu64 ", \"fetch_latency_ns\": %" PRIu64
+            ",\n  ",
+            t.cache_hits, t.cache_misses, t.fetches, t.fetch_latency_ns);
+    appendf(out, "\"stall_ns\": %" PRIu64 ", \"messages\": %" PRIu64
+            ", \"bundling_efficiency\": %.6f, \"overlap_efficiency\": %.6f}",
+            t.stall_ns, t.messages, t.bundling_efficiency(),
+            t.overlap_efficiency());
+  }
+  out += "\n}\n";
+  return out;
+}
+
 int run_cli(const CliOptions& opt) {
+  // Bare --json promises clean JSON on stdout: divert the human
+  // narrative (including the apps' own progress lines) to stderr and
+  // restore stdout just before emitting the document.
+  int saved_stdout = -1;
+  if (opt.json && opt.json_path.empty()) {
+    std::fflush(stdout);
+    saved_stdout = dup(STDOUT_FILENO);
+    dup2(STDERR_FILENO, STDOUT_FILENO);
+  }
   PpmConfig cfg;
   cfg.machine.nodes = opt.nodes;
   cfg.machine.cores_per_node = opt.cores;
@@ -340,6 +468,20 @@ int run_cli(const CliOptions& opt) {
   if (opt.check) {
     std::fputs(result.check_report.to_string().c_str(), stdout);
     if (!result.check_report.clean()) return 3;
+  }
+  if (saved_stdout != -1) {
+    std::fflush(stdout);
+    dup2(saved_stdout, STDOUT_FILENO);
+    close(saved_stdout);
+  }
+  if (opt.json) {
+    const std::string json = result_to_json(opt, result, runtime.node(0));
+    if (opt.json_path.empty()) {
+      std::fputs(json.c_str(), stdout);
+    } else if (!write_file(opt.json_path, json.data(), json.size())) {
+      std::fprintf(stderr, "error: cannot write %s\n", opt.json_path.c_str());
+      return 1;
+    }
   }
   return 0;
 }

@@ -1,0 +1,237 @@
+// ppm_jobs — drive the ppm::jobs multi-tenant scheduler from the shell
+// (docs/SCHEDULER.md):
+//
+//   ppm_jobs --policy=backfill --jobs=16 --seed=3       # human summary
+//   ppm_jobs --policy=fifo --json                       # ppm_jobs/v1 JSON
+//   ppm_jobs --json=FILE --nodes=16 --backbone=4.0
+//   ppm_jobs --preempt=2                                # drain job 2 once
+//   ppm_jobs --smoke                                    # CI gate: replay
+//                                                       # determinism + the
+//                                                       # isolation oracle
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "jobs/jobs.hpp"
+
+namespace {
+
+using namespace ppm;
+
+struct Args {
+  jobs::Policy policy = jobs::Policy::kFifo;
+  uint64_t seed = 1;
+  int job_count = 12;
+  int nodes = 8;
+  int cores = 4;
+  double backbone = 4.0;
+  size_t queue = 4;
+  int64_t preempt = -1;
+  bool json = false;
+  std::string json_path;
+  bool smoke = false;
+};
+
+[[noreturn]] void usage(int rc) {
+  std::fprintf(
+      rc == 0 ? stdout : stderr,
+      "usage: ppm_jobs [--policy=fifo|backfill|smallest] [--jobs=N]\n"
+      "                [--seed=S] [--nodes=N] [--cores=C] [--backbone=F]\n"
+      "                [--queue=N] [--preempt=JOBID] [--json[=FILE]]\n"
+      "                [--smoke]\n");
+  std::exit(rc);
+}
+
+Args parse(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto val = [&](const char* prefix) {
+      return arg.substr(std::strlen(prefix));
+    };
+    if (arg.rfind("--policy=", 0) == 0) {
+      if (!jobs::parse_policy(val("--policy="), &a.policy)) usage(2);
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      a.job_count = std::atoi(val("--jobs=").c_str());
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      a.seed = std::strtoull(val("--seed=").c_str(), nullptr, 10);
+    } else if (arg.rfind("--nodes=", 0) == 0) {
+      a.nodes = std::atoi(val("--nodes=").c_str());
+    } else if (arg.rfind("--cores=", 0) == 0) {
+      a.cores = std::atoi(val("--cores=").c_str());
+    } else if (arg.rfind("--backbone=", 0) == 0) {
+      a.backbone = std::strtod(val("--backbone=").c_str(), nullptr);
+    } else if (arg.rfind("--queue=", 0) == 0) {
+      a.queue = std::strtoull(val("--queue=").c_str(), nullptr, 10);
+    } else if (arg.rfind("--preempt=", 0) == 0) {
+      a.preempt = std::strtoll(val("--preempt=").c_str(), nullptr, 10);
+    } else if (arg == "--json") {
+      a.json = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      a.json = true;
+      a.json_path = val("--json=");
+    } else if (arg == "--smoke") {
+      a.smoke = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(0);
+    } else {
+      std::fprintf(stderr, "unknown arg: %s\n", arg.c_str());
+      usage(2);
+    }
+  }
+  if (a.job_count < 0 || a.nodes <= 0 || a.cores <= 0 || a.queue == 0) {
+    usage(2);
+  }
+  return a;
+}
+
+jobs::JobsConfig make_config(const Args& a) {
+  jobs::JobsConfig cfg;
+  cfg.machine.nodes = a.nodes;
+  cfg.machine.cores_per_node = a.cores;
+  cfg.machine.backbone_bytes_per_ns = a.backbone;
+  // Modeled-only virtual time: replays of the same config are then
+  // bit-identical, which --smoke and the replay test assert on raw bytes.
+  cfg.machine.engine.calibration = sim::CalibrationMode::kModeledOnly;
+  cfg.policy = a.policy;
+  cfg.seed = a.seed;
+  cfg.job_count = a.job_count;
+  cfg.queue_capacity = a.queue;
+  cfg.preempt_job_id = a.preempt;
+  return cfg;
+}
+
+void print_human(const jobs::JobsConfig& cfg, const jobs::JobsResult& res) {
+  std::printf("ppm_jobs: policy=%s seed=%" PRIu64
+              " machine=%dx%d backbone=%.1f B/ns\n",
+              jobs::policy_name(cfg.policy), cfg.seed, cfg.machine.nodes,
+              cfg.machine.cores_per_node, cfg.machine.backbone_bytes_per_ns);
+  std::printf("  %-4s %-9s %5s %6s %5s %12s %12s %4s %8s %10s\n", "id",
+              "kind", "nodes", "size", "steps", "wait_us", "latency_us",
+              "pre", "tx_KB", "bb_wait_us");
+  for (const auto& st : res.jobs) {
+    if (st.rejected) {
+      std::printf("  %-4" PRIu64 " %-9s %5d %6" PRIu64
+                  " %5" PRIu64 "  REJECTED (machine has %d nodes)\n",
+                  st.spec.id, jobs::kind_name(st.spec.kind),
+                  st.spec.nodes_required, st.spec.size, st.spec.steps,
+                  cfg.machine.nodes);
+      continue;
+    }
+    std::printf("  %-4" PRIu64 " %-9s %5d %6" PRIu64 " %5" PRIu64
+                " %12.1f %12.1f %4d %8.1f %10.1f\n",
+                st.spec.id, jobs::kind_name(st.spec.kind),
+                st.spec.nodes_required, st.spec.size, st.spec.steps,
+                static_cast<double>(st.wait_ns) * 1e-3,
+                static_cast<double>(st.latency_ns) * 1e-3, st.preemptions,
+                static_cast<double>(st.fabric_tx_bytes) / 1024.0,
+                static_cast<double>(st.backbone_wait_ns) * 1e-3);
+  }
+  std::printf(
+      "  completed %d, rejected %d | makespan %.3f ms | "
+      "throughput %.1f jobs/s | p50 %.1f us, p99 %.1f us\n",
+      res.completed_jobs, res.rejected_jobs,
+      static_cast<double>(res.makespan_ns) * 1e-6, res.throughput_jobs_per_s,
+      static_cast<double>(res.p50_latency_ns) * 1e-3,
+      static_cast<double>(res.p99_latency_ns) * 1e-3);
+  std::printf(
+      "  node util %.1f%% | fabric util %.1f%% (%.2f MB, backbone wait "
+      "%.1f us) | backpressure %.1f us, max queue %zu\n",
+      res.node_utilization * 100.0, res.fabric_utilization * 100.0,
+      static_cast<double>(res.fabric_bytes) / 1048576.0,
+      static_cast<double>(res.backbone_wait_ns) * 1e-3,
+      static_cast<double>(res.backpressure_ns) * 1e-3, res.max_queue_depth);
+}
+
+// --smoke: for each policy, (a) two runs of the same config must produce
+// byte-identical JSON (replay determinism), (b) every completed job's
+// state digest must equal the same job run alone on an idle machine (the
+// multi-tenant isolation oracle), (c) basic report sanity.
+int run_smoke(const Args& a) {
+  Args sa = a;
+  sa.nodes = 8;
+  sa.cores = 2;
+  sa.job_count = 8;
+  sa.preempt = 2;  // exercise drain/requeue/resume in the gate too
+  int failures = 0;
+  for (const jobs::Policy policy :
+       {jobs::Policy::kFifo, jobs::Policy::kBackfill}) {
+    sa.policy = policy;
+    const jobs::JobsConfig cfg = make_config(sa);
+    const jobs::JobsResult res = jobs::run_jobs(cfg);
+    const std::string j1 = jobs::to_json(cfg, res);
+    const std::string j2 = jobs::to_json(cfg, jobs::run_jobs(cfg));
+    const char* name = jobs::policy_name(policy);
+    if (j1 != j2) {
+      std::fprintf(stderr, "FAIL %s: replay JSON differs\n", name);
+      ++failures;
+    }
+    if (res.completed_jobs + res.rejected_jobs !=
+        static_cast<int>(res.jobs.size())) {
+      std::fprintf(stderr, "FAIL %s: %zu jobs, %d completed + %d rejected\n",
+                   name, res.jobs.size(), res.completed_jobs,
+                   res.rejected_jobs);
+      ++failures;
+    }
+    if (res.completed_jobs == 0 || res.makespan_ns <= 0) {
+      std::fprintf(stderr, "FAIL %s: empty run (%d completed)\n", name,
+                   res.completed_jobs);
+      ++failures;
+    }
+    for (const auto& st : res.jobs) {
+      if (st.rejected) continue;
+      const uint64_t alone = jobs::run_job_isolated(st.spec, cfg);
+      if (st.state_digest != alone) {
+        std::fprintf(stderr,
+                     "FAIL %s: job %" PRIu64 " (%s) digest %016" PRIx64
+                     " != isolated %016" PRIx64 "\n",
+                     name, st.spec.id, jobs::kind_name(st.spec.kind),
+                     st.state_digest, alone);
+        ++failures;
+      }
+    }
+    std::printf("smoke %s: %d jobs, makespan %.3f ms, %s\n", name,
+                res.completed_jobs,
+                static_cast<double>(res.makespan_ns) * 1e-6,
+                failures == 0 ? "ok" : "FAILING");
+  }
+  if (failures != 0) {
+    std::fprintf(stderr, "ppm_jobs --smoke: %d failure(s)\n", failures);
+    return 1;
+  }
+  std::printf("ppm_jobs --smoke: PASS\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args a = parse(argc, argv);
+    if (a.smoke) return run_smoke(a);
+    const jobs::JobsConfig cfg = make_config(a);
+    const jobs::JobsResult res = jobs::run_jobs(cfg);
+    if (a.json) {
+      const std::string json = jobs::to_json(cfg, res);
+      if (a.json_path.empty()) {
+        std::fputs(json.c_str(), stdout);
+      } else {
+        std::FILE* f = std::fopen(a.json_path.c_str(), "wb");
+        if (f == nullptr ||
+            std::fwrite(json.data(), 1, json.size(), f) != json.size() ||
+            std::fclose(f) != 0) {
+          std::fprintf(stderr, "cannot write %s\n", a.json_path.c_str());
+          return 1;
+        }
+      }
+    } else {
+      print_human(cfg, res);
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -14,6 +14,11 @@
 //   ppm_stress --json=FILE          benchmark-format throughput record
 //   ppm_stress --trace-on-failure   dump ppm::trace JSON of a shrunken
 //                                   repro (reference + diverging config)
+//   ppm_stress --multi-job          co-scheduling isolation oracle: every
+//                                   job run under the ppm::jobs scheduler
+//                                   (contention, faults, preemption) must
+//                                   commit the same state as alone on an
+//                                   idle machine (docs/SCHEDULER.md)
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
@@ -22,6 +27,7 @@
 #include <fstream>
 #include <string>
 
+#include "jobs/jobs.hpp"
 #include "stress/runner.hpp"
 #include "util/error.hpp"
 
@@ -39,6 +45,7 @@ struct Args {
   int configs = kDefaultConfigs;
   bool has_replay = false;
   bool trace_on_failure = false;
+  bool multi_job = false;
   uint64_t replay_seed = 0;
   size_t replay_config = 0;
   std::string json_path;
@@ -49,7 +56,7 @@ struct Args {
       rc == 0 ? stdout : stderr,
       "usage: ppm_stress [--smoke] [--minutes=N] [--seed=S] [--programs=P]\n"
       "                  [--configs=C] [--replay=SEED:CFG] [--json=FILE]\n"
-      "                  [--trace-on-failure] [--verbose]\n");
+      "                  [--trace-on-failure] [--multi-job] [--verbose]\n");
   std::exit(rc);
 }
 
@@ -66,6 +73,8 @@ Args parse(int argc, char** argv) {
       a.verbose = true;
     } else if (arg == "--trace-on-failure") {
       a.trace_on_failure = true;
+    } else if (arg == "--multi-job") {
+      a.multi_job = true;
     } else if (arg.rfind("--minutes=", 0) == 0) {
       a.minutes = std::strtod(val("--minutes=").c_str(), nullptr);
     } else if (arg.rfind("--seed=", 0) == 0) {
@@ -157,11 +166,79 @@ void dump_repro_trace(const ppm::stress::ProgramSpec& spec,
   std::exit(1);
 }
 
+// --multi-job: run a seeded heterogeneous job stream under the ppm::jobs
+// gang scheduler — co-tenants contending on the shared backbone, seeded
+// fabric fault injection, and one forced drain/preempt — and check every
+// completed job's committed-state digest against the same job run alone
+// on an idle machine. Any divergence means phase semantics leaked timing
+// into committed state; that is a red verdict, same as the differential
+// oracle.
+int run_multi_job(const Args& a) {
+  std::vector<uint64_t> seeds;
+  if (a.smoke) {
+    seeds = {1, 2, 3};
+  } else {
+    seeds = {a.seed};
+  }
+  int jobs_checked = 0;
+  int failures = 0;
+  for (const uint64_t seed : seeds) {
+    for (const ppm::jobs::Policy policy :
+         {ppm::jobs::Policy::kFifo, ppm::jobs::Policy::kBackfill}) {
+      for (const bool faulted : {false, true}) {
+        ppm::jobs::JobsConfig cfg;
+        cfg.machine.nodes = 8;
+        cfg.machine.cores_per_node = 2;
+        cfg.machine.backbone_bytes_per_ns = 4.0;
+        cfg.machine.engine.calibration =
+            ppm::sim::CalibrationMode::kModeledOnly;
+        if (faulted) {
+          cfg.machine.faults.delay_jitter = true;
+          cfg.machine.faults.seed = seed;
+        }
+        cfg.policy = policy;
+        cfg.seed = seed;
+        cfg.job_count = 6;
+        cfg.queue_capacity = 3;
+        cfg.preempt_job_id = 1;
+        const ppm::jobs::JobsResult res = ppm::jobs::run_jobs(cfg);
+        for (const ppm::jobs::JobStats& st : res.jobs) {
+          if (st.rejected) continue;
+          const uint64_t alone = ppm::jobs::run_job_isolated(st.spec, cfg);
+          ++jobs_checked;
+          if (st.state_digest != alone) {
+            std::fprintf(stderr,
+                         "FAIL multi-job seed=%" PRIu64
+                         " policy=%s faults=%d job=%" PRIu64
+                         " (%s): digest %016" PRIx64
+                         " != isolated %016" PRIx64 "\n",
+                         seed, ppm::jobs::policy_name(policy), faulted ? 1 : 0,
+                         st.spec.id, ppm::jobs::kind_name(st.spec.kind),
+                         st.state_digest, alone);
+            ++failures;
+          }
+        }
+      }
+    }
+  }
+  if (failures != 0) {
+    std::fprintf(stderr, "ppm_stress --multi-job: %d divergence(s)\n",
+                 failures);
+    return 1;
+  }
+  std::printf(
+      "ppm_stress --multi-job: %zu seed(s) x 2 policies x {clean, faulted}: "
+      "%d co-scheduled jobs bit-identical to isolated runs\n",
+      seeds.size(), jobs_checked);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using Clock = std::chrono::steady_clock;
   const Args a = parse(argc, argv);
+  if (a.multi_job) return run_multi_job(a);
   const auto t0 = Clock::now();
   const auto elapsed_s = [&] {
     return std::chrono::duration<double>(Clock::now() - t0).count();
@@ -222,6 +299,40 @@ int main(int argc, char** argv) {
       ran, a.configs, secs, rate);
 
   if (!a.json_path.empty()) {
+    // Phase-structure fields (critical path, compute imbalance) come from
+    // one traced representative run: the first seed of this invocation
+    // under the reference config. Virtual-time quantities, so they are
+    // deterministic even though the throughput numbers above are not
+    // (docs/TESTING.md documents the full record schema).
+    const uint64_t rep_seed = a.smoke ? kSmokeSeeds[0] : a.seed;
+    const auto rep_cfgs = ppm::stress::sample_configs(rep_seed, a.configs);
+    // The single-node reference config has no commit traffic and zero
+    // modeled compute; trace the first multi-node config instead so the
+    // phase structure is non-degenerate.
+    size_t rep = 0;
+    for (size_t i = 0; i < rep_cfgs.size(); ++i) {
+      if (rep_cfgs[i].machine.nodes > 1) {
+        rep = i;
+        break;
+      }
+    }
+    ppm::stress::RunArtifacts artifacts;
+    artifacts.trace = true;
+    (void)ppm::stress::run_under_config(
+        ppm::stress::generate_program(rep_seed), rep_cfgs[rep], &artifacts);
+    int64_t critical_path_ns = 0;
+    double imbalance_max = 0.0;
+    double imbalance_sum = 0.0;
+    const auto& phases = artifacts.result.trace_summary.phases;
+    for (const auto& p : phases) {
+      critical_path_ns += p.compute_max_ns + p.commit_max_ns;
+      imbalance_max = std::max(imbalance_max, p.imbalance());
+      imbalance_sum += p.imbalance();
+    }
+    const double imbalance_mean =
+        phases.empty() ? 0.0
+                       : imbalance_sum / static_cast<double>(phases.size());
+
     // google-benchmark JSON shape, so tools/bench.sh's merger can fold the
     // throughput row into BENCH_fig.json unchanged.
     std::ofstream out(a.json_path);
@@ -229,7 +340,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "cannot write %s\n", a.json_path.c_str());
       return 1;
     }
-    char buf[1024];
+    char buf[1536];
     std::snprintf(
         buf, sizeof(buf),
         "{\"benchmarks\": [{\"name\": \"stress/%s\", "
@@ -241,11 +352,15 @@ int main(int argc, char** argv) {
         "\"blocks_fetched\": %" PRIu64 ", "
         "\"reads_from_cache\": %" PRIu64 ", "
         "\"fetch_stall_ns\": %" PRIu64 ", "
-        "\"blocks_migrated\": %" PRIu64 "}]}\n",
+        "\"blocks_migrated\": %" PRIu64 ", "
+        "\"critical_path_ns\": %" PRId64 ", "
+        "\"imbalance_max\": %.6f, "
+        "\"imbalance_mean\": %.6f}]}\n",
         a.smoke ? "smoke" : "run", ran, a.configs, secs, rate, totals.runs,
         totals.network_messages, totals.network_bytes, totals.blocks_fetched,
         totals.reads_from_cache, totals.fetch_stall_ns,
-        totals.blocks_migrated);
+        totals.blocks_migrated, critical_path_ns, imbalance_max,
+        imbalance_mean);
     out << buf;
   }
   return 0;
