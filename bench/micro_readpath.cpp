@@ -1,0 +1,76 @@
+// Read-engine fast-path microbenchmark: per-element cost of the three
+// access flavors the hot-path campaign optimizes — the handle-inline
+// local read, the handle-inline cached-remote-block read, and the bulk
+// read_n span path. Reported as per_read_ns next to the figure rows in
+// BENCH_fig.json so per-element overhead regressions are visible without
+// rerunning the applications.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/ppm.hpp"
+
+namespace {
+
+using namespace ppm;
+
+// Arg0 selects the flavor (1/2 run in --smoke sweeps, see tools/bench.sh).
+enum ReadPath : int64_t { kLocalInline = 1, kCachedInline = 2, kBulkReadN = 3 };
+
+void BM_ReadElemFastPath(benchmark::State& state) {
+  const auto path = static_cast<ReadPath>(state.range(0));
+  constexpr uint64_t kN = 1 << 16;
+  constexpr uint64_t kHalf = kN / 2;
+  constexpr int kSweeps = 8;
+  for (auto _ : state) {
+    cluster::Machine machine(bench::bench_machine(2, /*cores=*/1));
+    uint64_t reads = 0;
+    const RunResult r =
+        run_on(machine, bench::bench_runtime_options(), [&](Env& env) {
+          auto a = env.global_array<double>(kN);
+          std::vector<double> buf(kHalf);
+          auto vps = env.ppm_do(env.node_id() == 0 ? 1 : 0);
+          vps.global_phase([&](Vp&) {
+            double acc = 0;
+            switch (path) {
+              case kLocalInline:
+                for (int s = 0; s < kSweeps; ++s) {
+                  for (uint64_t i = 0; i < kHalf; ++i) acc += a.get(i);
+                }
+                reads = kSweeps * kHalf;
+                break;
+              case kCachedInline:
+                // First sweep fills the block cache; the steady state is
+                // the handle-probe hit path.
+                for (int s = 0; s < kSweeps; ++s) {
+                  for (uint64_t i = kHalf; i < kN; ++i) acc += a.get(i);
+                }
+                reads = kSweeps * kHalf;
+                break;
+              case kBulkReadN:
+                // Same cached-remote range through the span path: the
+                // first sweep fetches, later sweeps are per-block copies.
+                for (int s = 0; s < kSweeps; ++s) {
+                  a.read_n(kHalf, kHalf, buf.data());
+                  acc += buf[0] + buf[kHalf - 1];
+                }
+                reads = kSweeps * kHalf;
+                break;
+            }
+            benchmark::DoNotOptimize(acc);
+          });
+        });
+    state.counters["per_read_ns"] =
+        static_cast<double>(r.duration_ns) / static_cast<double>(reads);
+    state.counters["slow_path_reads"] =
+        static_cast<double>(r.slow_path_reads);
+    state.counters["blocks"] = static_cast<double>(r.remote_blocks_fetched);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_ReadElemFastPath)->Arg(1)->Arg(2)->Arg(3)->Iterations(1);
+
+BENCHMARK_MAIN();

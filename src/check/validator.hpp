@@ -70,7 +70,7 @@ class PhaseValidator {
   /// A phase body is about to run.
   void on_phase_start(bool global);
   void on_read(uint64_t count = 1) { report_.reads_observed += count; }
-  void on_write() { ++report_.writes_observed; }
+  void on_write(uint64_t count = 1) { report_.writes_observed += count; }
 
   // ---- Commit-time conflict scan (classes a and b) ----
 

@@ -53,6 +53,29 @@ struct RuntimeOptions {
   /// prefetch() API works regardless.
   uint32_t prefetch_lookahead_blocks = 1;
 
+  /// Coalesce block-fetch requests: while a core is miss-switching through
+  /// ready VPs, their fetch requests queue per owner and ship as one
+  /// kGetBlockList message when the core finally parks (prefetch sweeps
+  /// flush at their end). Cuts per-message send overhead and message count
+  /// on fan-out miss patterns; strictly fewer wire bytes (singletons still
+  /// go out as plain per-block requests). Committed results are unaffected.
+  bool batch_fetches = true;
+
+  /// Stride-detecting lookahead: when consecutive demand misses on an
+  /// array are a constant element stride apart (SpMV column walks, strided
+  /// halos), prefetch the blocks holding the next `prefetch_lookahead_
+  /// blocks` strided elements — the forward-adjacent stream detector only
+  /// covers unit stride. Off, only adjacent streams are detected.
+  bool strided_prefetch = true;
+
+  /// Span-style bulk access: GlobalShared/NodeShared read_n/set_n/add_n
+  /// resolve whole contiguous runs through the runtime in one call —
+  /// bounds checks and owner lookups are hoisted out of the per-element
+  /// loop, contiguous write runs ship as single range entries, and commits
+  /// apply them memcpy/tight-loop style. Off, the bulk calls degrade to
+  /// the per-element paths (bit-identical committed results either way).
+  bool bulk_access = true;
+
   /// Sender-side write combining: pre-reduce same-VP accumulate entries
   /// and overwrite superseded same-VP set() entries per (array, element)
   /// inside the per-destination write buffers before they are flushed.
@@ -138,6 +161,10 @@ struct RunResult {
   uint64_t node_phases = 0;
   uint64_t remote_blocks_fetched = 0;
   uint64_t remote_reads_served_from_cache = 0;
+  /// Reads that entered the runtime's cold remote path — i.e. missed both
+  /// the handle-inline local and published-cached-block fast paths. A
+  /// fully cached phase keeps this at zero.
+  uint64_t slow_path_reads = 0;
   uint64_t write_entries = 0;
   uint64_t bundles_sent = 0;
   /// Virtual time VPs spent parked on remote fetches (summed over nodes);

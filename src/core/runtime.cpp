@@ -29,8 +29,9 @@ struct ParsedEntry {
   uint64_t vp_rank;
   uint32_t seq;
   uint32_t array;
-  uint8_t op;
+  uint8_t op;  // base WriteOp; range entries had kOpRangeBit stripped
   uint64_t index;
+  uint32_t count;  // elements covered (1 for scalar entries)
   const std::byte* value;
 };
 
@@ -121,6 +122,7 @@ RunResult Runtime::collect() const {
     r.node_phases += c.node_phases;
     r.remote_blocks_fetched += c.blocks_fetched;
     r.remote_reads_served_from_cache += c.reads_from_cache;
+    r.slow_path_reads += c.slow_path_reads;
     r.write_entries += c.write_entries;
     r.bundles_sent += c.bundles_sent;
     r.fetch_stall_ns += c.fetch_stall_ns;
@@ -160,6 +162,7 @@ RunResult Runtime::collect() const {
       {"remote_to_local_conversions",
        &NodeRuntime::Counters::remote_to_local_conversions},
       {"stale_msgs_dropped", &NodeRuntime::Counters::stale_msgs_dropped},
+      {"slow_path_reads", &NodeRuntime::Counters::slow_path_reads},
   };
   r.counter_rollup.reserve(std::size(kCounterFields));
   for (const auto& f : kCounterFields) {
@@ -214,6 +217,7 @@ void NodeRuntime::start() {
   dest_buffers_.resize(static_cast<size_t>(node_count()));
   combine_maps_.resize(static_cast<size_t>(node_count()));
   combine_hwm_.resize(static_cast<size_t>(node_count()), 0);
+  fetch_backlog_.resize(static_cast<size_t>(node_count()));
 
   // Map fiber ids to core indices so trace events land on per-core
   // tracks. The node's main fiber (running this) and the service fiber
@@ -459,6 +463,7 @@ const std::byte* NodeRuntime::remote_ref(const detail::ArrayRecord& rec,
                                          uint64_t index) {
   // All coordinates on the wire are owner-local, which keeps the protocol
   // identical for every distribution.
+  ++counters_.slow_path_reads;
   const bool bundle = options().bundle_reads && rec.block_elems > 0;
   const int owner = rec.owner_of(index);
   const uint64_t llocal = rec.local_of(index);
@@ -509,6 +514,7 @@ const std::byte* NodeRuntime::remote_ref(const detail::ArrayRecord& rec,
     auto slot = issue_block_fetch(rec, owner, first, count,
                                   /*prefetch=*/false);
     maybe_stream_prefetch(rec, owner, first, olen);
+    maybe_strided_prefetch(rec, index);
     wait_fetch(*slot);
     // The service fiber cached the payload and published it on arrival.
     const auto it = block_cache_.find(key);
@@ -554,19 +560,78 @@ std::shared_ptr<NodeRuntime::FetchSlot> NodeRuntime::issue_block_fetch(
     trace_rec(trace::EventKind::kFetchIssued, rec.id, slot->key.block,
               slot->req_id, prefetch ? trace::kFlagBit0 : 0);
   }
-  ByteWriter w;
-  w.put(rec.id);
-  w.put(first);
-  w.put(count);
-  w.put(slot->req_id);
-  w.put(request_epoch());
-  rt_send(owner,
-          detail::rt_kind(prefetch ? detail::RtMsg::kPrefetchBlock
-                                   : detail::RtMsg::kGetBlock),
-          std::move(w).take());
+  if (opts_.batch_fetches) {
+    // Queue instead of sending: requests issued while this core
+    // miss-switches through ready VPs (and the lookahead they trigger)
+    // coalesce per owner, shipped by flush_fetch_backlog at the latest
+    // right before the requester parks.
+    auto& q = fetch_backlog_[static_cast<size_t>(owner)];
+    if (q.empty()) backlog_owners_.push_back(owner);
+    q.push_back(QueuedFetch{rec.id, first, count, slot->req_id,
+                            request_epoch(), prefetch});
+    backlog_nonempty_ = true;
+  } else {
+    ByteWriter w;
+    w.put(rec.id);
+    w.put(first);
+    w.put(count);
+    w.put(slot->req_id);
+    w.put(request_epoch());
+    rt_send(owner,
+            detail::rt_kind(prefetch ? detail::RtMsg::kPrefetchBlock
+                                     : detail::RtMsg::kGetBlock),
+            std::move(w).take());
+  }
   ++counters_.blocks_fetched;
   if (prefetch) ++counters_.prefetch_issued;
   return slot;
+}
+
+void NodeRuntime::flush_fetch_backlog() {
+  if (!backlog_nonempty_) return;
+  // Swap the owner list out first: rt_send advances virtual time and may
+  // switch fibers, and a resumed fiber can queue new fetches (which must
+  // not be lost or double-flushed).
+  std::vector<int> owners = std::move(backlog_owners_);
+  backlog_owners_.clear();
+  backlog_nonempty_ = false;
+  for (const int owner : owners) {
+    std::vector<QueuedFetch> q =
+        std::move(fetch_backlog_[static_cast<size_t>(owner)]);
+    fetch_backlog_[static_cast<size_t>(owner)].clear();
+    if (q.empty()) continue;
+    if (q.size() == 1) {
+      // A singleton list message would be larger than the plain request;
+      // keep the legacy form (see wire.hpp's >= 2 rule).
+      const QueuedFetch& f = q[0];
+      ByteWriter w;
+      w.put(f.array);
+      w.put(f.first);
+      w.put(f.count);
+      w.put(f.req_id);
+      w.put(f.epoch);
+      rt_send(owner,
+              detail::rt_kind(f.prefetch ? detail::RtMsg::kPrefetchBlock
+                                         : detail::RtMsg::kGetBlock),
+              std::move(w).take());
+      continue;
+    }
+    ByteWriter w;
+    w.put(q[0].epoch);
+    w.put(static_cast<uint32_t>(q.size()));
+    for (const QueuedFetch& f : q) {
+      // All entries between two flushes come from one phase scope, so
+      // they share the request epoch (the list carries it once).
+      PPM_CHECK(f.epoch == q[0].epoch, "mixed epochs in one fetch flush");
+      w.put(f.array);
+      w.put(f.first);
+      w.put(f.count);
+      w.put(f.req_id);
+      w.put<uint8_t>(f.prefetch ? 1 : 0);
+    }
+    rt_send(owner, detail::rt_kind(detail::RtMsg::kGetBlockList),
+            std::move(w).take());
+  }
 }
 
 void NodeRuntime::wait_fetch(FetchSlot& slot) {
@@ -578,6 +643,9 @@ void NodeRuntime::wait_fetch(FetchSlot& slot) {
     }
   }
   if (slot.done) return;
+  // Invariant: never park with unsent fetch requests — this slot's own
+  // request may still be sitting in the backlog.
+  flush_fetch_backlog();
   const int64_t t0 = engine_->now_ns();
   slot.waiters.wait([&] { return slot.done; });
   const int64_t stalled = engine_->now_ns() - t0;
@@ -662,6 +730,46 @@ void NodeRuntime::maybe_stream_prefetch(const detail::ArrayRecord& rec,
   }
 }
 
+void NodeRuntime::maybe_strided_prefetch(const detail::ArrayRecord& rec,
+                                         uint64_t index) {
+  const uint32_t lookahead = opts_.prefetch_lookahead_blocks;
+  if (!opts_.strided_prefetch || lookahead == 0) return;
+  if (rec.id >= stride_state_.size()) stride_state_.resize(rec.id + 1);
+  StrideState& st = stride_state_[rec.id];
+  const uint64_t prev = st.last_index;
+  const int64_t prev_delta = st.delta;
+  st.last_index = index;
+  if (prev == ~uint64_t{0}) return;  // first miss on this array
+  const int64_t delta =
+      static_cast<int64_t>(index) - static_cast<int64_t>(prev);
+  st.delta = delta;
+  // Prefetch only on a CONFIRMED stride (two equal consecutive deltas):
+  // one speculative fetch per random miss would flood the wire. Strides
+  // shorter than a block are the adjacent-stream detector's job.
+  if (delta == 0 || delta != prev_delta) return;
+  const uint64_t mag = static_cast<uint64_t>(delta < 0 ? -delta : delta);
+  if (mag < rec.block_elems) return;
+  int64_t next = static_cast<int64_t>(index);
+  for (uint32_t j = 0; j < lookahead; ++j) {
+    next += delta;
+    if (next < 0 || next >= static_cast<int64_t>(rec.n)) return;
+    const uint64_t g = static_cast<uint64_t>(next);
+    const int owner = rec.owner_of(g);
+    if (owner == node_) continue;
+    const uint64_t llocal = rec.local_of(g);
+    const uint64_t first = (llocal / rec.block_elems) * rec.block_elems;
+    const BlockKey key{
+        rec.id, (static_cast<uint64_t>(owner) << kBlockOwnerShift) | first};
+    if (block_cache_.contains(key) || pending_blocks_.contains(key)) {
+      continue;
+    }
+    const uint64_t olen = rec.owner_len(owner);
+    issue_block_fetch(rec, owner, first,
+                      std::min(rec.block_elems, olen - first),
+                      /*prefetch=*/true);
+  }
+}
+
 void NodeRuntime::publish_block(const detail::ArrayRecord& rec,
                                 const BlockKey& key, const Bytes& cached) {
   auto& mut = arrays_[rec.id];
@@ -706,6 +814,79 @@ void NodeRuntime::prefetch_elems(uint32_t id,
                       std::min(rec.block_elems, olen - first),
                       /*prefetch=*/true);
   }
+  // Ship the sweep's requests now: lookahead only pays off if the fetches
+  // are in flight while the consumer computes.
+  flush_fetch_backlog();
+}
+
+void NodeRuntime::prefetch_range(uint32_t id, uint64_t lo, uint64_t hi) {
+  const auto& rec = array(id);
+  if (!rec.global || !options().bundle_reads || rec.block_elems == 0) return;
+  if (lo >= hi) return;
+  PPM_CHECK(hi <= rec.n, "prefetch range [%llu, %llu) out of range (size "
+            "%llu)",
+            static_cast<unsigned long long>(lo),
+            static_cast<unsigned long long>(hi),
+            static_cast<unsigned long long>(rec.n));
+  const auto want = [&](int owner, uint64_t first, uint64_t olen) {
+    const BlockKey key{
+        rec.id, (static_cast<uint64_t>(owner) << kBlockOwnerShift) | first};
+    if (block_cache_.contains(key) || pending_blocks_.contains(key)) return;
+    issue_block_fetch(rec, owner, first,
+                      std::min(rec.block_elems, olen - first),
+                      /*prefetch=*/true);
+  };
+  if (rec.dist == Distribution::kCyclic && rec.mig_block_elems == 0) {
+    // Round-robin layout: every owner holds an interleaved share of
+    // [lo, hi); walk each remote owner's local block range directly.
+    const uint64_t p = static_cast<uint64_t>(rec.nodes);
+    for (int owner = 0; owner < rec.nodes; ++owner) {
+      if (owner == node_) continue;
+      const uint64_t o = static_cast<uint64_t>(owner);
+      if (hi <= o) continue;               // owner's first element is o
+      const uint64_t last = (hi - 1 - o) / p;  // largest local idx in range
+      const uint64_t lfirst = lo > o ? (lo - o + p - 1) / p : 0;
+      if (lfirst > last) continue;
+      const uint64_t olen = rec.owner_len(owner);
+      for (uint64_t b = (lfirst / rec.block_elems) * rec.block_elems;
+           b <= last; b += rec.block_elems) {
+        want(owner, b, olen);
+      }
+    }
+    flush_fetch_backlog();
+    return;
+  }
+  // Contiguous layouts (kBlock chunks, kAdaptive migration blocks): walk
+  // the range one cache block at a time — O(range / block_elems), not
+  // O(range) — skipping whole owned chunks.
+  uint64_t g = lo;
+  while (g < hi) {
+    if (rec.mig_block_elems != 0) {
+      const uint64_t mb_end =
+          (g / rec.mig_block_elems + 1) * rec.mig_block_elems;
+      const int owner = rec.owner_of(g);
+      if (owner != node_) {
+        const uint64_t llocal = rec.local_of(g);
+        want(owner, (llocal / rec.block_elems) * rec.block_elems,
+             rec.owner_len(owner));
+      }
+      g = mb_end;
+      continue;
+    }
+    const int owner = rec.owner_of(g);
+    const uint64_t chunk_end = (static_cast<uint64_t>(owner) + 1) * rec.chunk;
+    if (owner == node_) {
+      g = chunk_end;
+      continue;
+    }
+    const uint64_t llocal = rec.local_of(g);
+    const uint64_t first = (llocal / rec.block_elems) * rec.block_elems;
+    want(owner, first, rec.owner_len(owner));
+    g = std::min(chunk_end,
+                 static_cast<uint64_t>(owner) * rec.chunk + first +
+                     rec.block_elems);
+  }
+  flush_fetch_backlog();
 }
 
 void NodeRuntime::gather_elems(uint32_t id,
@@ -773,6 +954,201 @@ void NodeRuntime::gather_elems(uint32_t id,
       std::memcpy(out + wt.group->positions[j] * rec.ops.size,
                   wt.slot->data.data() + j * rec.ops.size, rec.ops.size);
     }
+  }
+}
+
+void NodeRuntime::read_span(uint32_t id, uint64_t first, uint64_t count,
+                            std::byte* out) {
+  const auto& rec = array(id);
+  PPM_CHECK(count <= rec.n && first <= rec.n - count,
+            "read span [%llu, +%llu) out of range (size %llu)",
+            static_cast<unsigned long long>(first),
+            static_cast<unsigned long long>(count),
+            static_cast<unsigned long long>(rec.n));
+  if (count == 0) return;
+  // Cyclic multi-node layouts alternate owners every element — there is
+  // no contiguous run to exploit; fall back to the per-element path
+  // (which does its own accounting).
+  if (rec.global && rec.dist == Distribution::kCyclic && node_count() > 1 &&
+      rec.mig_block_elems == 0) {
+    for (uint64_t j = 0; j < count; ++j) {
+      read_elem(id, first + j, out + j * rec.ops.size);
+    }
+    return;
+  }
+  // Bulk accounting: overhead at the gather rate (ownership and bounds
+  // resolve once per segment, not per element), one validator count.
+  if (opts_.access_overhead_ns > 0) {
+    engine_->advance_ns(
+        opts_.access_overhead_ns *
+        static_cast<int64_t>(std::max<uint64_t>(1, count / 8)));
+  }
+  if (validator_) [[unlikely]] validator_->on_read(count);
+  const uint32_t esz = rec.ops.size;
+  if (!rec.global) {
+    std::memcpy(out, rec.storage.data() + first * esz, count * esz);
+    return;
+  }
+  const uint64_t end = first + count;
+  uint64_t g = first;
+  while (g < end) {
+    const int owner = rec.owner_of(g);
+    const uint64_t seg_end =
+        rec.mig_block_elems != 0
+            ? std::min(end, (g / rec.mig_block_elems + 1) *
+                                rec.mig_block_elems)
+            : std::min(end, (static_cast<uint64_t>(owner) + 1) * rec.chunk);
+    const uint64_t len = seg_end - g;
+    if (!rec.access_count.empty()) [[unlikely]] {
+      rec.access_count[g / rec.mig_block_elems] += len;
+    }
+    std::byte* dst = out + (g - first) * esz;
+    if (owner == node_) {
+      std::memcpy(dst, rec.storage.data() + rec.local_of(g) * esz,
+                  len * esz);
+      g = seg_end;
+      continue;
+    }
+    if (!options().bundle_reads || rec.block_elems == 0) {
+      for (uint64_t j = 0; j < len; ++j) {
+        std::memcpy(dst + j * esz, remote_ref(rec, g + j), esz);
+      }
+      g = seg_end;
+      continue;
+    }
+    // Remote contiguous run: the segment's owner-local indices
+    // [ll, ll+len) are contiguous. Pass 1 queues demand fetches for every
+    // missing cache block (they coalesce into one list flush); pass 2
+    // waits where needed and copies block portions.
+    const uint64_t ll = rec.local_of(g);
+    const uint64_t olen = rec.owner_len(owner);
+    const uint64_t be = rec.block_elems;
+    for (uint64_t b = (ll / be) * be; b < ll + len; b += be) {
+      const BlockKey key{
+          rec.id, (static_cast<uint64_t>(owner) << kBlockOwnerShift) | b};
+      if (block_cache_.contains(key) || pending_blocks_.contains(key)) {
+        continue;
+      }
+      issue_block_fetch(rec, owner, b, std::min(be, olen - b),
+                        /*prefetch=*/false);
+    }
+    for (uint64_t b = (ll / be) * be; b < ll + len; b += be) {
+      const BlockKey key{
+          rec.id, (static_cast<uint64_t>(owner) << kBlockOwnerShift) | b};
+      auto itc = block_cache_.find(key);
+      if (itc == block_cache_.end()) {
+        const auto itp = pending_blocks_.find(key);
+        PPM_CHECK(itp != pending_blocks_.end(),
+                  "bulk read lost its in-flight block");
+        auto slot = itp->second;  // keep alive across the wait
+        wait_fetch(*slot);
+        itc = block_cache_.find(key);
+        PPM_CHECK(itc != block_cache_.end(),
+                  "bulk read fetch did not populate the block cache");
+      } else {
+        counters_.reads_from_cache +=
+            std::min(ll + len, b + be) - std::max(ll, b);
+      }
+      publish_block(rec, key, itc->second);
+      const uint64_t lo = std::max(ll, b);
+      const uint64_t hi = std::min(ll + len, b + be);
+      std::memcpy(dst + (lo - ll) * esz,
+                  itc->second.data() + (lo - b) * esz, (hi - lo) * esz);
+    }
+    g = seg_end;
+  }
+}
+
+void NodeRuntime::write_span(uint32_t id, uint64_t first, uint64_t count,
+                             const std::byte* values, detail::WriteOp op) {
+  PPM_CHECK(id < arrays_.size(), "unknown shared array id %u", id);
+  auto& rec = arrays_[id];
+  PPM_CHECK(count <= rec.n && first <= rec.n - count,
+            "write span [%llu, +%llu) out of range (size %llu)",
+            static_cast<unsigned long long>(first),
+            static_cast<unsigned long long>(count),
+            static_cast<unsigned long long>(rec.n));
+  if (count == 0) return;
+  const uint32_t esz = rec.ops.size;
+  // Cyclic multi-node: a range entry would degenerate to one element per
+  // owner switch — the per-element path (with its own accounting) is the
+  // honest shape there.
+  if (rec.global && rec.dist == Distribution::kCyclic && node_count() > 1 &&
+      rec.mig_block_elems == 0) {
+    for (uint64_t j = 0; j < count; ++j) {
+      write_elem(id, first + j, values + j * esz, op);
+    }
+    return;
+  }
+  if (opts_.access_overhead_ns > 0) {
+    engine_->advance_ns(
+        opts_.access_overhead_ns *
+        static_cast<int64_t>(std::max<uint64_t>(1, count / 8)));
+  }
+  if (phase_scope_ == PhaseScope::kNone) {
+    // Outside phases only the node program runs; writes apply
+    // immediately, and remote global writes are not allowed (same rule
+    // as write_elem).
+    for (uint64_t j = 0; j < count; ++j) {
+      const uint64_t g = first + j;
+      note_access(rec, g);
+      if (rec.global) {
+        PPM_CHECK(rec.owner_of(g) == node_,
+                  "write to remote global element outside a phase");
+        rec.ops.apply(rec.storage.data() + rec.local_of(g) * esz,
+                      values + j * esz, op);
+      } else {
+        rec.ops.apply(rec.storage.data() + g * esz, values + j * esz, op);
+      }
+    }
+    return;
+  }
+  PPM_CHECK(!(phase_scope_ == PhaseScope::kNode && rec.global),
+            "global shared write inside a node phase");
+  Vp* vp = current_vp();
+  PPM_CHECK(vp != nullptr, "shared write inside a phase but outside a VP");
+  counters_.write_entries += count;
+  if (validator_) [[unlikely]] validator_->on_write(count);
+  const uint64_t end = first + count;
+  uint64_t g = first;
+  while (g < end) {
+    const int owner = rec.global ? rec.owner_of(g) : node_;
+    uint64_t seg_end = end;
+    if (rec.global) {
+      seg_end = rec.mig_block_elems != 0
+                    ? std::min(end, (g / rec.mig_block_elems + 1) *
+                                        rec.mig_block_elems)
+                    : std::min(end,
+                               (static_cast<uint64_t>(owner) + 1) * rec.chunk);
+    }
+    const uint32_t len = static_cast<uint32_t>(seg_end - g);
+    if (!rec.access_count.empty()) [[unlikely]] {
+      rec.access_count[g / rec.mig_block_elems] += len;
+    }
+    // One range entry per owner segment: ONE (vp_rank, seq) pair for the
+    // whole run, committing as a unit at that position — bit-identical
+    // to len consecutive scalar writes (a VP's entries apply in seq
+    // order either way).
+    const detail::WireEntryHeader hdr{
+        id,
+        static_cast<uint8_t>(static_cast<uint8_t>(op) | detail::kOpRangeBit),
+        g, vp->global_rank_, vp->next_seq_++};
+    const std::byte* src = values + (g - first) * esz;
+    if (rec.global && owner != node_) {
+      ByteWriter& buf = bundle_buffer(owner);
+      detail::put_range_entry(buf, hdr, src, len, esz);
+      if (opts_.combine_writes) {
+        // Later scalar writes must not fold into entries buffered BEFORE
+        // this range: the fold keeps the old seq, which would commit
+        // before the range instead of after. Dropping the map forfeits
+        // combining across the range, never correctness.
+        reset_combine_map(owner);
+      }
+      maybe_eager_flush(owner);
+    } else {
+      detail::put_range_entry(local_log_, hdr, src, len, esz);
+    }
+    g = seg_end;
   }
 }
 
@@ -967,6 +1343,10 @@ void NodeRuntime::run_phase(bool global, uint64_t k_local, uint64_t k_offset,
                             const std::function<void(Vp&)>& body) {
   PPM_CHECK(started_, "phase before NodeRuntime::start");
   PPM_CHECK(phase_scope_ == PhaseScope::kNone, "phases cannot nest");
+  // Lookahead queued by async reads between phases carries kAsyncEpoch;
+  // ship it before this phase queues epoch-stamped requests (one flush
+  // never mixes epochs).
+  flush_fetch_backlog();
   if (validator_) validator_->on_phase_start(global);
   phase_scope_ = global ? PhaseScope::kGlobal : PhaseScope::kNode;
 
@@ -1116,6 +1496,28 @@ void NodeRuntime::run_chunks(int core_index) {
 }
 
 void NodeRuntime::commit_global() {
+  // 0. Unsent lookahead requests die with the phase: nobody waits on them
+  //    (demand fetches always flush before their requester parks), so
+  //    dropping them here — instead of shipping requests whose responses
+  //    the epoch bump below would discard anyway — saves the wire bytes
+  //    entirely.
+  if (backlog_nonempty_) {
+    for (const int owner : backlog_owners_) {
+      for (const QueuedFetch& f : fetch_backlog_[static_cast<size_t>(owner)]) {
+        PPM_CHECK(f.prefetch, "demand fetch still queued at commit");
+        outstanding_.erase(f.req_id);
+        pending_blocks_.erase(BlockKey{
+            f.array,
+            (static_cast<uint64_t>(owner) << kBlockOwnerShift) | f.first});
+        --counters_.blocks_fetched;
+        --counters_.prefetch_issued;
+      }
+      fetch_backlog_[static_cast<size_t>(owner)].clear();
+    }
+    backlog_owners_.clear();
+    backlog_nonempty_ = false;
+  }
+
   // 1. Ship the remaining write entries; every peer gets exactly one
   //    last-marker fragment per phase (possibly empty).
   flush_all_bundles_final();
@@ -1426,23 +1828,33 @@ void NodeRuntime::run_migration_round(std::vector<Bytes> all) {
 void NodeRuntime::apply_staged_entries(
     std::vector<std::span<const std::byte>> buffers) {
   std::vector<ParsedEntry> entries;
+  // Reserve by the tightest possible entry size: commits are the hot path
+  // of every phase, and vector regrowth here showed up in measured runs.
+  size_t total_bytes = 0;
+  for (const auto& buf : buffers) total_bytes += buf.size();
+  entries.reserve(total_bytes / (detail::kEntryHeaderBytes + 1));
   uint8_t op_mask = 0;  // bit per WriteOp value seen in this batch
   for (const auto& buf : buffers) {
     ByteReader r(buf);
     while (!r.exhausted()) {
       ParsedEntry e{};
       e.array = r.get<uint32_t>();
-      e.op = r.get<uint8_t>();
+      const uint8_t raw_op = r.get<uint8_t>();
+      e.op = static_cast<uint8_t>(raw_op & ~detail::kOpRangeBit);
       e.index = r.get<uint64_t>();
       e.vp_rank = r.get<uint64_t>();
       e.seq = r.get<uint32_t>();
       PPM_CHECK(e.array < arrays_.size(),
                 "write bundle names unknown array %u", e.array);
-      const auto value = r.view(arrays_[e.array].ops.size);
+      e.count = detail::entry_is_range(raw_op) ? r.get<uint32_t>() : 1;
+      const auto value =
+          r.view(static_cast<size_t>(e.count) * arrays_[e.array].ops.size);
       e.value = value.data();
       op_mask |= static_cast<uint8_t>(1u << e.op);
       if (validator_) [[unlikely]] {
-        validator_->on_commit_entry(e.array, e.index, e.op, e.vp_rank);
+        for (uint32_t j = 0; j < e.count; ++j) {
+          validator_->on_commit_entry(e.array, e.index + j, e.op, e.vp_rank);
+        }
       }
       entries.push_back(e);
     }
@@ -1466,26 +1878,63 @@ void NodeRuntime::apply_staged_entries(
       (op_mask & (op_mask - 1)) == 0 &&
       (op_mask & (1u << static_cast<uint8_t>(detail::WriteOp::kSet))) == 0;
   std::vector<uint32_t> order;
-  if (!single_commutative_op && !entries.empty()) {
-    std::unordered_map<uint64_t, std::vector<uint32_t>> by_rank;
-    std::vector<uint64_t> ranks;
-    for (uint32_t idx = 0; idx < entries.size(); ++idx) {
-      auto& bucket = by_rank[entries[idx].vp_rank];
-      if (bucket.empty()) ranks.push_back(entries[idx].vp_rank);
-      bucket.push_back(idx);
-    }
-    std::sort(ranks.begin(), ranks.end());
-    order.reserve(entries.size());
-    const auto seq_less = [&](uint32_t a, uint32_t b) {
-      return entries[a].seq < entries[b].seq;
-    };
-    for (const uint64_t rank : ranks) {
-      auto& bucket = by_rank[rank];
-      if (!std::is_sorted(bucket.begin(), bucket.end(), seq_less)) {
-        std::sort(bucket.begin(), bucket.end(), seq_less);
+  const auto seq_less = [&](uint32_t a, uint32_t b) {
+    return entries[a].seq < entries[b].seq;
+  };
+  // After placement by rank, verify each same-rank run is in seq order
+  // (program order per fragment plus in-order delivery make it so) and
+  // sort just the runs that are not.
+  const auto fix_seq_runs = [&] {
+    size_t lo = 0;
+    while (lo < order.size()) {
+      size_t hi = lo + 1;
+      const uint64_t rank = entries[order[lo]].vp_rank;
+      while (hi < order.size() && entries[order[hi]].vp_rank == rank) ++hi;
+      if (!std::is_sorted(order.begin() + lo, order.begin() + hi, seq_less)) {
+        std::sort(order.begin() + lo, order.begin() + hi, seq_less);
       }
-      order.insert(order.end(), bucket.begin(), bucket.end());
+      lo = hi;
     }
+  };
+  if (!single_commutative_op && !entries.empty()) {
+    uint64_t min_rank = entries[0].vp_rank, max_rank = entries[0].vp_rank;
+    for (const ParsedEntry& e : entries) {
+      min_rank = std::min(min_rank, e.vp_rank);
+      max_rank = std::max(max_rank, e.vp_rank);
+    }
+    const uint64_t span = max_rank - min_rank + 1;
+    if (span <= entries.size() * 8 + 1024) {
+      // Dense ranks (the overwhelmingly common shape: a phase's VPs are a
+      // contiguous rank range): a stable counting sort by rank replaces
+      // the hash-bucket pass — no hashing, no per-bucket allocations, one
+      // O(V) scratch vector. Stability preserves per-rank arrival order,
+      // which is seq order already.
+      std::vector<uint32_t> start(static_cast<size_t>(span) + 1, 0);
+      for (const ParsedEntry& e : entries) {
+        ++start[e.vp_rank - min_rank + 1];
+      }
+      for (size_t k = 1; k < start.size(); ++k) start[k] += start[k - 1];
+      order.resize(entries.size());
+      for (uint32_t idx = 0; idx < entries.size(); ++idx) {
+        order[start[entries[idx].vp_rank - min_rank]++] = idx;
+      }
+    } else {
+      // Sparse ranks (tiny batches from huge rank spaces): hash buckets.
+      std::unordered_map<uint64_t, std::vector<uint32_t>> by_rank;
+      std::vector<uint64_t> ranks;
+      for (uint32_t idx = 0; idx < entries.size(); ++idx) {
+        auto& bucket = by_rank[entries[idx].vp_rank];
+        if (bucket.empty()) ranks.push_back(entries[idx].vp_rank);
+        bucket.push_back(idx);
+      }
+      std::sort(ranks.begin(), ranks.end());
+      order.reserve(entries.size());
+      for (const uint64_t rank : ranks) {
+        const auto& bucket = by_rank[rank];
+        order.insert(order.end(), bucket.begin(), bucket.end());
+      }
+    }
+    fix_seq_runs();
   } else {
     order.resize(entries.size());
     for (uint32_t idx = 0; idx < entries.size(); ++idx) order[idx] = idx;
@@ -1503,11 +1952,33 @@ void NodeRuntime::apply_staged_entries(
               "write entry for element %llu not owned by node %d",
               static_cast<unsigned long long>(e.index), node_);
     const uint64_t local = rec.global ? rec.local_of(e.index) : e.index;
-    PPM_CHECK(local < rec.chunk_len,
-              "write entry for element %llu out of local range",
-              static_cast<unsigned long long>(e.index));
-    rec.ops.apply(rec.storage.data() + local * rec.ops.size, e.value,
-                  static_cast<detail::WriteOp>(e.op));
+    if (e.count == 1) {
+      PPM_CHECK(local < rec.chunk_len,
+                "write entry for element %llu out of local range",
+                static_cast<unsigned long long>(e.index));
+      rec.ops.apply(rec.storage.data() + local * rec.ops.size, e.value,
+                    static_cast<detail::WriteOp>(e.op));
+      continue;
+    }
+    // Range entry: the writer segmented the run so it stays inside one
+    // owner's contiguous local storage (kBlock chunk / kAdaptive
+    // migration block / node-shared array).
+    PPM_CHECK(!rec.global || rec.owner_of(e.index + e.count - 1) == node_,
+              "range entry [%llu, +%u) crosses an ownership boundary",
+              static_cast<unsigned long long>(e.index), e.count);
+    PPM_CHECK(local + e.count <= rec.chunk_len,
+              "range entry [%llu, +%u) out of local range",
+              static_cast<unsigned long long>(e.index), e.count);
+    std::byte* dst = rec.storage.data() + local * rec.ops.size;
+    if (static_cast<detail::WriteOp>(e.op) == detail::WriteOp::kSet) {
+      std::memcpy(dst, e.value, static_cast<size_t>(e.count) * rec.ops.size);
+    } else {
+      for (uint32_t j = 0; j < e.count; ++j) {
+        rec.ops.apply(dst + static_cast<size_t>(j) * rec.ops.size,
+                      e.value + static_cast<size_t>(j) * rec.ops.size,
+                      static_cast<detail::WriteOp>(e.op));
+      }
+    }
   }
 }
 
@@ -1597,6 +2068,7 @@ void NodeRuntime::service_loop() {
       case detail::RtMsg::kGetBlock:
       case detail::RtMsg::kPrefetchBlock:
       case detail::RtMsg::kGetIndexed:
+      case detail::RtMsg::kGetBlockList:
         handle_get(std::move(msg));
         break;
       case detail::RtMsg::kGetResp: {
@@ -1667,7 +2139,10 @@ void NodeRuntime::handle_get(net::Message msg) {
   // Peek the requester's epoch (layout differs between the kinds).
   ByteReader r(msg.payload);
   uint64_t req_epoch;
-  if (detail::rt_class(msg.kind) != detail::RtMsg::kGetIndexed) {
+  const detail::RtMsg cls = detail::rt_class(msg.kind);
+  if (cls == detail::RtMsg::kGetBlockList) {
+    req_epoch = r.get<uint64_t>();  // list messages lead with the epoch
+  } else if (cls != detail::RtMsg::kGetIndexed) {
     (void)r.get<uint32_t>();  // array
     (void)r.get<uint64_t>();  // first
     (void)r.get<uint64_t>();  // count
@@ -1690,8 +2165,22 @@ void NodeRuntime::handle_get(net::Message msg) {
     if (req_epoch < epoch_) {
       // A lookahead fetch can legitimately straggle past the requester's
       // commit (the requester abandoned its slot there): drop it. For
-      // demand reads a stale epoch is a protocol bug.
-      if (detail::rt_class(msg.kind) == detail::RtMsg::kPrefetchBlock) {
+      // demand reads a stale epoch is a protocol bug. A stale LIST is
+      // legal only when all its items are lookahead (demand requesters
+      // park until served, so their node cannot have committed past).
+      if (cls == detail::RtMsg::kPrefetchBlock) {
+        return;
+      }
+      if (cls == detail::RtMsg::kGetBlockList) {
+        const uint32_t n = r.get<uint32_t>();
+        for (uint32_t k = 0; k < n; ++k) {
+          (void)r.get<uint32_t>();  // array
+          (void)r.get<uint64_t>();  // first
+          (void)r.get<uint64_t>();  // count
+          (void)r.get<uint64_t>();  // req id
+          PPM_CHECK(r.get<uint8_t>() != 0,
+                    "stale fetch list contains a demand item");
+        }
         return;
       }
       PPM_CHECK(false,
@@ -1714,6 +2203,32 @@ void NodeRuntime::serve_get(const net::Message& msg) {
   ByteWriter reply;
   // All request coordinates are owner-local (i.e. indices into this
   // node's committed storage), for every distribution.
+  if (detail::rt_class(msg.kind) == detail::RtMsg::kGetBlockList) {
+    // Coalesced request, fanned back out as one kGetResp per item — the
+    // requester's response handling is identical to per-block fetches,
+    // and response bytes match the unbatched protocol exactly.
+    (void)r.get<uint64_t>();  // epoch (already checked)
+    const uint32_t n = r.get<uint32_t>();
+    for (uint32_t k = 0; k < n; ++k) {
+      const auto id = r.get<uint32_t>();
+      const auto first = r.get<uint64_t>();
+      const auto count = r.get<uint64_t>();
+      const auto req_id = r.get<uint64_t>();
+      (void)r.get<uint8_t>();  // prefetch flag (epoch check used it)
+      const auto& rec = array(id);
+      PPM_CHECK(first + count <= rec.chunk_len,
+                "get request [%llu, +%llu) outside node %d's storage",
+                static_cast<unsigned long long>(first),
+                static_cast<unsigned long long>(count), node_);
+      ByteWriter item;
+      item.put(req_id);
+      item.put_raw(rec.storage.data() + first * rec.ops.size,
+                   count * rec.ops.size);
+      rt_send(msg.src_node, detail::rt_kind(detail::RtMsg::kGetResp),
+              std::move(item).take());
+    }
+    return;
+  }
   if (detail::rt_class(msg.kind) != detail::RtMsg::kGetIndexed) {
     const auto id = r.get<uint32_t>();
     const auto first = r.get<uint64_t>();
@@ -1751,7 +2266,10 @@ void NodeRuntime::serve_deferred_gets() {
   for (auto& msg : deferred_gets_) {
     ByteReader r(msg.payload);
     uint64_t req_epoch;
-    if (detail::rt_class(msg.kind) != detail::RtMsg::kGetIndexed) {
+    const detail::RtMsg cls = detail::rt_class(msg.kind);
+    if (cls == detail::RtMsg::kGetBlockList) {
+      req_epoch = r.get<uint64_t>();
+    } else if (cls != detail::RtMsg::kGetIndexed) {
       (void)r.get<uint32_t>();
       (void)r.get<uint64_t>();
       (void)r.get<uint64_t>();

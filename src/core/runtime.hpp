@@ -360,6 +360,24 @@ class NodeRuntime {
   /// cached or in flight. Local and already-covered elements are skipped;
   /// no-op when read bundling is off.
   void prefetch_elems(uint32_t id, std::span<const uint64_t> indices);
+  /// Non-blocking lookahead over a contiguous index range [lo, hi): walks
+  /// cache blocks instead of elements, so an O(range) hint costs
+  /// O(range / block_elems). Same skip rules as prefetch_elems.
+  void prefetch_range(uint32_t id, uint64_t lo, uint64_t hi);
+
+  /// Bulk contiguous read: elements [first, first+count) of the array's
+  /// phase-start snapshot into `out`. Equivalent to count read_elem calls
+  /// but resolves ownership per contiguous segment (memcpy for local or
+  /// cached runs, batched fetches for missing blocks) and charges the
+  /// modeled per-access overhead at the gather rate (one per 8 elements).
+  void read_span(uint32_t id, uint64_t first, uint64_t count,
+                 std::byte* out);
+  /// Bulk contiguous deferred write: equivalent to count write_elem calls
+  /// at consecutive indices with consecutive seq numbers, but ships one
+  /// range entry per owner segment. Committed results are bit-identical
+  /// to the elementwise loop.
+  void write_span(uint32_t id, uint64_t first, uint64_t count,
+                  const std::byte* values, detail::WriteOp op);
 
   int owner_of(uint32_t id, uint64_t index) const;
 
@@ -398,6 +416,10 @@ class NodeRuntime {
     uint64_t migration_bytes = 0;   // element bytes those blocks carried
     uint64_t remote_to_local_conversions = 0;  // see RunResult
     uint64_t stale_msgs_dropped = 0;  // wrong-run-tag messages fenced off
+    // Reads that entered the runtime's cold remote path (remote_ref) —
+    // i.e. missed both the handle-inline local and cached-block fast
+    // paths. A fully cached phase keeps this at zero.
+    uint64_t slow_path_reads = 0;
   };
   const Counters& counters() const { return counters_; }
 
@@ -521,6 +543,11 @@ class NodeRuntime {
   std::shared_ptr<FetchSlot> issue_block_fetch(const detail::ArrayRecord& rec,
                                                int owner, uint64_t first,
                                                uint64_t count, bool prefetch);
+  /// Ship every queued per-owner fetch request (kGetBlockList when an
+  /// owner has >= 2, plain kGetBlock/kPrefetchBlock otherwise). Called
+  /// before any fiber parks on a fetch and at the end of prefetch sweeps;
+  /// no-op when the backlog is empty.
+  void flush_fetch_backlog();
   /// Block until `slot` completes; with overlap_reads the calling core
   /// first runs other ready VPs of the current phase (miss-switching) and
   /// only parks when none are left. Parked time is charged to
@@ -535,6 +562,13 @@ class NodeRuntime {
   /// block was already wanted (detected forward stream).
   void maybe_stream_prefetch(const detail::ArrayRecord& rec, int owner,
                              uint64_t first, uint64_t owner_len);
+  /// Stride detector: on a demand miss at global `index`, when the last
+  /// two misses on this array were the same non-unit element stride
+  /// apart, prefetch the blocks holding the next strided elements
+  /// (options().strided_prefetch; the adjacent-stream detector covers
+  /// stride 1).
+  void maybe_strided_prefetch(const detail::ArrayRecord& rec,
+                              uint64_t index);
   /// Publish a cached block in the array's direct-mapped table and count
   /// the first demand touch of a prefetched block.
   void publish_block(const detail::ArrayRecord& rec, const BlockKey& key,
@@ -697,6 +731,33 @@ class NodeRuntime {
   std::unordered_map<uint64_t, std::shared_ptr<FetchSlot>> outstanding_;
   std::unique_ptr<sim::ConditionVar> arrivals_cv_;
   uint64_t req_id_counter_ = 1;
+
+  // Fetch coalescing (options().batch_fetches): block requests queued per
+  // owner while cores miss-switch, shipped together by
+  // flush_fetch_backlog. The invariant is "never park with a non-empty
+  // backlog" — wait_fetch flushes right before parking, so a demand
+  // fetch's send is delayed at most until its requester runs out of ready
+  // VPs to switch to.
+  struct QueuedFetch {
+    uint32_t array = 0;
+    uint64_t first = 0;  // owner-local
+    uint64_t count = 0;
+    uint64_t req_id = 0;
+    uint64_t epoch = 0;
+    bool prefetch = false;
+  };
+  std::vector<std::vector<QueuedFetch>> fetch_backlog_;  // per owner node
+  std::vector<int> backlog_owners_;  // owners with a non-empty queue
+  bool backlog_nonempty_ = false;
+
+  // Stride detector state, per array id (grown lazily). Tracks the last
+  // demand-miss index and the last inter-miss delta; a repeated non-unit
+  // delta triggers strided lookahead.
+  struct StrideState {
+    uint64_t last_index = ~uint64_t{0};
+    int64_t delta = 0;
+  };
+  std::vector<StrideState> stride_state_;
 
   // Bundle staging (service side), keyed by epoch.
   std::map<uint64_t, std::vector<Bytes>> staged_bundles_;

@@ -104,6 +104,43 @@ class GlobalShared {
     return out;
   }
 
+  // -- Span-style bulk access (RuntimeOptions::bulk_access) --
+  //
+  // Equivalent to the per-element loops element for element — same
+  // committed results, same conflict resolution — but ownership/bounds
+  // resolve once per contiguous segment and remote write runs ship as
+  // single range entries. With bulk_access off they degrade to the
+  // per-element calls (the differential stress oracle runs both).
+
+  /// Phase-start values of elements [first, first+count) into out.
+  void read_n(uint64_t first, uint64_t count, T* out) const {
+    if (rt_->options().bulk_access) {
+      rt_->read_span(id_, first, count, reinterpret_cast<std::byte*>(out));
+      return;
+    }
+    for (uint64_t j = 0; j < count; ++j) out[j] = get(first + j);
+  }
+
+  /// Deferred bulk set of elements [first, first+count) — as if set() were
+  /// called at consecutive indices in order.
+  void set_n(uint64_t first, uint64_t count, const T* values) {
+    write_n(first, count, values, detail::WriteOp::kSet);
+  }
+  /// Deferred bulk accumulate, same shape as set_n.
+  void add_n(uint64_t first, uint64_t count, const T* values) {
+    write_n(first, count, values, detail::WriteOp::kAdd);
+  }
+
+  /// Lookahead hint over a contiguous index range [lo, hi): like
+  /// prefetch() but walks cache blocks, so hinting a whole row slice
+  /// costs O(blocks), not O(elements). No-op for ranges that resolve
+  /// entirely into this node's chunk.
+  void prefetch_range(uint64_t lo, uint64_t hi) const {
+    // Entirely-local fast path (block distribution): nothing to fetch.
+    if (lo >= chunk_base_ && hi <= chunk_base_ + chunk_len_) return;
+    rt_->prefetch_range(id_, lo, hi);
+  }
+
   /// Lookahead hint: start fetching the cache blocks holding these
   /// elements now, without blocking. Later get()/view() calls find them
   /// cached or in flight, so the round trips overlap the caller's compute.
@@ -158,6 +195,20 @@ class GlobalShared {
 
  private:
   friend class Env;
+
+  void write_n(uint64_t first, uint64_t count, const T* values,
+               detail::WriteOp op) {
+    if (rt_->options().bulk_access) {
+      rt_->write_span(id_, first, count,
+                      reinterpret_cast<const std::byte*>(values), op);
+      return;
+    }
+    for (uint64_t j = 0; j < count; ++j) {
+      rt_->write_elem(id_, first + j,
+                      reinterpret_cast<const std::byte*>(&values[j]), op);
+    }
+  }
+
   GlobalShared(NodeRuntime* rt, uint32_t id, uint64_t n)
       : rt_(rt), id_(id), n_(n) {
     const auto& rec = rt->array(id);
@@ -215,6 +266,24 @@ class NodeShared {
                     detail::WriteOp::kMax);
   }
 
+  // -- Span-style bulk access (RuntimeOptions::bulk_access); see
+  // GlobalShared for semantics. Node-shared storage is always local, so
+  // read_n is a plain memcpy either way.
+
+  void read_n(uint64_t first, uint64_t count, T* out) const {
+    if (rt_->options().bulk_access) {
+      rt_->read_span(id_, first, count, reinterpret_cast<std::byte*>(out));
+      return;
+    }
+    for (uint64_t j = 0; j < count; ++j) out[j] = get(first + j);
+  }
+  void set_n(uint64_t first, uint64_t count, const T* values) {
+    write_n(first, count, values, detail::WriteOp::kSet);
+  }
+  void add_n(uint64_t first, uint64_t count, const T* values) {
+    write_n(first, count, values, detail::WriteOp::kAdd);
+  }
+
   /// Read-only view of the committed array (phase-start values during a
   /// phase).
   std::span<const T> span() const {
@@ -227,6 +296,20 @@ class NodeShared {
 
  private:
   friend class Env;
+
+  void write_n(uint64_t first, uint64_t count, const T* values,
+               detail::WriteOp op) {
+    if (rt_->options().bulk_access) {
+      rt_->write_span(id_, first, count,
+                      reinterpret_cast<const std::byte*>(values), op);
+      return;
+    }
+    for (uint64_t j = 0; j < count; ++j) {
+      rt_->write_elem(id_, first + j,
+                      reinterpret_cast<const std::byte*>(&values[j]), op);
+    }
+  }
+
   NodeShared(NodeRuntime* rt, uint32_t id, uint64_t n)
       : rt_(rt), id_(id), n_(n),
         data_(reinterpret_cast<const T*>(rt->array(id).storage.data())) {}

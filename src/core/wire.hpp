@@ -30,6 +30,17 @@ enum class RtMsg : uint8_t {
   // it from its own commit path once its side of the (identical) plan is
   // reached; no reply.
   kMigrateBlock = 8,
+  // Coalesced block-fetch list: every block request a requester queued for
+  // the same owner while its cores were miss-switching, shipped as one
+  // message. Payload: u64 epoch, u32 item count, then per item u32 array,
+  // u64 first (owner-local), u64 count, u64 req_id, u8 prefetch-flag. The
+  // owner replies with one kGetResp per item (requester-side handling is
+  // identical to per-block fetches). Only sent with >= 2 items — a
+  // singleton stays a plain kGetBlock/kPrefetchBlock, so list requests are
+  // strictly smaller on the wire than the messages they replace. A stale
+  // epoch is legal only when every item is a prefetch (mirrors
+  // kPrefetchBlock's drop rule).
+  kGetBlockList = 9,
 };
 
 inline uint64_t rt_kind(RtMsg m) {
@@ -70,6 +81,20 @@ enum class WriteOp : uint8_t {
   kMax = 3,
 };
 
+/// Range-entry marker: a write entry whose op byte has this bit set covers
+/// a contiguous element run instead of a single element. The header's
+/// index names the first element; a u32 element count follows the header,
+/// then count * elem_size value bytes. The whole run carries ONE
+/// (vp_rank, seq) pair and commits as a unit at that position, so bulk
+/// writes (GlobalShared::set_n/add_n) cost one header per owner segment
+/// instead of one per element.
+inline constexpr uint8_t kOpRangeBit = 0x80;
+
+inline WriteOp entry_op(uint8_t op) {
+  return static_cast<WriteOp>(op & ~kOpRangeBit);
+}
+inline bool entry_is_range(uint8_t op) { return (op & kOpRangeBit) != 0; }
+
 /// Serialized write-entry header; followed by elem_size value bytes.
 struct WireEntryHeader {
   uint32_t array_id;
@@ -101,6 +126,28 @@ inline void put_entry(ByteWriter& w, const WireEntryHeader& h,
   std::memcpy(out, &h.seq, sizeof(h.seq));
   out += sizeof(h.seq);
   std::memcpy(out, value, elem_size);
+}
+
+/// Append a range entry (kOpRangeBit must be set in h.op): header, u32
+/// element count, then the packed element values.
+inline void put_range_entry(ByteWriter& w, const WireEntryHeader& h,
+                            const std::byte* values, uint32_t count,
+                            uint32_t elem_size) {
+  std::byte* out = w.extend(kEntryHeaderBytes + sizeof(uint32_t) +
+                            static_cast<size_t>(count) * elem_size);
+  std::memcpy(out, &h.array_id, sizeof(h.array_id));
+  out += sizeof(h.array_id);
+  std::memcpy(out, &h.op, sizeof(h.op));
+  out += sizeof(h.op);
+  std::memcpy(out, &h.index, sizeof(h.index));
+  out += sizeof(h.index);
+  std::memcpy(out, &h.vp_rank, sizeof(h.vp_rank));
+  out += sizeof(h.vp_rank);
+  std::memcpy(out, &h.seq, sizeof(h.seq));
+  out += sizeof(h.seq);
+  std::memcpy(out, &count, sizeof(count));
+  out += sizeof(count);
+  std::memcpy(out, values, static_cast<size_t>(count) * elem_size);
 }
 
 }  // namespace ppm::detail

@@ -40,6 +40,12 @@ struct GoldenCtx {
                     : live->node_arrays[a][static_cast<size_t>(node)];
     apply(arr[i], op, v);
   }
+  void write_run(uint32_t a, uint64_t first, detail::WriteOp op,
+                 const std::vector<uint64_t>& vals) const {
+    for (size_t j = 0; j < vals.size(); ++j) {
+      write(a, first + j, op, vals[j]);
+    }
+  }
   void prefetch(uint32_t, const std::vector<uint64_t>&) const {}
 };
 

@@ -50,8 +50,10 @@ const char* accum_name(uint8_t op) {
 // check-clean rules in program.hpp).
 struct Category {
   bool is_set = false;
+  bool is_bulk = false;
   uint8_t accum_op = 1;
-  uint64_t ia = 0;  // shared set-index offset
+  uint64_t ia = 0;       // shared set-index offset
+  uint32_t bulk_len = 1;  // shared run length for bulk targets
 };
 
 }  // namespace
@@ -101,6 +103,14 @@ std::string ProgramSpec::dump() const {
         case OpKind::kPrefetch:
           out += strfmt("    prefetch(a%u, %u idxs)", op.source,
                         op.gather_count);
+          break;
+        case OpKind::kBulk:
+          out += strfmt("    a%u[rank*%u+%llu ..+%u] %s= run(%llu*rank+%llu)",
+                        op.target, op.gather_count,
+                        static_cast<unsigned long long>(op.ia),
+                        op.gather_count, accum_name(op.accum_op),
+                        static_cast<unsigned long long>(op.va),
+                        static_cast<unsigned long long>(op.vb));
           break;
       }
       if (op.use_read && op.kind != OpKind::kPrefetch) {
@@ -184,12 +194,15 @@ ProgramSpec generate_program(uint64_t seed, const GenLimits& limits) {
       OpSpec op;
       const uint64_t kr = rng.next_below(100);
       if (ph.global) {
-        if (kr < 35) op.kind = OpKind::kSet;
-        else if (kr < 70) op.kind = OpKind::kAccum;
-        else if (kr < 85) op.kind = OpKind::kGather;
+        if (kr < 30) op.kind = OpKind::kSet;
+        else if (kr < 60) op.kind = OpKind::kAccum;
+        else if (kr < 75) op.kind = OpKind::kBulk;
+        else if (kr < 88) op.kind = OpKind::kGather;
         else op.kind = OpKind::kPrefetch;
       } else {
-        op.kind = kr < 50 ? OpKind::kSet : OpKind::kAccum;
+        if (kr < 40) op.kind = OpKind::kSet;
+        else if (kr < 75) op.kind = OpKind::kAccum;
+        else op.kind = OpKind::kBulk;
       }
       // Node phases write node arrays; global phases write any array, but
       // node arrays stay eligible (their writes commit with the global
@@ -229,20 +242,39 @@ ProgramSpec generate_program(uint64_t seed, const GenLimits& limits) {
       op.ia = 1 + rng.next_below(8);
       op.ib = rng.next_below(64);
       op.accum_op = static_cast<uint8_t>(1 + rng.next_below(3));
+      if (op.kind == OpKind::kBulk) {
+        // Run length, and a flavor the bulk path supports (set_n/add_n).
+        op.gather_count = 1 + static_cast<uint32_t>(rng.next_below(6));
+        op.accum_op = rng.next_below(2) == 0
+                          ? static_cast<uint8_t>(detail::WriteOp::kSet)
+                          : static_cast<uint8_t>(detail::WriteOp::kAdd);
+      }
       Category& c = cat[op.target];
       if (!cat_set[op.target]) {
         cat_set[op.target] = true;
         c.is_set = op.kind == OpKind::kSet;
+        c.is_bulk = op.kind == OpKind::kBulk;
         c.accum_op = op.kind == OpKind::kGather
                          ? static_cast<uint8_t>(detail::WriteOp::kAdd)
                          : op.accum_op;
         c.ia = want_ia_set;
+        c.bulk_len = op.gather_count == 0 ? 1 : op.gather_count;
       }
-      if (c.is_set) {
+      if (c.is_bulk) {
+        // Bulk targets are exclusive: every writer of the target uses the
+        // identical run shape, so distinct VPs stay on disjoint runs (set
+        // flavor) or commute (add flavor); same-VP repeats order by seq.
+        op.kind = OpKind::kBulk;
+        op.gather_count = c.bulk_len;
+        op.ia = c.ia;
+        op.accum_op = c.accum_op;
+      } else if (c.is_set) {
         op.kind = OpKind::kSet;
         op.ia = c.ia;
       } else {
-        if (op.kind == OpKind::kSet) op.kind = OpKind::kAccum;
+        if (op.kind == OpKind::kSet || op.kind == OpKind::kBulk) {
+          op.kind = OpKind::kAccum;
+        }
         if (op.kind == OpKind::kGather &&
             c.accum_op != static_cast<uint8_t>(detail::WriteOp::kAdd)) {
           op.kind = OpKind::kAccum;

@@ -26,6 +26,7 @@
 // implementation stops applying commits in (vp_rank, seq) order.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -39,6 +40,13 @@ enum class OpKind : uint8_t {
   kAccum,     // target[(ia*rank + ib) % n] op= value  (op = accum_op)
   kGather,    // value += sum(gather(source, idxs)); then like kAccum w/ kAdd
   kPrefetch,  // prefetch(source, idxs); no write
+  // Bulk run write through set_n/add_n: target[rank*len + ia + j] for
+  // j < len (len = gather_count; clamped at n, skipped when the start is
+  // past the end). accum_op 0 writes set-flavor, 1 add-flavor. Distinct
+  // ranks cover disjoint runs, so a bulk target stays check-clean; the
+  // generator makes bulk targets exclusive (every writer of that target
+  // in the phase uses the identical run shape).
+  kBulk,
 };
 
 struct OpSpec {
@@ -123,11 +131,16 @@ inline uint64_t op_gather_index(const OpSpec& op, uint64_t rank, uint64_t j,
                                 uint64_t n) {
   return (op.ra * rank + op.rb + j * 7919) % n;
 }
+inline uint64_t op_bulk_value(uint64_t base, uint64_t j) {
+  return base + j * 0x9e3779b97f4a7c15ULL;  // uint64 wraps; well-defined
+}
 
 /// Execute one op for one VP rank against a context providing
 ///   uint64_t read(uint32_t array, uint64_t index);
 ///   uint64_t gather_sum(uint32_t array, const std::vector<uint64_t>&);
 ///   void write(uint32_t array, uint64_t index, detail::WriteOp, uint64_t);
+///   void write_run(uint32_t array, uint64_t first, detail::WriteOp,
+///                  const std::vector<uint64_t>& values);
 ///   void prefetch(uint32_t array, const std::vector<uint64_t>&);
 template <typename Ctx>
 void exec_op(const ProgramSpec& spec, const OpSpec& op, uint64_t rank,
@@ -153,6 +166,18 @@ void exec_op(const ProgramSpec& spec, const OpSpec& op, uint64_t rank,
       idx[j] = op_gather_index(op, rank, j, n);
     }
     value += ctx.gather_sum(op.source, idx);
+  }
+  if (op.kind == OpKind::kBulk) {
+    const ArraySpec& bt = spec.arrays[op.target];
+    const uint64_t len = op.gather_count == 0 ? 1 : op.gather_count;
+    const uint64_t first = rank * len + op.ia;
+    if (first >= bt.n) return;
+    const uint64_t cnt = std::min<uint64_t>(len, bt.n - first);
+    std::vector<uint64_t> vals(cnt);
+    for (uint64_t j = 0; j < cnt; ++j) vals[j] = op_bulk_value(value, j);
+    ctx.write_run(op.target, first, static_cast<detail::WriteOp>(op.accum_op),
+                  vals);
+    return;
   }
   const ArraySpec& tgt = spec.arrays[op.target];
   if (op.kind == OpKind::kSet) {

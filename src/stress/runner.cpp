@@ -45,6 +45,24 @@ struct PpmCtx {
       }
     }
   }
+  void write_run(uint32_t a, uint64_t first, detail::WriteOp op,
+                 const std::vector<uint64_t>& vals) const {
+    if ((*spec).arrays[a].global) {
+      auto& arr = (*g)[a];
+      if (op == detail::WriteOp::kSet) {
+        arr.set_n(first, vals.size(), vals.data());
+      } else {
+        arr.add_n(first, vals.size(), vals.data());
+      }
+    } else {
+      auto& arr = (*nd)[a];
+      if (op == detail::WriteOp::kSet) {
+        arr.set_n(first, vals.size(), vals.data());
+      } else {
+        arr.add_n(first, vals.size(), vals.data());
+      }
+    }
+  }
   void prefetch(uint32_t a, const std::vector<uint64_t>& idx) const {
     (*g)[a].prefetch(idx);
   }
@@ -160,6 +178,9 @@ std::vector<StressConfig> sample_configs(uint64_t seed, int count) {
     c.runtime.overlap_max_depth = 1 + static_cast<uint32_t>(rng.next_below(4));
     c.runtime.prefetch_lookahead_blocks =
         static_cast<uint32_t>(rng.next_below(3));
+    c.runtime.batch_fetches = rng.next_below(2) == 0;
+    c.runtime.strided_prefetch = rng.next_below(2) == 0;
+    c.runtime.bulk_access = rng.next_below(2) == 0;
     c.runtime.combine_writes = rng.next_below(2) == 0;
     c.runtime.adaptive_distribution = rng.next_below(2) == 0;
     c.runtime.migrate_remote_ratio = 1.0 + rng.next_double();

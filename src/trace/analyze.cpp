@@ -42,6 +42,12 @@ double PhaseCritical::imbalance() const {
          static_cast<double>(compute_max_ns);
 }
 
+double LabelRollup::stall_share() const {
+  const double denom =
+      static_cast<double>(compute_ns) + static_cast<double>(stall_ns);
+  return denom <= 0.0 ? 0.0 : static_cast<double>(stall_ns) / denom;
+}
+
 double Summary::bundling_efficiency() const {
   const uint64_t total = cache_hits + cache_misses;
   return total == 0 ? 0.0
@@ -183,6 +189,22 @@ Summary analyze(const Trace& trace) {
     s.phases.push_back(std::move(pc));
   }
 
+  // Per-label rollup over the finished phase list, first-appearance order
+  // (phases are already sorted by index, so this is run order).
+  std::unordered_map<std::string, size_t> label_slot;
+  for (const PhaseCritical& pc : s.phases) {
+    const std::string& name = pc.label.empty() ? std::string("-") : pc.label;
+    auto [it, inserted] = label_slot.try_emplace(name, s.labels.size());
+    if (inserted) {
+      s.labels.push_back(LabelRollup{.label = name});
+    }
+    LabelRollup& lr = s.labels[it->second];
+    ++lr.phases;
+    lr.compute_ns += pc.compute_max_ns;
+    lr.commit_ns += pc.commit_max_ns;
+    lr.stall_ns += pc.stall_ns;
+  }
+
   // Top-k hot blocks: count desc, then (array, owner, element) asc — the
   // map iteration order supplies the ascending tie-break for stable_sort.
   std::vector<HotBlock> hot;
@@ -231,6 +253,18 @@ std::string Summary::to_string() const {
   if (phases.size() > kMaxRows) {
     out += fmt(buf, sizeof(buf), "  ... %zu more phases\n",
                phases.size() - kMaxRows);
+  }
+  if (!labels.empty()) {
+    out += "  per-label rollup      phases  compute us  commit us  stall us"
+           "  stall-share\n";
+    for (const LabelRollup& lr : labels) {
+      out += fmt(buf, sizeof(buf),
+                 "    %-18s %7llu %11.1f %10.1f %9.1f %12.3f\n",
+                 lr.label.c_str(), static_cast<unsigned long long>(lr.phases),
+                 static_cast<double>(lr.compute_ns) * 1e-3,
+                 static_cast<double>(lr.commit_ns) * 1e-3,
+                 static_cast<double>(lr.stall_ns) * 1e-3, lr.stall_share());
+    }
   }
   out += "  compute-imbalance histogram [0,1) in 1/8 buckets:";
   for (const uint64_t count : imbalance_hist) {

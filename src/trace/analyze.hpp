@@ -40,11 +40,29 @@ struct HotBlock {
   uint64_t fetches = 0;
 };
 
+/// All phases sharing one app label, rolled up — the unit at which a
+/// hot-path optimization is judged: "where does spmv spend its critical
+/// path, compute or fetch stall?" is a per-label question, not a
+/// per-phase-instance one.
+struct LabelRollup {
+  std::string label;        // empty label rolls up as "-"
+  uint64_t phases = 0;      // phase instances carrying this label
+  int64_t compute_ns = 0;   // sum of critical-node compute time
+  int64_t commit_ns = 0;    // sum of slowest-node commit time
+  uint64_t stall_ns = 0;    // sum of fetch-stall time, all nodes
+
+  /// Fraction of this label's critical compute spent parked on fetches.
+  double stall_share() const;
+};
+
 struct Summary {
   uint64_t events = 0;   // events recorded across all tracks
   uint64_t dropped = 0;  // events lost to ring wrap across all tracks
 
   std::vector<PhaseCritical> phases;
+
+  /// Per-label attribution, ordered by first appearance in the run.
+  std::vector<LabelRollup> labels;
 
   /// Histogram of per-phase compute imbalance: bucket i counts phases with
   /// imbalance in [i/8, (i+1)/8) (last bucket closed at 1).

@@ -1,0 +1,207 @@
+// The read-engine fast path: a phase whose working set is cached must
+// never re-enter the runtime's slow remote path, the bulk read_n/set_n/
+// add_n spans and batched fetch lists are pure performance knobs
+// (bit-identical committed state), and the strided detector extends
+// lookahead beyond adjacent-block streams.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "core/ppm.hpp"
+
+namespace ppm {
+namespace {
+
+PpmConfig cfg(int nodes, int cores) {
+  PpmConfig c;
+  c.machine.nodes = nodes;
+  c.machine.cores_per_node = cores;
+  return c;
+}
+
+uint64_t mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// One VP on node 0 sweeps the whole array `sweeps` times in one phase.
+// Returns the run counters plus the number of reads that were remote for
+// node 0 (counted in-program via owner()).
+struct SweepStats {
+  RunResult r;
+  uint64_t remote_per_sweep = 0;
+};
+
+SweepStats run_sweeps(Distribution dist, int sweeps) {
+  constexpr uint64_t kN = 4096;
+  PpmConfig c = cfg(2, 1);
+  SweepStats out;
+  out.r = run(c, [&](Env& env) {
+    auto a = env.global_array<double>(kN, dist);
+    auto vps = env.ppm_do(env.node_id() == 0 ? 1 : 0);
+    vps.global_phase([&](Vp&) {
+      double acc = 0;
+      for (int s = 0; s < sweeps; ++s) {
+        for (uint64_t i = 0; i < kN; ++i) acc += a.get(i);
+      }
+      for (uint64_t i = 0; i < kN; ++i) {
+        if (a.owner(i) != 0) ++out.remote_per_sweep;
+      }
+      EXPECT_EQ(acc, 0.0);  // zero-initialized
+    });
+  });
+  return out;
+}
+
+// A phase re-reading an already-fetched working set performs zero
+// additional slow-path reads: every extra sweep is served entirely by
+// the handle-inline cache probe, across all three distributions.
+TEST(ReadPath, FullyCachedSweepAddsZeroSlowPathReads) {
+  for (const auto dist :
+       {Distribution::kBlock, Distribution::kCyclic, Distribution::kAdaptive}) {
+    const SweepStats one = run_sweeps(dist, 1);
+    const SweepStats three = run_sweeps(dist, 3);
+    ASSERT_GT(one.remote_per_sweep, 0u);
+    // The warm sweep's misses are the only slow-path entries there are.
+    EXPECT_GT(one.r.slow_path_reads, 0u);
+    EXPECT_EQ(three.r.slow_path_reads, one.r.slow_path_reads)
+        << "dist=" << static_cast<int>(dist);
+    // Every read of the two extra sweeps was served from the cache.
+    EXPECT_EQ(three.r.remote_reads_served_from_cache -
+                  one.r.remote_reads_served_from_cache,
+              2 * one.remote_per_sweep)
+        << "dist=" << static_cast<int>(dist);
+  }
+}
+
+// Mixed bulk workload: set_n/add_n/read_n spans crossing chunk
+// boundaries plus scattered per-element writes. Returns the committed
+// contents; must be bit-identical with the bulk path on or off.
+struct Committed {
+  std::vector<double> vals;
+  RunResult r;
+};
+
+Committed run_bulk_workload(bool bulk, bool batch) {
+  constexpr uint64_t kN = 1024;
+  constexpr uint64_t kK = 8;  // VPs per node
+  PpmConfig c = cfg(4, 2);
+  c.runtime.bulk_access = bulk;
+  c.runtime.batch_fetches = batch;
+  c.runtime.read_block_bytes = 256;  // 32 doubles per block
+  Committed out;
+  out.r = run(c, [&](Env& env) {
+    auto vals = env.global_array<double>(kN);
+    const auto n = static_cast<uint64_t>(env.node_id());
+    auto vps = env.ppm_do(kK);
+    // Each VP owns a disjoint 16-element run somewhere in the array
+    // (possibly remote, possibly straddling a chunk boundary).
+    vps.global_phase([&](Vp& vp) {
+      const uint64_t first = (vp.global_rank() * 16) % (kN - 16);
+      std::vector<double> v(16);
+      for (uint64_t j = 0; j < 16; ++j) {
+        v[j] = static_cast<double>(first + j) * 0.5;
+      }
+      vals.set_n(first, 16, v.data());
+    });
+    // Scattered bulk accumulates on top, plus read_n round trips.
+    vps.global_phase([&](Vp& vp) {
+      const uint64_t first = mix(n * kK + vp.node_rank()) % (kN - 32);
+      std::vector<double> got(32);
+      vals.read_n(first, 32, got.data());
+      for (auto& g : got) g = g * 0.25 + 1.0;
+      vals.add_n(first, 32, got.data());
+    });
+    auto one = env.ppm_do(env.node_id() == 0 ? 1 : 0);
+    one.global_phase([&](Vp&) {
+      std::vector<uint64_t> idx(kN);
+      for (uint64_t i = 0; i < kN; ++i) idx[i] = i;
+      out.vals = vals.gather(idx);
+    });
+  });
+  return out;
+}
+
+TEST(ReadPath, BulkSpansBitIdenticalToElementwise) {
+  const Committed on = run_bulk_workload(/*bulk=*/true, /*batch=*/true);
+  const Committed off = run_bulk_workload(/*bulk=*/false, /*batch=*/true);
+  ASSERT_EQ(on.vals.size(), off.vals.size());
+  EXPECT_EQ(std::memcmp(on.vals.data(), off.vals.data(),
+                        on.vals.size() * sizeof(double)),
+            0);
+  // The span path ships contiguous runs as single range entries, so wire
+  // bytes may only shrink.
+  EXPECT_LE(on.r.network_bytes, off.r.network_bytes);
+}
+
+TEST(ReadPath, BatchedFetchListsPreserveResults) {
+  const Committed on = run_bulk_workload(/*bulk=*/true, /*batch=*/true);
+  const Committed off = run_bulk_workload(/*bulk=*/true, /*batch=*/false);
+  ASSERT_EQ(on.vals.size(), off.vals.size());
+  EXPECT_EQ(std::memcmp(on.vals.data(), off.vals.data(),
+                        on.vals.size() * sizeof(double)),
+            0);
+  // Coalesced lists replace per-block requests: never more messages or
+  // bytes than the unbatched wire.
+  EXPECT_LE(on.r.network_messages, off.r.network_messages);
+  EXPECT_LE(on.r.network_bytes, off.r.network_bytes);
+}
+
+// prefetch_range announces a remote band; the demanded blocks must be
+// counted as prefetch hits (the hint was not wasted) and values must be
+// the committed ones.
+TEST(ReadPath, PrefetchRangeCoversDemandedBand) {
+  constexpr uint64_t kN = 4096;
+  PpmConfig c = cfg(2, 1);
+  c.runtime.prefetch_lookahead_blocks = 0;  // isolate the explicit hint
+  c.runtime.strided_prefetch = false;
+  const RunResult r = run(c, [&](Env& env) {
+    auto a = env.global_array<double>(kN);
+    auto vps = env.ppm_do(env.node_id() == 0 ? 1 : 0);
+    vps.global_phase([&](Vp&) {
+      // Remote band of 512 doubles = 2 cache blocks (2048 B default).
+      a.prefetch_range(kN / 2, kN / 2 + 512);
+      double acc = 0;
+      for (uint64_t i = kN / 2; i < kN / 2 + 512; ++i) acc += a.get(i);
+      EXPECT_EQ(acc, 0.0);
+    });
+  });
+  EXPECT_EQ(r.prefetch_issued, 2u);
+  EXPECT_EQ(r.prefetch_hits, 2u);
+  EXPECT_EQ(r.remote_blocks_fetched, 2u);
+}
+
+// A constant-stride walk two blocks apart: the adjacent-stream detector
+// cannot see it, the strided detector must.
+TEST(ReadPath, StridedDetectorExtendsLookahead) {
+  constexpr uint64_t kN = 1 << 15;
+  auto walk = [&](bool strided) {
+    PpmConfig c = cfg(2, 1);
+    c.runtime.strided_prefetch = strided;
+    const RunResult r = run(c, [&](Env& env) {
+      auto a = env.global_array<double>(kN);
+      auto vps = env.ppm_do(env.node_id() == 0 ? 1 : 0);
+      vps.global_phase([&](Vp&) {
+        double acc = 0;
+        // Stride of 512 doubles = 2 blocks: every read is a fresh block,
+        // never the forward-adjacent one.
+        for (uint64_t i = kN / 2; i < kN; i += 512) acc += a.get(i);
+        EXPECT_EQ(acc, 0.0);
+      });
+    });
+    return r;
+  };
+  const RunResult on = walk(true);
+  const RunResult off = walk(false);
+  EXPECT_GT(on.prefetch_issued, 0u);
+  EXPECT_GT(on.prefetch_hits, 0u);
+  EXPECT_EQ(off.prefetch_issued, 0u);
+  // The walk itself reads the same blocks either way.
+  EXPECT_EQ(on.remote_blocks_fetched, off.remote_blocks_fetched);
+}
+
+}  // namespace
+}  // namespace ppm

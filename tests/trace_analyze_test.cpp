@@ -126,6 +126,40 @@ TEST(TraceAnalyzeTest, HotBlocksDecodeOwnerAndElement) {
   EXPECT_EQ(s.hot_blocks[1].first_elem, 8u);
 }
 
+TEST(TraceAnalyzeTest, LabelRollupAggregatesPhasesByLabel) {
+  // Two phases labeled "foo" plus one unlabeled phase: the rollup must
+  // fold the foo instances together and bucket the unlabeled one as "-".
+  Trace t(/*nodes=*/1, /*capacity_per_track=*/64);
+  Recorder& n0 = t.node(0);
+  const uint32_t foo = n0.intern("foo");
+  n0.record(make(EventKind::kPhaseBegin, 0, 0, 4, foo, kFlagBit0));
+  n0.record(make(EventKind::kFetchStall, 80, 7, 0, /*start=*/30));
+  n0.record(make(EventKind::kPhaseComputeDone, 100, 0));
+  n0.record(make(EventKind::kPhaseCommitted, 120, 0));
+  n0.record(make(EventKind::kPhaseBegin, 200, 1, 4, foo, kFlagBit0));
+  n0.record(make(EventKind::kPhaseComputeDone, 230, 1));
+  n0.record(make(EventKind::kPhaseCommitted, 240, 1));
+  n0.record(make(EventKind::kPhaseBegin, 300, 2, 4, 0, kFlagBit0));
+  n0.record(make(EventKind::kPhaseComputeDone, 310, 2));
+  n0.record(make(EventKind::kPhaseCommitted, 315, 2));
+
+  const Summary s = analyze(t);
+  ASSERT_EQ(s.labels.size(), 2u) << "foo and the unlabeled bucket";
+  const LabelRollup& lf = s.labels[0];
+  EXPECT_EQ(lf.label, "foo") << "first-appearance order";
+  EXPECT_EQ(lf.phases, 2u);
+  EXPECT_EQ(lf.compute_ns, 100 + 30);
+  EXPECT_EQ(lf.commit_ns, 20 + 10);
+  EXPECT_EQ(lf.stall_ns, 50u);
+  EXPECT_NEAR(lf.stall_share(), 50.0 / 180.0, 1e-9);
+  const LabelRollup& lu = s.labels[1];
+  EXPECT_EQ(lu.label, "-");
+  EXPECT_EQ(lu.phases, 1u);
+  EXPECT_EQ(lu.compute_ns, 10);
+  EXPECT_EQ(lu.stall_ns, 0u);
+  EXPECT_NE(s.to_string().find("per-label rollup"), std::string::npos);
+}
+
 TEST(TraceAnalyzeTest, FabricTotalsAndEventCounts) {
   const Trace t = build_known_trace();
   const Summary s = analyze(t);

@@ -28,7 +28,7 @@ while [ $# -gt 0 ]; do
 done
 
 benches=(fig1_cg fig2_matgen fig3_barneshut ablation_overlap
-         ablation_distribution ablation_trace)
+         ablation_distribution ablation_trace micro_readpath)
 
 filter="."
 if [ "${smoke}" = 1 ]; then
@@ -71,6 +71,16 @@ for b in benches:
                     "repetitions", "iterations", "threads"):
                 row[key] = val
         rows.append(row)
+# PPM-vs-reference gap column: for every PPM row whose benchmark has an
+# MPI twin at the same arguments (BM_..Ppm/N vs BM_..Mpi/N), report
+# vtime_ppm / vtime_mpi so the figure's headline ratio is a first-class
+# column instead of a by-hand division across rows.
+by_name = {(r["bench"], r["name"]): r for r in rows}
+for r in rows:
+    if "Ppm" in r["name"] and "vtime_ms" in r:
+        twin = by_name.get((r["bench"], r["name"].replace("Ppm", "Mpi")))
+        if twin and twin.get("vtime_ms"):
+            r["gap_vs_mpi"] = r["vtime_ms"] / twin["vtime_ms"]
 with open(out, "w") as f:
     json.dump({"rows": rows}, f, indent=1, sort_keys=True)
     f.write("\n")

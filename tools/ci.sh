@@ -110,6 +110,40 @@ print(f"jobs schema OK: {doc['jobs']} jobs, policy {doc['policy']}")
 PY
 echo "jobs report schema OK (artifact kept at ${jobs_json})"
 
+echo "=== perf smoke (modeled CG vtime gate) ==="
+# Modeled-only calibration makes the virtual clock a pure function of the
+# cost model and the read/write stream, so this run is bit-deterministic
+# and cheap (<1s). Gate: CG vtime at 8 nodes must stay within
+# max_regression_ratio of the checked-in baseline (bench/perf_baseline.json)
+# so hot-path regressions fail CI instead of silently eroding the Fig.1
+# numbers. Network bytes must not grow at all — the optimization campaign's
+# wire-neutrality invariant. Regenerate the baseline (command is recorded
+# in the JSON) only for intentional model changes.
+perf_json="build/perf_smoke.json"
+ASAN_OPTIONS=detect_leaks=0 \
+  build/tools/ppm_cli --app=cg --nodes=8 --cores=4 --size=27648 --iters=8 \
+    --calibration=0 --json="${perf_json}" >/dev/null
+python3 - "${perf_json}" bench/perf_baseline.json <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    run = json.load(f)
+with open(sys.argv[2]) as f:
+    base = json.load(f)
+assert base["schema"] == "ppm_perf_baseline/v1", base.get("schema")
+ratio = run["duration_ns"] / base["duration_ns"]
+print(f"perf smoke: duration {run['duration_ns']} ns vs baseline "
+      f"{base['duration_ns']} ns (ratio {ratio:.3f}, "
+      f"limit {base['max_regression_ratio']:.2f}); "
+      f"net {run['network_bytes']} B vs baseline {base['network_bytes']} B")
+if ratio > base["max_regression_ratio"]:
+    sys.exit(f"FAIL: modeled CG vtime regressed {ratio:.3f}x "
+             f"(> {base['max_regression_ratio']:.2f}x baseline)")
+if run["network_bytes"] > base["network_bytes"]:
+    sys.exit(f"FAIL: modeled CG network bytes grew "
+             f"{run['network_bytes']} > {base['network_bytes']}")
+PY
+echo "perf smoke OK (artifact kept at ${perf_json})"
+
 echo "=== bench smoke (run, not gated) ==="
 # Exercise the figure/ablation harness end-to-end at toy scale. Failures
 # here are reported but do not fail CI: the benches measure, they are not
