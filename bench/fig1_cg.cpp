@@ -74,11 +74,43 @@ void BM_Fig1_CgMpi(benchmark::State& state) {
   state.counters["problem_unknowns"] = static_cast<double>(problem.unknowns());
 }
 
+// Figure 1 extended past the paper's axis: the same strong-scaling solve
+// on 64-1024 simulated nodes. Modeled-only calibration (the virtual
+// clock is a pure function of the cost model, so rows are reproducible
+// bit-for-bit) and the conservative-window parallel engine + lazy block
+// store (docs/SIM.md) make thousand-node machines tractable in one
+// host process. Args are {nodes, sim_threads}; the 256-node row runs at
+// both thread counts so BENCH_fig.json carries a wall_speedup column.
+void BM_Fig1_CgPpmModeled(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  const int sim_threads = static_cast<int>(state.range(1));
+  const ChimneyProblem problem = bench_problem();
+  for (auto _ : state) {
+    cluster::MachineConfig mc = bench::bench_machine(nodes);
+    mc.engine.calibration = sim::CalibrationMode::kModeledOnly;
+    mc.sim_threads = sim_threads;
+    cluster::Machine machine(mc);
+    const RunResult r =
+        run_on(machine, bench::bench_runtime_options(), [&](Env& env) {
+          (void)cg_solve_ppm(env, problem, kIters);
+        });
+    bench::report_run_counters(state, r);
+    state.counters["windows"] =
+        static_cast<double>(machine.window_stats().windows);
+  }
+  state.counters["nodes"] = nodes;
+  state.counters["sim_threads"] = sim_threads;
+  state.counters["problem_unknowns"] = static_cast<double>(problem.unknowns());
+}
+
 }  // namespace
 
 BENCHMARK(BM_Fig1_CgPpm)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)
     ->Iterations(1)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Fig1_CgMpi)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Fig1_CgPpmModeled)
+    ->Args({64, 1})->Args({256, 1})->Args({256, 4})->Args({1024, 4})
     ->Iterations(1)->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

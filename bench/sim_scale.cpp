@@ -1,0 +1,66 @@
+// Simulator scaling — wall-clock throughput of the conservative-window
+// parallel engine (docs/SIM.md).
+//
+// The same modeled CG solve on a fixed 16-node machine, swept over the
+// host-thread count driving the simulation. Virtual time and every
+// traffic counter are bit-identical across the sweep (that is the
+// engine's determinism contract, gated in tools/ci.sh); the only thing
+// that may change is `real_time` — how long the host takes to replay the
+// run. BENCH_fig.json derives `wall_speedup` for each row from its
+// sim_threads=1 twin.
+//
+// Caveat for readers of the numbers: speedup requires host cores. On a
+// single-core host the sweep measures pure windowing overhead (barrier
+// wakeups + cross-window merge), which is the honest baseline cost of
+// the machinery.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "apps/cg/cg_ppm.hpp"
+#include "bench_common.hpp"
+#include "core/ppm.hpp"
+
+namespace {
+
+using namespace ppm;
+using namespace ppm::apps::cg;
+
+void BM_SimScale_Cg(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  const int sim_threads = static_cast<int>(state.range(1));
+  const double s = std::cbrt(bench::bench_scale());
+  const ChimneyProblem problem{
+      .nx = static_cast<uint64_t>(24 * s),
+      .ny = static_cast<uint64_t>(24 * s),
+      .nz = static_cast<uint64_t>(48 * s),
+  };
+  const CgOptions iters{.max_iterations = 8, .tolerance = 0.0};
+  for (auto _ : state) {
+    cluster::MachineConfig mc = bench::bench_machine(nodes);
+    // Modeled-only virtual clock: identical events regardless of host
+    // speed or thread count, so the sweep isolates host-side cost.
+    mc.engine.calibration = sim::CalibrationMode::kModeledOnly;
+    mc.sim_threads = sim_threads;
+    cluster::Machine machine(mc);
+    const RunResult r =
+        run_on(machine, bench::bench_runtime_options(), [&](Env& env) {
+          (void)cg_solve_ppm(env, problem, iters);
+        });
+    bench::report_run_counters(state, r);
+    state.counters["windows"] =
+        static_cast<double>(machine.window_stats().windows);
+    state.counters["engine_activations"] =
+        static_cast<double>(machine.window_stats().engine_activations);
+  }
+  state.counters["nodes"] = nodes;
+  state.counters["sim_threads"] = sim_threads;
+}
+
+}  // namespace
+
+BENCHMARK(BM_SimScale_Cg)
+    ->Args({16, 1})->Args({16, 2})->Args({16, 4})->Args({16, 8})
+    ->Iterations(1)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+BENCHMARK_MAIN();

@@ -79,6 +79,19 @@ PpmCgOutput cg_solve_ppm(Env& env, const ChimneyProblem& problem,
     s3[l].resize(lane_count[l]);
   }
 
+  // SpMV band scratch: the accumulation indexes p through one read_n of
+  // the lane's whole column band instead of a runtime get() per nonzero.
+  // Same committed values (read_n returns the same phase-start elements),
+  // same wire traffic (prefetch_range already pulled every cache block in
+  // the band), but ownership/bounds resolve once per band rather than 27
+  // times per row — the per-element overhead behind the 1-node
+  // gap_vs_mpi in BENCH_fig.json, where every access is local and the
+  // runtime call is pure overhead.
+  std::vector<std::vector<double>> band(lanes);
+  for (uint64_t l = 0; l < lanes; ++l) {
+    band[l].resize(col_hi[l] - col_lo[l]);
+  }
+
   // r = p = b, x = 0.
   env.phase_label("init");
   vps.global_phase([&](Vp& vp) {
@@ -105,13 +118,18 @@ PpmCgOutput cg_solve_ppm(Env& env, const ChimneyProblem& problem,
     env.phase_label("spmv");
     vps.global_phase([&](Vp& vp) {
       const uint64_t l = vp.node_rank();
-      if (col_hi[l] > col_lo[l]) p.prefetch_range(col_lo[l], col_hi[l]);
+      const uint64_t lo = col_lo[l];
+      const double* pv = band[l].data();
+      if (col_hi[l] > lo) {
+        p.prefetch_range(lo, col_hi[l]);
+        p.read_n(lo, col_hi[l] - lo, band[l].data());
+      }
       double* qv = s1[l].data();
       for (uint64_t j = 0; j < lane_count[l]; ++j) {
         const uint64_t i = lane_first[l] + j;
         double acc = 0.0;
         for (uint64_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
-          acc += a.values[k] * p.get(a.col_idx[k]);
+          acc += a.values[k] * pv[a.col_idx[k] - lo];
         }
         qv[j] = acc;
       }

@@ -15,9 +15,11 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "net/fabric.hpp"
 #include "sim/engine.hpp"
+#include "sim/parallel.hpp"
 
 namespace ppm::cluster {
 
@@ -35,6 +37,19 @@ struct MachineConfig {
   /// so co-scheduled jobs on disjoint node sets contend for the fabric.
   double backbone_bytes_per_ns = 0.0;
   sim::EngineConfig engine{};
+  /// Host threads for the parallel windowed simulator (docs/SIM.md).
+  /// 0 (the default) keeps the classic single shared engine — exactly the
+  /// historical sequential behavior. >= 1 switches to windowed mode: one
+  /// Engine per simulated node, driven in conservative time windows on
+  /// min(sim_threads, nodes) host threads. Every windowed thread count
+  /// replays the same simulation bit-for-bit (sim_threads=1 is the
+  /// reference); classic and windowed may order same-time events
+  /// differently, so virtual times can differ between 0 and >= 1.
+  /// Silently forced back to 0 when the config cannot be source-
+  /// partitioned: backbone_bytes_per_ns > 0 (a machine-global
+  /// serialization point) or network.latency_ns <= 0 (the lookahead must
+  /// be positive).
+  int sim_threads = 0;
 
   int total_cores() const { return nodes * cores_per_node; }
 };
@@ -53,8 +68,22 @@ class Machine {
   int cores_per_node() const { return config_.cores_per_node; }
   const MachineConfig& config() const { return config_; }
 
-  sim::Engine& engine() { return *engine_; }
+  /// The shared engine of the classic (sim_threads == 0) mode. Errors in
+  /// windowed mode, where no single engine exists — per-node callers use
+  /// engine_for_node() (valid in both modes).
+  sim::Engine& engine();
+  sim::Engine& engine_for_node(int node);
   net::Fabric& fabric() { return *fabric_; }
+
+  /// True when this machine runs the windowed parallel simulator (the
+  /// effective mode, after the config clamps described on
+  /// MachineConfig::sim_threads).
+  bool windowed() const { return !engines_.empty(); }
+  /// Effective host-thread count: 0 in classic mode.
+  int sim_threads() const { return sim_threads_; }
+  /// Cumulative windowed-driver stats across runs (all zero in classic
+  /// mode).
+  const sim::WindowStats& window_stats() const { return window_stats_; }
 
   /// Port on which a node's runtime service listens.
   int service_port() const { return config_.cores_per_node; }
@@ -77,12 +106,19 @@ class Machine {
   int64_t last_run_duration_ns() const { return last_run_duration_ns_; }
 
  private:
-  void run_fibers(
-      const std::function<void(const Place&, std::function<void()>&)>&);
+  /// Drive the windowed engines to completion (WindowScheduler + fabric
+  /// exchange), then perform the cross-engine deadlock check that
+  /// Engine::run() does for the classic mode.
+  void run_windowed();
 
   MachineConfig config_;
-  std::unique_ptr<sim::Engine> engine_;
+  std::unique_ptr<sim::Engine> engine_;                // classic mode only
+  std::vector<std::unique_ptr<sim::Engine>> engines_;  // windowed: per node
+  std::vector<sim::Engine*> engine_ptrs_;
+  std::unique_ptr<sim::HostPool> pool_;
   std::unique_ptr<net::Fabric> fabric_;
+  sim::WindowStats window_stats_;
+  int sim_threads_ = 0;
   int64_t last_run_duration_ns_ = 0;
 };
 

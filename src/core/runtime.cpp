@@ -68,15 +68,34 @@ Runtime::Runtime(cluster::Machine& machine, RuntimeOptions options,
               "machine node %d appears twice in partition", phys);
     logical_of_[static_cast<size_t>(phys)] = static_cast<int>(k);
   }
-  quiesce_cv_ = std::make_unique<sim::ConditionVar>(machine.engine());
+  if (!machine.windowed()) {
+    // The quiesce latch is a classic-mode facility: only ppm::jobs waits on
+    // it, and the jobs scheduler always configures a shared backbone, which
+    // forces classic mode.
+    quiesce_cv_ = std::make_unique<sim::ConditionVar>(machine.engine());
+  }
   if (options_.trace) {
     // The trace is keyed by physical node id, and the fabric/engine
     // recorders are process-wide: with several traced tenants the last
     // attached Runtime wins them. ppm::jobs runs tenants untraced.
     trace_ = std::make_unique<trace::Trace>(machine.nodes(),
                                             options_.trace_buffer_events);
-    machine.fabric().set_trace_recorder(&trace_->fabric());
-    machine.engine().set_trace_recorder(&trace_->engine());
+    if (machine.windowed()) {
+      // Windowed mode: message spans are recorded on the track of the node
+      // whose engine resolves the delivery time (see Fabric::
+      // set_node_trace_recorders); the engine-step track stays empty (there
+      // is no single engine to pace it, and a per-node stride would differ
+      // from the classic track anyway).
+      std::vector<trace::Recorder*> recs;
+      recs.reserve(static_cast<size_t>(machine.nodes()));
+      for (int n = 0; n < machine.nodes(); ++n) {
+        recs.push_back(&trace_->node(n));
+      }
+      machine.fabric().set_node_trace_recorders(std::move(recs));
+    } else {
+      machine.fabric().set_trace_recorder(&trace_->fabric());
+      machine.engine().set_trace_recorder(&trace_->engine());
+    }
   }
   nodes_.reserve(partition_.size());
   for (size_t k = 0; k < partition_.size(); ++k) {
@@ -86,10 +105,13 @@ Runtime::Runtime(cluster::Machine& machine, RuntimeOptions options,
 }
 
 void Runtime::note_runtime_fiber_exited() {
-  if (--live_runtime_fibers_ == 0) quiesce_cv_->notify_all();
+  if (--live_runtime_fibers_ == 0 && quiesce_cv_) quiesce_cv_->notify_all();
 }
 
 void Runtime::wait_runtime_fibers_exited() {
+  PPM_CHECK(quiesce_cv_ != nullptr,
+            "wait_runtime_fibers_exited is classic-mode only (no tenant "
+            "scheduling under the windowed simulator)");
   quiesce_cv_->wait([this] { return live_runtime_fibers_ == 0; });
 }
 
@@ -97,8 +119,12 @@ Runtime::~Runtime() {
   if (trace_) {
     // The machine can outlive this Runtime (benches reuse it); don't leave
     // it pointing into the trace we are about to destroy.
-    machine_.fabric().set_trace_recorder(nullptr);
-    machine_.engine().set_trace_recorder(nullptr);
+    if (machine_.windowed()) {
+      machine_.fabric().set_node_trace_recorders({});
+    } else {
+      machine_.fabric().set_trace_recorder(nullptr);
+      machine_.engine().set_trace_recorder(nullptr);
+    }
   }
 }
 
@@ -193,7 +219,7 @@ RunResult Runtime::collect() const {
 
 NodeRuntime::NodeRuntime(Runtime& shared, int node_id)
     : shared_(shared), node_(node_id), opts_(shared.options()),
-      engine_(&shared.machine().engine()) {
+      engine_(&shared.machine().engine_for_node(shared.machine_node(node_id))) {
   if (opts_.validate_phases) {
     validator_ = std::make_unique<check::PhaseValidator>(node_);
   }
@@ -212,12 +238,8 @@ int NodeRuntime::cores_per_node() const {
 void NodeRuntime::start() {
   PPM_CHECK(!started_, "NodeRuntime::start called twice");
   auto& machine = shared_.machine();
-  task_cv_ = std::make_unique<sim::ConditionVar>(machine.engine());
-  arrivals_cv_ = std::make_unique<sim::ConditionVar>(machine.engine());
-  dest_buffers_.resize(static_cast<size_t>(node_count()));
-  combine_maps_.resize(static_cast<size_t>(node_count()));
-  combine_hwm_.resize(static_cast<size_t>(node_count()), 0);
-  fetch_backlog_.resize(static_cast<size_t>(node_count()));
+  task_cv_ = std::make_unique<sim::ConditionVar>(*engine_);
+  arrivals_cv_ = std::make_unique<sim::ConditionVar>(*engine_);
 
   // Map fiber ids to core indices so trace events land on per-core
   // tracks. The node's main fiber (running this) and the service fiber
@@ -345,9 +367,9 @@ uint32_t NodeRuntime::create_array(bool global, uint64_t n,
           std::max<uint64_t>(1, options().read_block_bytes / ops.size);
       rec.blocks_per_chunk =
           (rec.chunk + rec.block_elems - 1) / rec.block_elems;
-      rec.remote_block_ptr.assign(
-          rec.blocks_per_chunk * static_cast<uint64_t>(node_count()),
-          nullptr);
+      // The direct-mapped remote-block table is allocated lazily by
+      // ensure_block_table on the first published block; an array this
+      // node only ever accesses locally never grows one.
     }
   } else {
     rec.chunk = n;
@@ -565,7 +587,7 @@ std::shared_ptr<NodeRuntime::FetchSlot> NodeRuntime::issue_block_fetch(
     // miss-switches through ready VPs (and the lookahead they trigger)
     // coalesce per owner, shipped by flush_fetch_backlog at the latest
     // right before the requester parks.
-    auto& q = fetch_backlog_[static_cast<size_t>(owner)];
+    auto& q = peer(owner).fetch_backlog;
     if (q.empty()) backlog_owners_.push_back(owner);
     q.push_back(QueuedFetch{rec.id, first, count, slot->req_id,
                             request_epoch(), prefetch});
@@ -596,9 +618,8 @@ void NodeRuntime::flush_fetch_backlog() {
   backlog_owners_.clear();
   backlog_nonempty_ = false;
   for (const int owner : owners) {
-    std::vector<QueuedFetch> q =
-        std::move(fetch_backlog_[static_cast<size_t>(owner)]);
-    fetch_backlog_[static_cast<size_t>(owner)].clear();
+    std::vector<QueuedFetch> q = std::move(peer(owner).fetch_backlog);
+    peer(owner).fetch_backlog.clear();
     if (q.empty()) continue;
     if (q.size() == 1) {
       // A singleton list message would be larger than the plain request;
@@ -770,11 +791,19 @@ void NodeRuntime::maybe_strided_prefetch(const detail::ArrayRecord& rec,
   }
 }
 
+void NodeRuntime::ensure_block_table(detail::ArrayRecord& rec) {
+  if (rec.remote_block_ptr.empty() && rec.blocks_per_chunk != 0) {
+    rec.remote_block_ptr.assign(
+        rec.blocks_per_chunk * static_cast<uint64_t>(node_count()), nullptr);
+  }
+}
+
 void NodeRuntime::publish_block(const detail::ArrayRecord& rec,
                                 const BlockKey& key, const Bytes& cached) {
   auto& mut = arrays_[rec.id];
   const uint64_t owner = key.block >> kBlockOwnerShift;
   const uint64_t first = key.block & ((uint64_t{1} << kBlockOwnerShift) - 1);
+  ensure_block_table(mut);
   if (!mut.remote_block_ptr.empty()) {
     mut.remote_block_ptr[owner * mut.blocks_per_chunk +
                          first / mut.block_elems] = cached.data();
@@ -1198,7 +1227,7 @@ void NodeRuntime::write_elem(uint32_t id, uint64_t index,
       const size_t offset = buf.size();
       detail::put_entry(buf, hdr, value, rec.ops.size);
       if (opts_.combine_writes) {
-        combine_maps_[static_cast<size_t>(owner)][ElemKey{id, index}] =
+        peer(owner).combine[ElemKey{id, index}] =
             CombineSlot{offset, hdr.vp_rank, hdr.op};
       }
       maybe_eager_flush(owner);
@@ -1212,7 +1241,7 @@ bool NodeRuntime::try_combine(int dest_node,
                               const detail::WireEntryHeader& hdr,
                               const std::byte* value,
                               const detail::ElemOps& ops) {
-  auto& map = combine_maps_[static_cast<size_t>(dest_node)];
+  auto& map = peer(dest_node).combine;
   const auto it = map.find(ElemKey{hdr.array_id, hdr.index});
   if (it == map.end()) return false;
   CombineSlot& slot = it->second;
@@ -1240,11 +1269,11 @@ bool NodeRuntime::try_combine(int dest_node,
 }
 
 ByteWriter& NodeRuntime::dest_buffer(int dest_node) {
-  return dest_buffers_[static_cast<size_t>(dest_node)];
+  return peer(dest_node).bundle;
 }
 
 ByteWriter& NodeRuntime::bundle_buffer(int dest_node) {
-  ByteWriter& buf = dest_buffers_[static_cast<size_t>(dest_node)];
+  ByteWriter& buf = peer(dest_node).bundle;
   if (buf.size() == 0) {
     // The fragment header lives inside the buffer from the first entry
     // on: flush_bundle patches the last-flag in place and ships the
@@ -1290,8 +1319,9 @@ void NodeRuntime::pool_put(Bytes b) {
 }
 
 void NodeRuntime::reset_combine_map(int dest_node) {
-  auto& map = combine_maps_[static_cast<size_t>(dest_node)];
-  size_t& hwm = combine_hwm_[static_cast<size_t>(dest_node)];
+  PeerState& ps = peer(dest_node);
+  auto& map = ps.combine;
+  size_t& hwm = ps.combine_hwm;
   hwm = std::max(hwm, map.size());
   map.clear();
   // clear() keeps the bucket array in practice, but that is not
@@ -1315,7 +1345,23 @@ void NodeRuntime::flush_all_bundles_final() {
     if (dest == node_) continue;
     // Every peer gets exactly one last-marker fragment per phase (possibly
     // header-only).
-    flush_bundle(dest, /*last=*/true);
+    if (peers_.find(dest) != peers_.end()) {
+      flush_bundle(dest, /*last=*/true);
+      continue;
+    }
+    // Untouched peer: ship the header-only marker without materializing
+    // its PeerState — byte-identical on the wire to an empty
+    // flush_bundle, same trace event and bundles_sent count.
+    ByteWriter w(pool_take());
+    w.put(epoch_);
+    w.put<uint8_t>(1);
+    if (tracer_) [[unlikely]] {
+      trace_rec(trace::EventKind::kBundleFlush, static_cast<uint64_t>(dest),
+                w.size(), 0, trace::kFlagBit0);
+    }
+    rt_send(dest, detail::rt_kind(detail::RtMsg::kBundle),
+            std::move(w).take());
+    ++counters_.bundles_sent;
   }
 }
 
@@ -1503,7 +1549,7 @@ void NodeRuntime::commit_global() {
   //    entirely.
   if (backlog_nonempty_) {
     for (const int owner : backlog_owners_) {
-      for (const QueuedFetch& f : fetch_backlog_[static_cast<size_t>(owner)]) {
+      for (const QueuedFetch& f : peer(owner).fetch_backlog) {
         PPM_CHECK(f.prefetch, "demand fetch still queued at commit");
         outstanding_.erase(f.req_id);
         pending_blocks_.erase(BlockKey{
@@ -1512,7 +1558,7 @@ void NodeRuntime::commit_global() {
         --counters_.blocks_fetched;
         --counters_.prefetch_issued;
       }
-      fetch_backlog_[static_cast<size_t>(owner)].clear();
+      peer(owner).fetch_backlog.clear();
     }
     backlog_owners_.clear();
     backlog_nonempty_ = false;
@@ -2100,6 +2146,7 @@ void NodeRuntime::service_loop() {
           if (slot->prefetched) {
             prefetched_keys_.insert(slot->key);
           } else {
+            ensure_block_table(*slot->record);
             slot->record->remote_block_ptr[slot->block_slot] = cached.data();
           }
         } else {

@@ -23,6 +23,7 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <atomic>
 #include <memory>
 #include <span>
 #include <string>
@@ -269,7 +270,10 @@ class Runtime {
   std::vector<int> partition_;   // logical node -> physical machine node
   std::vector<int> logical_of_;  // physical machine node -> logical (or -1)
   uint32_t run_tag_ = 0;
-  int live_runtime_fibers_ = 0;
+  // Atomic: under the windowed simulator (docs/SIM.md) runtime fibers of
+  // different nodes exit on different host threads. The quiesce CV itself
+  // exists only in classic mode (see wait_runtime_fibers_exited).
+  std::atomic<int> live_runtime_fibers_{0};
   std::unique_ptr<sim::ConditionVar> quiesce_cv_;
   std::unique_ptr<trace::Trace> trace_;  // before nodes_: they point into it
   std::vector<std::unique_ptr<NodeRuntime>> nodes_;
@@ -573,6 +577,10 @@ class NodeRuntime {
   /// the first demand touch of a prefetched block.
   void publish_block(const detail::ArrayRecord& rec, const BlockKey& key,
                      const Bytes& cached);
+  /// Allocate the array's direct-mapped remote-block table on its first
+  /// published block. Lazy so arrays a node never reads remotely cost no
+  /// table at all (it is blocks_per_chunk * nodes pointers).
+  void ensure_block_table(detail::ArrayRecord& rec);
 
   // Write engine. Each destination buffer carries its fragment header
   // (epoch + last-flag) in place from the first entry on, so a flush ships
@@ -667,11 +675,10 @@ class NodeRuntime {
   std::vector<StaticRange> static_range_;
   std::vector<uint32_t> miss_depth_;  // nested VP bodies per fiber
 
-  // Write buffers: per destination node (remote) + local log. Flushed
-  // buffers are reseeded from bundle_pool_ (fed by received bundle
+  // Write buffers: per touched peer (see PeerState below) + local log.
+  // Flushed buffers are reseeded from bundle_pool_ (fed by received bundle
   // payloads and drained staging copies), keeping steady-state flushes
   // allocation-free.
-  std::vector<ByteWriter> dest_buffers_;
   ByteWriter local_log_;
   std::vector<Bytes> bundle_pool_;
 
@@ -694,9 +701,6 @@ class NodeRuntime {
     uint64_t vp_rank = 0;
     uint8_t op = 0;
   };
-  std::vector<std::unordered_map<ElemKey, CombineSlot, ElemKeyHash>>
-      combine_maps_;
-  std::vector<size_t> combine_hwm_;  // high-water map sizes, per dest
 
   // Locality engine state. mig_inbox_ stages inbound kMigrateBlock
   // payloads (appended by the service fiber, applied by the commit path
@@ -746,9 +750,25 @@ class NodeRuntime {
     uint64_t epoch = 0;
     bool prefetch = false;
   };
-  std::vector<std::vector<QueuedFetch>> fetch_backlog_;  // per owner node
   std::vector<int> backlog_owners_;  // owners with a non-empty queue
   bool backlog_nonempty_ = false;
+
+  // All per-peer sender-side state, created lazily on first contact. A
+  // node that never writes to or fetches from a peer never materializes
+  // an entry, so an idle or purely-local node costs O(1) bytes regardless
+  // of cluster size — the keystone of thousand-node runs (the eager
+  // layout was four O(nodes) containers per node, O(nodes^2) machine-
+  // wide). The end-of-phase last-marker protocol still reaches every
+  // peer: flush_all_bundles_final ships untouched peers a header-only
+  // marker without creating their PeerState.
+  struct PeerState {
+    ByteWriter bundle;  // pending write entries (fragment header inline)
+    std::unordered_map<ElemKey, CombineSlot, ElemKeyHash> combine;
+    size_t combine_hwm = 0;
+    std::vector<QueuedFetch> fetch_backlog;
+  };
+  std::unordered_map<int, PeerState> peers_;
+  PeerState& peer(int dest_node) { return peers_[dest_node]; }
 
   // Stride detector state, per array id (grown lazily). Tracks the last
   // demand-miss index and the last inter-miss delta; a repeated non-unit

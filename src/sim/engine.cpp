@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
 
 #include "sim/stack_switch.hpp"
 #include "trace/recorder.hpp"
@@ -69,10 +70,18 @@ void Engine::at(int64_t t_ns, std::function<void()> fn) {
 }
 
 void Engine::run() {
+  run_until(std::numeric_limits<int64_t>::max());
+  // With no events left, any non-finished fiber is deadlocked.
+  const std::string stuck = stuck_fiber_names();
+  PPM_CHECK(stuck.empty(), "simulation deadlock; blocked fibers: %s",
+            stuck.c_str());
+}
+
+void Engine::run_until(int64_t horizon_ns) {
   PPM_CHECK(!running_, "Engine::run() is not reentrant");
   running_ = true;
   g_current_engine = this;
-  while (!events_.empty()) {
+  while (!events_.empty() && events_.top().t_ns < horizon_ns) {
     // priority_queue::top() is const; move out via const_cast, which is safe
     // because we pop immediately after.
     Event ev = std::move(const_cast<Event&>(events_.top()));
@@ -100,8 +109,14 @@ void Engine::run() {
   }
   running_ = false;
   g_current_engine = nullptr;
+}
 
-  // With no events left, any non-finished fiber is deadlocked.
+int64_t Engine::next_event_ns() const {
+  return events_.empty() ? std::numeric_limits<int64_t>::max()
+                         : events_.top().t_ns;
+}
+
+std::string Engine::stuck_fiber_names() const {
   std::string stuck;
   for (const auto& f : fibers_) {
     if (f->state_ != FiberState::kFinished) {
@@ -109,8 +124,7 @@ void Engine::run() {
       stuck += ' ';
     }
   }
-  PPM_CHECK(stuck.empty(), "simulation deadlock; blocked fibers: %s",
-            stuck.c_str());
+  return stuck;
 }
 
 void Engine::set_trace_recorder(trace::Recorder* recorder,
@@ -256,7 +270,11 @@ void Engine::switch_out(FiberState new_state) {
       new_state == FiberState::kFinished ? nullptr : &self->asan_fake_stack_,
       asan_engine_stack_bottom_, asan_engine_stack_size_);
   swapcontext(&self->context_, &engine_context_);
-  asan_finish_switch(self->asan_fake_stack_, nullptr, nullptr);
+  // Re-record the host-side stack bounds on every resume: under the
+  // windowed driver the engine may run on a different pool thread (with a
+  // different host stack) each window.
+  asan_finish_switch(self->asan_fake_stack_, &asan_engine_stack_bottom_,
+                     &asan_engine_stack_size_);
   // Resumed: the engine restored current_ = self and restarted the slice
   // timer; vclock was advanced to the resume time by resume().
 }

@@ -67,6 +67,24 @@ class Engine {
   /// fibers remain blocked with no pending events (deadlock).
   void run();
 
+  /// Partial run for the conservative-window parallel driver
+  /// (sim/parallel.hpp): fire events strictly before `horizon_ns`, then
+  /// return. Unlike run() this performs no deadlock check — an engine with
+  /// only blocked fibers may legitimately be waiting for a cross-engine
+  /// message injected at the next window boundary. Rethrows a fiber's
+  /// escaped exception just like run().
+  void run_until(int64_t horizon_ns);
+
+  /// Timestamp of the earliest pending event, or INT64_MAX when the queue
+  /// is empty. The windowed driver takes the minimum across engines to
+  /// place the next window boundary.
+  int64_t next_event_ns() const;
+
+  /// Space-separated names of fibers that have not finished (empty when
+  /// all are done). run() turns a non-empty answer into a deadlock error;
+  /// the windowed driver aggregates it across engines first.
+  std::string stuck_fiber_names() const;
+
   /// True when no fibers exist or all have finished.
   bool all_fibers_finished() const;
 

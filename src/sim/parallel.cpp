@@ -1,0 +1,137 @@
+#include "sim/parallel.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace ppm::sim {
+
+HostPool::HostPool(int threads) : threads_(std::max(1, threads)) {
+  workers_.reserve(static_cast<size_t>(threads_ - 1));
+  for (int i = 1; i < threads_; ++i) {
+    workers_.emplace_back([this] { worker_main(); });
+  }
+}
+
+HostPool::~HostPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void HostPool::drain() {
+  for (;;) {
+    const std::vector<std::function<void()>>* tasks;
+    size_t i;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      tasks = tasks_;
+      if (tasks == nullptr || next_task_ >= tasks->size()) return;
+      i = next_task_++;
+    }
+    (*tasks)[i]();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--unfinished_ == 0) {
+        tasks_ = nullptr;
+        done_cv_.notify_all();
+      }
+    }
+  }
+}
+
+void HostPool::worker_main() {
+  uint64_t seen_round = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock,
+                    [&] { return stop_ || round_ != seen_round; });
+      if (stop_) return;
+      seen_round = round_;
+    }
+    drain();
+  }
+}
+
+void HostPool::run(const std::vector<std::function<void()>>& tasks) {
+  if (tasks.empty()) return;
+  if (workers_.empty()) {
+    for (const auto& t : tasks) t();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_ = &tasks;
+    next_task_ = 0;
+    unfinished_ = tasks.size();
+    ++round_;
+  }
+  work_cv_.notify_all();
+  drain();
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return tasks_ == nullptr; });
+}
+
+WindowScheduler::WindowScheduler(std::vector<Engine*> engines,
+                                 int64_t lookahead_ns, HostPool& pool)
+    : engines_(std::move(engines)), lookahead_ns_(lookahead_ns),
+      pool_(pool) {
+  PPM_CHECK(!engines_.empty(), "windowed run needs at least one engine");
+  PPM_CHECK(lookahead_ns_ > 0,
+            "windowed run needs positive lookahead (got %lld)",
+            static_cast<long long>(lookahead_ns_));
+}
+
+void WindowScheduler::run(
+    const std::function<uint64_t(int64_t horizon_ns)>& exchange) {
+  constexpr int64_t kIdle = std::numeric_limits<int64_t>::max();
+  const size_t n = engines_.size();
+  // Per-engine error slots, filled by the window tasks; rethrown (lowest
+  // engine index first, for determinism) once the window's barrier is
+  // reached so no engine is abandoned mid-window.
+  std::vector<std::exception_ptr> errors(n);
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(n);
+  int64_t completed_horizon = 0;
+  for (;;) {
+    int64_t t_min = kIdle;
+    for (Engine* e : engines_) t_min = std::min(t_min, e->next_event_ns());
+    if (t_min == kIdle) {
+      // All queues drained; a final exchange may still surface messages
+      // produced in the last window.
+      if (exchange(completed_horizon) == 0) return;
+      continue;
+    }
+    const int64_t horizon = t_min > kIdle - lookahead_ns_
+                                ? kIdle
+                                : t_min + lookahead_ns_;
+    tasks.clear();
+    for (size_t i = 0; i < n; ++i) {
+      Engine* e = engines_[i];
+      if (e->next_event_ns() >= horizon) continue;  // idle this window
+      ++stats_.engine_activations;
+      tasks.push_back([e, horizon, err = &errors[i]] {
+        try {
+          e->run_until(horizon);
+        } catch (...) {
+          *err = std::current_exception();
+        }
+      });
+    }
+    pool_.run(tasks);
+    ++stats_.windows;
+    for (const std::exception_ptr& err : errors) {
+      if (err) std::rethrow_exception(err);
+    }
+    completed_horizon = horizon;
+    exchange(horizon);
+  }
+}
+
+}  // namespace ppm::sim

@@ -319,6 +319,69 @@ Verdict run_differential(const ProgramSpec& spec,
                !d.empty()) {
       return {false, i, cfg.name, d};
     }
+
+    // Windowed-simulator sweep (docs/SIM.md): the same config re-run under
+    // the parallel windowed engine at 1/2/4 host threads must (a) commit
+    // the same state as the sequential golden model and (b) be
+    // bit-identical to each other in virtual time and every deterministic
+    // counter. Always on — a shrink then reproduces sweep failures too.
+    static constexpr int kSimThreads[] = {1, 2, 4};
+    RunResult wres[std::size(kSimThreads)];
+    for (size_t t = 0; t < std::size(kSimThreads); ++t) {
+      StressConfig wcfg = cfg;
+      wcfg.machine.sim_threads = kSimThreads[t];
+      wcfg.name = strfmt("%s-sim%d", cfg.name.c_str(), kSimThreads[t]);
+      RunArtifacts warts;
+      Snapshot wsnap;
+      try {
+        wsnap = run_under_config(spec, wcfg, &warts);
+      } catch (const Error& e) {
+        return {false, i, wcfg.name, strfmt("ppm::Error: %s", e.what())};
+      }
+      wres[t] = std::move(warts.result);
+      if (auto d = diff_states(spec, it->second, wsnap,
+                               /*globals_only=*/false, "golden", "windowed");
+          !d.empty()) {
+        return {false, i, wcfg.name, d};
+      }
+    }
+    const auto wdiff = [&](const char* field, uint64_t a,
+                           uint64_t b) -> std::string {
+      if (a == b) return {};
+      return strfmt("windowed determinism: %s diverges across sim_threads "
+                    "(sim1=%llu vs %llu)",
+                    field, static_cast<unsigned long long>(a),
+                    static_cast<unsigned long long>(b));
+    };
+    for (size_t t = 1; t < std::size(kSimThreads); ++t) {
+      const RunResult& a = wres[0];
+      const RunResult& b = wres[t];
+      for (const auto& d :
+           {wdiff("duration_ns", static_cast<uint64_t>(a.duration_ns),
+                  static_cast<uint64_t>(b.duration_ns)),
+            wdiff("network_messages", a.network_messages,
+                  b.network_messages),
+            wdiff("network_bytes", a.network_bytes, b.network_bytes),
+            wdiff("intranode_messages", a.intranode_messages,
+                  b.intranode_messages),
+            wdiff("intranode_bytes", a.intranode_bytes, b.intranode_bytes),
+            wdiff("write_entries", a.write_entries, b.write_entries),
+            wdiff("bundles_sent", a.bundles_sent, b.bundles_sent),
+            wdiff("blocks_fetched", a.remote_blocks_fetched,
+                  b.remote_blocks_fetched),
+            wdiff("reads_from_cache", a.remote_reads_served_from_cache,
+                  b.remote_reads_served_from_cache),
+            wdiff("fetch_stall_ns", a.fetch_stall_ns, b.fetch_stall_ns),
+            wdiff("entries_combined", a.entries_combined,
+                  b.entries_combined),
+            wdiff("blocks_migrated", a.blocks_migrated,
+                  b.blocks_migrated)}) {
+        if (!d.empty()) {
+          return {false, i,
+                  strfmt("%s-sim%d", cfg.name.c_str(), kSimThreads[t]), d};
+        }
+      }
+    }
   }
   return {};
 }

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -35,14 +36,28 @@ class RunningStat {
 
 /// Monotonically increasing counters keyed at construction time; used for
 /// network traffic accounting (messages, bytes, per-kind tallies).
+///
+/// Increments are relaxed atomics: under the windowed parallel simulator
+/// (docs/SIM.md) the fabric bumps the aggregate counters from several host
+/// threads at once. Totals stay exact (each add lands once); only the
+/// momentary interleaving is unordered, which no reader depends on.
 class Counter {
  public:
-  void add(uint64_t delta = 1) { value_ += delta; }
-  uint64_t value() const { return value_; }
-  void reset() { value_ = 0; }
+  Counter() = default;
+  Counter(const Counter& other) : value_(other.value()) {}
+  Counter& operator=(const Counter& other) {
+    value_.store(other.value(), std::memory_order_relaxed);
+    return *this;
+  }
+
+  void add(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
-  uint64_t value_ = 0;
+  std::atomic<uint64_t> value_{0};
 };
 
 /// Fixed-boundary histogram for latency/size distributions.

@@ -28,14 +28,16 @@ while [ $# -gt 0 ]; do
 done
 
 benches=(fig1_cg fig2_matgen fig3_barneshut ablation_overlap
-         ablation_distribution ablation_trace micro_readpath)
+         ablation_distribution ablation_trace micro_readpath sim_scale)
 
 filter="."
 if [ "${smoke}" = 1 ]; then
   export PPM_BENCH_SCALE="${PPM_BENCH_SCALE:-0.25}"
   # Smallest node counts only; keep all four overlap-engine configs and
-  # both locality-engine arms at the smallest node count.
-  filter='(/1/|/2/|OverlapEngine|Locality/[01]/4|Trace)'
+  # both locality-engine arms at the smallest node count. SimScale keeps
+  # its 1- and 4-thread arms so the wall_speedup column is exercised;
+  # the large modeled Fig.1 rows (64+ nodes) are full-run only.
+  filter='(/1/|/2/|OverlapEngine|Locality/[01]/4|Trace|SimScale_Cg/16/[14]/)'
 fi
 
 cmake --preset default >/dev/null
@@ -71,6 +73,11 @@ for b in benches:
                     "repetitions", "iterations", "threads"):
                 row[key] = val
         rows.append(row)
+# Every row carries sim_threads: 0 = classic sequential engine, >= 1 =
+# the conservative-window parallel engine (docs/SIM.md). Benches that
+# sweep the engine report it as a counter; everything else defaults to 0.
+for r in rows:
+    r.setdefault("sim_threads", 0)
 # PPM-vs-reference gap column: for every PPM row whose benchmark has an
 # MPI twin at the same arguments (BM_..Ppm/N vs BM_..Mpi/N), report
 # vtime_ppm / vtime_mpi so the figure's headline ratio is a first-class
@@ -81,6 +88,24 @@ for r in rows:
         twin = by_name.get((r["bench"], r["name"].replace("Ppm", "Mpi")))
         if twin and twin.get("vtime_ms"):
             r["gap_vs_mpi"] = r["vtime_ms"] / twin["vtime_ms"]
+# Parallel-engine wall-clock column: a windowed row (sim_threads > 1,
+# thread count as the last bare-numeric benchmark argument, before any
+# /iterations:N or /real_time suffix) is paired with its sim_threads=1
+# twin at the same arguments; wall_speedup is how much faster the host
+# replays the identical run with more driver threads (sequential wall /
+# parallel wall).
+for r in rows:
+    st = int(r["sim_threads"])
+    if st <= 1:
+        continue
+    parts = r["name"].split("/")
+    idx = max((i for i, p in enumerate(parts) if p == str(st)), default=-1)
+    if idx < 0:
+        continue
+    twin_name = "/".join(parts[:idx] + ["1"] + parts[idx + 1:])
+    twin = by_name.get((r["bench"], twin_name))
+    if twin and twin.get("real_time"):
+        r["wall_speedup"] = twin["real_time"] / r["real_time"]
 with open(out, "w") as f:
     json.dump({"rows": rows}, f, indent=1, sort_keys=True)
     f.write("\n")

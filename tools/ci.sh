@@ -41,6 +41,14 @@ for preset in default san; do
     "${builddir[$preset]}/tools/ppm_jobs" --smoke
   ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=print_stacktrace=1 \
     "${builddir[$preset]}/tools/ppm_stress" --multi-job --smoke
+  echo "=== windowed engine smoke preset: ${preset} ==="
+  # Parallel conservative-window engine (docs/SIM.md) under each preset:
+  # the san pass runs real host threads through the fiber switch and the
+  # window-barrier exchange, so data races that ASan can see (use-after-
+  # free of migrated engine state) and UB in the merge path get caught.
+  ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=print_stacktrace=1 \
+    "${builddir[$preset]}/tools/ppm_cli" --app=cg --nodes=4 --cores=4 \
+      --size=4096 --iters=8 --calibration=0 --sim-threads=4 >/dev/null
 done
 
 echo "=== traced smoke (ppm::trace export gate) ==="
@@ -70,6 +78,35 @@ assert {"node0", "node1", "node2", "node3", "fabric"} <= procs, procs
 print(f"trace schema OK: {len(events)} events, processes {sorted(procs)}")
 PY
 echo "traced smoke OK (artifact kept at ${trace_json})"
+
+echo "=== parallel engine determinism gate (docs/SIM.md) ==="
+# The windowed engine's contract: a run is a bit-identical replay of
+# itself at any host-thread count. Trace the same modeled CG once on one
+# thread and once on four; the Chrome trace must match byte-for-byte and
+# the RunResult JSON must match on every field except the sim_threads
+# echo itself.
+for t in 1 4; do
+  ASAN_OPTIONS=detect_leaks=0 \
+    build/tools/ppm_cli --app=cg --nodes=4 --cores=4 --size=4096 \
+      --iters=12 --calibration=0 --sim-threads="${t}" \
+      --trace="build/cg_win${t}.trace.json" \
+      --json="build/cg_win${t}.json" >/dev/null
+done
+cmp build/cg_win1.trace.json build/cg_win4.trace.json
+python3 - build/cg_win1.json build/cg_win4.json <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    one = json.load(f)
+with open(sys.argv[2]) as f:
+    four = json.load(f)
+assert one.pop("sim_threads") == 1 and four.pop("sim_threads") == 4
+for key in one:
+    assert one[key] == four[key], (
+        f"{key} diverges across sim_threads: {one[key]!r} != {four[key]!r}")
+print(f"windowed determinism OK: trace + {len(one)} result fields "
+      "bit-identical at 1 vs 4 host threads")
+PY
+echo "parallel engine determinism OK"
 
 echo "=== jobs report schema (ppm_jobs --json gate) ==="
 # The ppm_jobs/v1 JSON report is a stable machine-readable surface

@@ -38,6 +38,7 @@ struct CliOptions {
   std::string app = "cg";
   int nodes = 4;
   int cores = 4;
+  int sim_threads = 0;  // 0 = classic sequential engine (docs/SIM.md)
   uint64_t size = 0;  // 0 = per-app default
   int steps = 3;
   int levels = 5;
@@ -59,7 +60,8 @@ struct CliOptions {
   std::fprintf(
       stderr,
       "usage: %s [--app=cg|pcg|matgen|barneshut|bfs|components|matmul]\n"
-      "          [--nodes=N] [--cores=C] [--size=S] [--steps=K]\n"
+      "          [--nodes=N] [--cores=C] [--sim-threads=T] [--size=S]\n"
+      "          [--steps=K]\n"
       "          [--levels=L] [--iters=I] [--tol=T] [--matrix=FILE.mtx]\n"
       "          [--dist=block|cyclic|adaptive] [--calibration=F]\n"
       "          [--profile] [--check] [--trace=FILE.json]\n"
@@ -83,6 +85,8 @@ CliOptions parse(int argc, char** argv) {
       opt.nodes = std::atoi(v);
     } else if (const char* v = value_of("--cores=")) {
       opt.cores = std::atoi(v);
+    } else if (const char* v = value_of("--sim-threads=")) {
+      opt.sim_threads = std::atoi(v);
     } else if (const char* v = value_of("--size=")) {
       opt.size = std::strtoull(v, nullptr, 10);
     } else if (const char* v = value_of("--steps=")) {
@@ -189,13 +193,14 @@ void appendf(std::string& out, const char* fmt, ...) {
 // without a field-name translation table. counter_rollup is always
 // present; phase_profiles and trace_summary appear when --profile /
 // tracing were on (docs/TESTING.md documents the schema).
-std::string result_to_json(const CliOptions& opt, const RunResult& r,
-                           NodeRuntime& node0) {
+std::string result_to_json(const CliOptions& opt, int effective_sim_threads,
+                           const RunResult& r, NodeRuntime& node0) {
   std::string out;
   out.reserve(4096);
   out += "{\n \"schema\": \"ppm_cli/v1\",\n ";
-  appendf(out, "\"app\": \"%s\", \"nodes\": %d, \"cores\": %d,\n ",
-          opt.app.c_str(), opt.nodes, opt.cores);
+  appendf(out, "\"app\": \"%s\", \"nodes\": %d, \"cores\": %d, "
+          "\"sim_threads\": %d,\n ",
+          opt.app.c_str(), opt.nodes, opt.cores, effective_sim_threads);
   appendf(out, "\"duration_ns\": %" PRId64 ", ", r.duration_ns);
   appendf(out, "\"network_messages\": %" PRIu64 ", ", r.network_messages);
   appendf(out, "\"network_bytes\": %" PRIu64 ",\n ", r.network_bytes);
@@ -292,6 +297,7 @@ int run_cli(const CliOptions& opt) {
   PpmConfig cfg;
   cfg.machine.nodes = opt.nodes;
   cfg.machine.cores_per_node = opt.cores;
+  cfg.machine.sim_threads = opt.sim_threads;
   // --calibration=0 selects modeled-only virtual time: slower-converging
   // timings but fully deterministic, so two identical --trace runs emit
   // byte-identical JSON.
@@ -475,7 +481,8 @@ int run_cli(const CliOptions& opt) {
     close(saved_stdout);
   }
   if (opt.json) {
-    const std::string json = result_to_json(opt, result, runtime.node(0));
+    const std::string json =
+        result_to_json(opt, machine.sim_threads(), result, runtime.node(0));
     if (opt.json_path.empty()) {
       std::fputs(json.c_str(), stdout);
     } else if (!write_file(opt.json_path, json.data(), json.size())) {
