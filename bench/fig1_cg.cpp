@@ -81,6 +81,11 @@ void BM_Fig1_CgMpi(benchmark::State& state) {
 // store (docs/SIM.md) make thousand-node machines tractable in one
 // host process. Args are {nodes, sim_threads}; the 256-node row runs at
 // both thread counts so BENCH_fig.json carries a wall_speedup column.
+// The 8-node row is the reduction-primitive pin: CG's dot-product phases
+// ride Env::reduce/reduce_dot, so its accums_executed /
+// reduction_bytes_saved counters and the message/byte totals record the
+// owner-side win over the fetch-based dot path (bench/perf_baseline.json
+// pins the same shape for the CI gate).
 void BM_Fig1_CgPpmModeled(benchmark::State& state) {
   const int nodes = static_cast<int>(state.range(0));
   const int sim_threads = static_cast<int>(state.range(1));
@@ -110,6 +115,7 @@ BENCHMARK(BM_Fig1_CgPpm)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)
 BENCHMARK(BM_Fig1_CgMpi)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)
     ->Iterations(1)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Fig1_CgPpmModeled)
+    ->Args({8, 1})
     ->Args({64, 1})->Args({256, 1})->Args({256, 4})->Args({1024, 4})
     ->Iterations(1)->Unit(benchmark::kMillisecond);
 

@@ -4,15 +4,14 @@
 #include <cmath>
 
 #include "apps/cg/trisolve.hpp"
-#include "core/algorithms.hpp"
 
 namespace ppm::apps::cg {
 
 PpmCgOutput cg_solve_ppm(Env& env, const ChimneyProblem& problem,
                          const CgOptions& options) {
   const uint64_t n = problem.unknowns();
-  // All four vectors stay kBlock deliberately: dot() and local_begin/
-  // local_end assume the contiguous block layout, and the chimney
+  // All four vectors stay kBlock deliberately: reduce_dot() and
+  // local_begin/local_end assume the contiguous block layout, and the chimney
   // matrix's banded structure keeps p-reads clustered near each node's
   // own chunk — there is no skewed hot set for the locality engine
   // (Distribution::kAdaptive) to exploit here. The graph kernels are the
@@ -92,7 +91,13 @@ PpmCgOutput cg_solve_ppm(Env& env, const ChimneyProblem& problem,
     band[l].resize(col_hi[l] - col_lo[l]);
   }
 
-  // r = p = b, x = 0.
+  // r = p = b, x = 0. The r·r reduction rides this phase's commit
+  // barrier (env.reduce_dot): each node folds its own chunk after the
+  // commit applies and the partials travel on the barrier's dissemination
+  // tokens — no separate allgather sweep, and the one registration serves
+  // both b_norm and the first rr (the fetch-based formulation ran two
+  // full dot() exchanges here).
+  auto rr0_h = env.reduce_dot(r, r);
   env.phase_label("init");
   vps.global_phase([&](Vp& vp) {
     const uint64_t l = vp.node_rank();
@@ -103,18 +108,22 @@ PpmCgOutput cg_solve_ppm(Env& env, const ChimneyProblem& problem,
     p.set_n(first, count, b.data() + first);
   });
 
-  const double b_norm = std::sqrt(dot(env, r, r));
+  const double rr0 = rr0_h.value();
+  const double b_norm = std::sqrt(rr0);
   const double threshold =
       options.tolerance * (b_norm > 0 ? b_norm : 1.0);
 
   PpmCgOutput out{x, {}, 0, false};
-  double rr = dot(env, r, r);
+  double rr = rr0;
 
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     // q = A p. Remote p entries are plain shared reads; the runtime
     // bundles them into block fetches. Announcing the lane's column band
     // up front lets the off-chunk blocks stream in while the
-    // accumulation walks the local ones.
+    // accumulation walks the local ones. The p·q reduction registered
+    // here resolves at this phase's commit, when q is freshly written —
+    // the same committed values the fetch-based dot() read afterwards.
+    auto pq_h = env.reduce_dot(p, q);
     env.phase_label("spmv");
     vps.global_phase([&](Vp& vp) {
       const uint64_t l = vp.node_rank();
@@ -136,9 +145,10 @@ PpmCgOutput cg_solve_ppm(Env& env, const ChimneyProblem& problem,
       q.set_n(row0 + lane_first[l], lane_count[l], qv);
     });
 
-    const double alpha = rr / dot(env, p, q);
+    const double alpha = rr / pq_h.value();
 
-    // x += alpha p;  r -= alpha q.
+    // x += alpha p;  r -= alpha q. The new r·r resolves at this commit.
+    auto rr_h = env.reduce_dot(r, r);
     env.phase_label("axpy");
     vps.global_phase([&](Vp& vp) {
       const uint64_t l = vp.node_rank();
@@ -154,7 +164,7 @@ PpmCgOutput cg_solve_ppm(Env& env, const ChimneyProblem& problem,
       r.add_n(first, count, acc);
     });
 
-    const double rr_new = dot(env, r, r);
+    const double rr_new = rr_h.value();
     out.residual_history.push_back(std::sqrt(rr_new));
     ++out.iterations;
     if (std::sqrt(rr_new) <= threshold) {

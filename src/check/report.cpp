@@ -12,6 +12,8 @@ const char* violation_kind_name(ViolationKind kind) {
     case ViolationKind::kMixedOpConflict: return "mixed-op conflict";
     case ViolationKind::kLockstepMismatch: return "lockstep mismatch";
     case ViolationKind::kShapeHazard: return "shape hazard";
+    case ViolationKind::kNonCommutativeAccum:
+      return "non-commutative accumulate conflict";
   }
   return "unknown";
 }
@@ -23,7 +25,8 @@ std::string Violation::to_string() const {
       violation_kind_name(kind), node, global_phase ? "global" : "node",
       static_cast<unsigned long long>(phase));
   if (kind == ViolationKind::kSetSetConflict ||
-      kind == ViolationKind::kMixedOpConflict) {
+      kind == ViolationKind::kMixedOpConflict ||
+      kind == ViolationKind::kNonCommutativeAccum) {
     s += strfmt(", array %u element %llu, VPs %llu and %llu", array_id,
                 static_cast<unsigned long long>(element),
                 static_cast<unsigned long long>(vp_a),
@@ -43,6 +46,7 @@ void Report::merge(const Report& other) {
   mixed_op_conflicts += other.mixed_op_conflicts;
   lockstep_mismatches += other.lockstep_mismatches;
   shape_hazards += other.shape_hazards;
+  non_commutative_accums += other.non_commutative_accums;
   phases_checked += other.phases_checked;
   commit_entries_scanned += other.commit_entries_scanned;
   reads_observed += other.reads_observed;
@@ -67,10 +71,12 @@ std::string Report::to_string() const {
       static_cast<unsigned long long>(writes_observed),
       static_cast<unsigned long long>(reads_observed));
   s += strfmt("  set-set conflicts: %llu | mixed-op conflicts: %llu | "
-              "lockstep mismatches: %llu | shape hazards: %llu\n",
+              "lockstep mismatches: %llu | non-commutative accums: %llu | "
+              "shape hazards: %llu\n",
               static_cast<unsigned long long>(set_set_conflicts),
               static_cast<unsigned long long>(mixed_op_conflicts),
               static_cast<unsigned long long>(lockstep_mismatches),
+              static_cast<unsigned long long>(non_commutative_accums),
               static_cast<unsigned long long>(shape_hazards));
   if (!conflicts_by_array.empty()) {
     s += "  conflicting elements per array:";

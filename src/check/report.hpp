@@ -39,6 +39,12 @@ enum class ViolationKind : uint8_t {
   /// (d) Hazardous array shape (warning): e.g. a global array smaller
   /// than the node count, which leaves some owners with zero elements.
   kShapeHazard = 3,
+  /// (e) An accumulate op registered as non-commutative (see
+  /// Env::register_accum_op) hit an element that received more than one
+  /// entry in a single phase. Owner-side application is grouped by source
+  /// node, not VP rank, so only exactly-commutative ops (or single-entry
+  /// elements) are deterministic there.
+  kNonCommutativeAccum = 4,
 };
 
 enum class Severity : uint8_t { kError = 0, kWarning = 1 };
@@ -73,6 +79,7 @@ struct Report {
   uint64_t mixed_op_conflicts = 0;
   uint64_t lockstep_mismatches = 0;
   uint64_t shape_hazards = 0;
+  uint64_t non_commutative_accums = 0;
 
   // Coverage counters: what the validator actually looked at.
   uint64_t phases_checked = 0;
@@ -85,7 +92,8 @@ struct Report {
 
   /// Total error-severity findings (warnings excluded).
   uint64_t error_count() const {
-    return set_set_conflicts + mixed_op_conflicts + lockstep_mismatches;
+    return set_set_conflicts + mixed_op_conflicts + lockstep_mismatches +
+           non_commutative_accums;
   }
   /// True when no error-severity violation was found.
   bool clean() const { return error_count() == 0; }

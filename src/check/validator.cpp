@@ -17,6 +17,7 @@ constexpr uint64_t kTagArray = 0xA1;
 constexpr uint64_t kTagGroup = 0xB2;
 constexpr uint64_t kTagGlobalPhase = 0xC3;
 constexpr uint64_t kTagMigration = 0xD4;
+constexpr uint64_t kTagUserOp = 0xE5;
 
 uint8_t popcount8(uint8_t v) {
   uint8_t c = 0;
@@ -32,6 +33,10 @@ const char* op_name(uint8_t op) {
     case kOpAdd: return "add";
     case kOpMin: return "min";
     case kOpMax: return "max";
+    case kOpMul: return "mul";
+    case kOpUser0: return "user0";
+    case kOpUser1: return "user1";
+    case kOpUser2: return "user2";
   }
   return "?";
 }
@@ -79,6 +84,16 @@ void PhaseValidator::on_array_created(uint32_t id, bool global, uint64_t n,
   }
 }
 
+void PhaseValidator::on_user_op_registered(uint32_t array, uint8_t op,
+                                           bool commutative) {
+  fold(kTagUserOp);
+  fold((static_cast<uint64_t>(array) << 16) |
+       (static_cast<uint64_t>(op) << 8) | (commutative ? 1 : 0));
+  if (!commutative) {
+    noncommutative_ops_[array] |= static_cast<uint8_t>(1u << op);
+  }
+}
+
 void PhaseValidator::on_group_coordinated() {
   ++groups_coordinated_;
   fold(kTagGroup);
@@ -118,9 +133,12 @@ void PhaseValidator::on_commit_entry(uint32_t array, uint64_t index,
   if (!st.has_writer) {
     st.has_writer = true;
     st.first_vp = vp_rank;
-  } else if (vp_rank != st.first_vp) {
-    st.multi_vp = true;
-    st.other_vp = vp_rank;
+  } else {
+    st.multi_entry = true;
+    if (vp_rank != st.first_vp) {
+      st.multi_vp = true;
+      st.other_vp = vp_rank;
+    }
   }
   if (op == kOpSet) {
     if (!st.has_set) {
@@ -149,7 +167,13 @@ uint64_t PhaseValidator::finish_commit() {
     const bool mixed =
         st.multi_vp &&
         ((st.has_set && accum_mask != 0) || popcount8(accum_mask) >= 2);
-    if (st.set_conflict || mixed) findings.push_back({key, st});
+    bool noncomm = false;
+    if (st.multi_entry && !noncommutative_ops_.empty()) {
+      const auto it = noncommutative_ops_.find(key.array);
+      noncomm = it != noncommutative_ops_.end() &&
+                (st.op_mask & it->second) != 0;
+    }
+    if (st.set_conflict || mixed || noncomm) findings.push_back({key, st});
   }
   elems_.clear();
   if (findings.empty()) return 0;
@@ -196,7 +220,7 @@ uint64_t PhaseValidator::finish_commit() {
       v.vp_a = st.first_vp;
       v.vp_b = st.other_vp;
       std::string ops;
-      for (uint8_t op = 0; op < 4; ++op) {
+      for (uint8_t op = 0; op < kOpCount; ++op) {
         if ((st.op_mask & (1u << op)) != 0) {
           if (!ops.empty()) ops += '+';
           ops += op_name(op);
@@ -205,6 +229,35 @@ uint64_t PhaseValidator::finish_commit() {
       v.detail = strfmt(
           "element %llu of array %u received non-commuting ops {%s} from "
           "different VPs in one phase; result depends on VP rank order",
+          static_cast<unsigned long long>(v.element), v.array_id,
+          ops.c_str());
+      ++report_.conflicts_by_array[v.array_id];
+      add_violation(v);
+    }
+    uint8_t noncomm_hits = 0;
+    if (st.multi_entry && !noncommutative_ops_.empty()) {
+      const auto it = noncommutative_ops_.find(f.key.array);
+      if (it != noncommutative_ops_.end()) {
+        noncomm_hits = static_cast<uint8_t>(st.op_mask & it->second);
+      }
+    }
+    if (noncomm_hits != 0) {
+      ++report_.non_commutative_accums;
+      ++errors;
+      v.kind = ViolationKind::kNonCommutativeAccum;
+      v.vp_a = st.first_vp;
+      v.vp_b = st.multi_vp ? st.other_vp : st.first_vp;
+      std::string ops;
+      for (uint8_t op = 0; op < kOpCount; ++op) {
+        if ((noncomm_hits & (1u << op)) != 0) {
+          if (!ops.empty()) ops += '+';
+          ops += op_name(op);
+        }
+      }
+      v.detail = strfmt(
+          "element %llu of array %u received multiple entries including "
+          "non-commutative accumulate op(s) {%s} in one phase; owner-side "
+          "application order (by source node) is not the VP rank order",
           static_cast<unsigned long long>(v.element), v.array_id,
           ops.c_str());
       ++report_.conflicts_by_array[v.array_id];

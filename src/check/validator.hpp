@@ -33,6 +33,11 @@ inline constexpr uint8_t kOpSet = 0;
 inline constexpr uint8_t kOpAdd = 1;
 inline constexpr uint8_t kOpMin = 2;
 inline constexpr uint8_t kOpMax = 3;
+inline constexpr uint8_t kOpMul = 4;
+inline constexpr uint8_t kOpUser0 = 5;
+inline constexpr uint8_t kOpUser1 = 6;
+inline constexpr uint8_t kOpUser2 = 7;
+inline constexpr uint8_t kOpCount = 8;
 
 const char* op_name(uint8_t op);
 
@@ -60,6 +65,11 @@ class PhaseValidator {
                         uint32_t elem_size, uint8_t dist, int nodes);
   /// A collective ppm_do group coordination completed on this node.
   void on_group_coordinated();
+  /// A user accumulate op was registered on an array slot
+  /// (Env::register_accum_op; SPMD-collective, so it joins the
+  /// fingerprint). A slot registered non-commutative arms class (e): any
+  /// element hit by that op more than once in one phase is reported.
+  void on_user_op_registered(uint32_t array, uint8_t op, bool commutative);
   /// The locality engine ran a migration planning round at a global
   /// commit. `plan_hash` digests the accepted moves (array, block,
   /// source, destination, slot), so owner maps diverging between nodes —
@@ -112,6 +122,7 @@ class PhaseValidator {
   struct ElemState {
     uint8_t op_mask = 0;
     bool multi_vp = false;       // ≥2 distinct writers
+    bool multi_entry = false;    // ≥2 entries (same writer counts)
     bool set_conflict = false;   // ≥2 distinct writers used kOpSet
     bool has_writer = false;
     bool has_set = false;
@@ -137,6 +148,9 @@ class PhaseValidator {
   bool commit_global_ = false;
   uint64_t commit_phase_ = 0;
   std::unordered_map<ElemKey, ElemState, ElemKeyHash> elems_;
+
+  // Per-array mask of op values registered non-commutative (class e).
+  std::unordered_map<uint32_t, uint8_t> noncommutative_ops_;
 };
 
 }  // namespace ppm::check

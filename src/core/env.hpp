@@ -2,6 +2,7 @@
 // PPM_do(K) construct with its global/node phases.
 #pragma once
 
+#include <cstring>
 #include <functional>
 #include <span>
 #include <string_view>
@@ -11,6 +12,104 @@
 #include "core/shared_array.hpp"
 
 namespace ppm {
+
+namespace detail {
+
+/// Thunk behind Env::reduce: fold this node's owned elements of
+/// pr.array_a under pr.op into the [u8 has_value][T] partial blob.
+/// pack_owned_elems delivers them in ascending global-index order under
+/// every distribution, so the fold order is layout-independent.
+template <typename T>
+void reduce_partial_thunk(NodeRuntime& rt,
+                          const NodeRuntime::PendingReduce& pr, Bytes* out) {
+  out->assign(1 + sizeof(T), std::byte{0});
+  const Bytes packed = rt.pack_owned_elems(pr.array_a);
+  const size_t n = packed.size() / sizeof(T);
+  if (n == 0) return;  // this node owns nothing: has_value stays 0
+  const ArrayRecord& rec = rt.array(pr.array_a);
+  T acc;
+  std::memcpy(&acc, packed.data(), sizeof(T));
+  for (size_t i = 1; i < n; ++i) {
+    rec.apply_op(reinterpret_cast<std::byte*>(&acc),
+                 packed.data() + i * sizeof(T),
+                 static_cast<WriteOp>(pr.op));
+  }
+  (*out)[0] = std::byte{1};
+  std::memcpy(out->data() + 1, &acc, sizeof(T));
+}
+
+/// Thunk behind Env::reduce_dot: ascending-index fold of sum(a[i]*b[i])
+/// over this node's owned elements — exactly the per-node order
+/// algorithms::dot uses on a block layout.
+template <typename T>
+void reduce_dot_partial_thunk(NodeRuntime& rt,
+                              const NodeRuntime::PendingReduce& pr,
+                              Bytes* out) {
+  out->assign(1 + sizeof(T), std::byte{0});
+  const Bytes pa = rt.pack_owned_elems(pr.array_a);
+  const Bytes pb = rt.pack_owned_elems(pr.array_b);
+  PPM_CHECK(pa.size() == pb.size(),
+            "reduce_dot needs identically sized and distributed arrays");
+  const size_t n = pa.size() / sizeof(T);
+  if (n == 0) return;
+  T acc{};
+  for (size_t i = 0; i < n; ++i) {
+    T x, y;
+    std::memcpy(&x, pa.data() + i * sizeof(T), sizeof(T));
+    std::memcpy(&y, pb.data() + i * sizeof(T), sizeof(T));
+    acc = (i == 0) ? x * y : acc + x * y;
+  }
+  (*out)[0] = std::byte{1};
+  std::memcpy(out->data() + 1, &acc, sizeof(T));
+}
+
+/// Fold `other` into `acc` (both [u8 has_value][elem] blobs): empty
+/// partials are skipped, the first contributing node seeds the value, and
+/// later ones fold through the array's op table — which also dispatches
+/// user slots, so one combine serves every ReduceOp. The dot form
+/// registers op=kAdd, making its combine the plain sum.
+inline void reduce_combine_thunk(NodeRuntime& rt,
+                                 const NodeRuntime::PendingReduce& pr,
+                                 Bytes* acc, const Bytes& other) {
+  PPM_CHECK(other.size() == acc->size(), "reduce partial blob mismatch");
+  if (other[0] == std::byte{0}) return;
+  if ((*acc)[0] == std::byte{0}) {
+    *acc = other;
+    return;
+  }
+  rt.array(pr.array_a).apply_op(acc->data() + 1, other.data() + 1,
+                                static_cast<WriteOp>(pr.op));
+}
+
+}  // namespace detail
+
+/// Result handle of Env::reduce()/reduce_dot(). The scalar materializes
+/// when the next global phase commits (the per-node partials ride the
+/// commit barrier's dissemination tokens); value() before that commit is
+/// an error.
+template <typename T>
+class ReduceHandle {
+ public:
+  ReduceHandle() = default;
+
+  /// The combined scalar — identical on every node. T{} when no node
+  /// owned any element of the reduced array.
+  T value() const {
+    const auto& pr = rt_->reduce_result(h_);
+    PPM_CHECK(pr.result.size() == 1 + sizeof(T),
+              "reduce result blob size mismatch");
+    T out{};
+    std::memcpy(&out, pr.result.data() + 1, sizeof(T));
+    return out;
+  }
+
+ private:
+  friend class Env;
+  ReduceHandle(NodeRuntime* rt, size_t h) : rt_(rt), h_(h) {}
+
+  NodeRuntime* rt_ = nullptr;
+  size_t h_ = 0;
+};
 
 /// A group of K virtual processors started on this node by PPM_do(K).
 ///
@@ -192,6 +291,73 @@ class Env {
     return acc;
   }
 
+  // ---- Owner-side accumulate / remote reduction ----
+
+  /// Register the user accumulate function `fn` into one of an array's
+  /// three user slots (usable as ReduceOp::kUser0 + slot). SPMD-collective
+  /// and outside phases; every node must register an equivalent function
+  /// in the same slot (the sanitizer's lockstep fingerprint covers the
+  /// registration). Declare commutative=false when fn does not commute —
+  /// ppm::check then reports any element the op hits more than once in a
+  /// single phase, because owner-side application order (by source node)
+  /// is not the VP rank order.
+  template <typename T>
+  void register_accum_op(const GlobalShared<T>& a, int slot,
+                         void (*fn)(T&, const T&), bool commutative = true) {
+    register_accum_op_id<T>(a.id(), slot, fn, commutative);
+  }
+
+  /// NodeShared form: same contract; the slot joins the same lockstep
+  /// fingerprint, so registration must still happen identically on every
+  /// node.
+  template <typename T>
+  void register_accum_op(const NodeShared<T>& a, int slot,
+                         void (*fn)(T&, const T&), bool commutative = true) {
+    register_accum_op_id<T>(a.id(), slot, fn, commutative);
+  }
+
+  /// Register a reduction of all elements of `a` under `op`, resolved at
+  /// the NEXT global-phase commit: after the commit applies the phase's
+  /// writes, each node folds its owned elements in ascending global-index
+  /// order; the partials ride the commit barrier (zero extra messages)
+  /// and combine in ascending node order, so every node reads the
+  /// identical scalar from the handle. SPMD-collective, outside phases.
+  template <typename T>
+  ReduceHandle<T> reduce(const GlobalShared<T>& a, ReduceOp op) {
+    NodeRuntime::PendingReduce pr;
+    pr.array_a = a.id();
+    pr.op = static_cast<uint8_t>(op);
+    pr.partial = &detail::reduce_partial_thunk<T>;
+    pr.combine = &detail::reduce_combine_thunk;
+    return ReduceHandle<T>(rt_, rt_->register_reduce(std::move(pr)));
+  }
+
+  /// Dot-product form of reduce(): sum over i of a[i]*b[i]. Both arrays
+  /// must share size and distribution (their owned index sets must
+  /// coincide). On block layouts the result is bit-identical to a local
+  /// ascending-index fold plus an ascending-node allreduce — the exact
+  /// order algorithms::dot produces — at zero extra messages.
+  template <typename T>
+  ReduceHandle<T> reduce_dot(const GlobalShared<T>& a,
+                             const GlobalShared<T>& b) {
+    // The partial pairs the two arrays' owner-packed spans positionally,
+    // so their owned index sets must coincide — catch a layout mismatch
+    // at registration, not as silently mis-paired products.
+    const detail::ArrayRecord& ra = rt_->array(a.id());
+    const detail::ArrayRecord& rb = rt_->array(b.id());
+    PPM_CHECK(ra.n == rb.n && ra.dist == rb.dist &&
+                  ra.mig_owner == rb.mig_owner,
+              "reduce_dot needs identically sized and distributed arrays "
+              "(%u vs %u)", a.id(), b.id());
+    NodeRuntime::PendingReduce pr;
+    pr.array_a = a.id();
+    pr.array_b = b.id();
+    pr.op = static_cast<uint8_t>(ReduceOp::kAdd);
+    pr.partial = &detail::reduce_dot_partial_thunk<T>;
+    pr.combine = &detail::reduce_combine_thunk;
+    return ReduceHandle<T>(rt_, rt_->register_reduce(std::move(pr)));
+  }
+
   // ---- Phase-semantics sanitizer (ppm::check, docs/validator.md) ----
 
   /// True when RuntimeOptions::validate_phases enabled the sanitizer.
@@ -209,6 +375,25 @@ class Env {
   NodeRuntime& runtime() { return *rt_; }
 
  private:
+  template <typename T>
+  void register_accum_op_id(uint32_t id, int slot, void (*fn)(T&, const T&),
+                            bool commutative) {
+    detail::UserAccumOp op;
+    op.apply = [](std::byte* elem, const std::byte* value, const void* f) {
+      const auto fp =
+          reinterpret_cast<void (*)(T&, const T&)>(const_cast<void*>(f));
+      T cur;
+      std::memcpy(&cur, elem, sizeof(T));
+      T val;
+      std::memcpy(&val, value, sizeof(T));
+      fp(cur, val);
+      std::memcpy(elem, &cur, sizeof(T));
+    };
+    op.fn = reinterpret_cast<const void*>(fn);
+    op.commutative = commutative;
+    rt_->register_user_op(id, slot, op);
+  }
+
   NodeRuntime* rt_;
 };
 

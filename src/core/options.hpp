@@ -83,6 +83,16 @@ struct RuntimeOptions {
   /// bit-identical.
   bool combine_writes = true;
 
+  /// Owner-side accumulate: route GlobalShared::accumulate/accumulate_n
+  /// entries for remote elements through the compact kAccumList/
+  /// kAccumBlock wire fragments (no per-entry (vp_rank, seq) — 12 fewer
+  /// bytes per scalar entry/range record) and apply them at the owner
+  /// after the ordered commit batch, grouped by source node ascending.
+  /// Off, accumulate() degrades to the plain deferred-write path (same
+  /// committed results for the exactly commutative/associative ops the
+  /// API requires; the stress harness differentially checks both).
+  bool owner_side_accumulate = true;
+
   /// Locality engine: run the migration planner automatically at every
   /// global-phase commit for owner-mapped (Distribution::kAdaptive)
   /// arrays. Off, kAdaptive arrays keep their initial block-aligned layout
@@ -186,6 +196,16 @@ struct RunResult {
   /// Write entries folded into an earlier buffered entry by sender-side
   /// write combining (never shipped or committed individually).
   uint64_t entries_combined = 0;
+  /// Elements updated by owner-side accumulate fragments at commit
+  /// (counted at the owner; the fetch-free half of the accumulate win).
+  uint64_t accums_executed = 0;
+  /// Wire bytes avoided by the accumulate/reduction machinery vs the
+  /// plain paths: 12 bytes per kAccumList item / kAccumBlock record
+  /// (dropped vp_rank + seq), plus elem_size * (nodes - 1) per reduce()
+  /// per node (the root-gather messages a standalone allreduce would
+  /// have sent; reduce partials ride the commit barrier's existing
+  /// dissemination tokens instead).
+  uint64_t reduction_bytes_saved = 0;
   /// Locality engine: migration blocks that changed owners (counted at the
   /// sending side) and the element bytes they carried over the wire.
   uint64_t blocks_migrated = 0;

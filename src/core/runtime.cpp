@@ -13,6 +13,13 @@ static_assert(check::kOpSet == static_cast<uint8_t>(detail::WriteOp::kSet));
 static_assert(check::kOpAdd == static_cast<uint8_t>(detail::WriteOp::kAdd));
 static_assert(check::kOpMin == static_cast<uint8_t>(detail::WriteOp::kMin));
 static_assert(check::kOpMax == static_cast<uint8_t>(detail::WriteOp::kMax));
+static_assert(check::kOpMul == static_cast<uint8_t>(detail::WriteOp::kMul));
+static_assert(check::kOpUser0 ==
+              static_cast<uint8_t>(detail::WriteOp::kUser0));
+static_assert(check::kOpUser1 ==
+              static_cast<uint8_t>(detail::WriteOp::kUser1));
+static_assert(check::kOpUser2 ==
+              static_cast<uint8_t>(detail::WriteOp::kUser2));
 
 namespace {
 
@@ -155,6 +162,8 @@ RunResult Runtime::collect() const {
     r.prefetch_issued += c.prefetch_issued;
     r.prefetch_hits += c.prefetch_hits;
     r.entries_combined += c.entries_combined;
+    r.accums_executed += c.accums_executed;
+    r.reduction_bytes_saved += c.reduction_bytes_saved;
     r.blocks_migrated += c.blocks_migrated;
     r.migration_bytes += c.migration_bytes;
     r.remote_to_local_conversions += c.remote_to_local_conversions;
@@ -183,6 +192,9 @@ RunResult Runtime::collect() const {
       {"prefetch_issued", &NodeRuntime::Counters::prefetch_issued},
       {"prefetch_hits", &NodeRuntime::Counters::prefetch_hits},
       {"entries_combined", &NodeRuntime::Counters::entries_combined},
+      {"accums_executed", &NodeRuntime::Counters::accums_executed},
+      {"reduction_bytes_saved",
+       &NodeRuntime::Counters::reduction_bytes_saved},
       {"blocks_migrated", &NodeRuntime::Counters::blocks_migrated},
       {"migration_bytes", &NodeRuntime::Counters::migration_bytes},
       {"remote_to_local_conversions",
@@ -1124,10 +1136,10 @@ void NodeRuntime::write_span(uint32_t id, uint64_t first, uint64_t count,
       if (rec.global) {
         PPM_CHECK(rec.owner_of(g) == node_,
                   "write to remote global element outside a phase");
-        rec.ops.apply(rec.storage.data() + rec.local_of(g) * esz,
-                      values + j * esz, op);
+        rec.apply_op(rec.storage.data() + rec.local_of(g) * esz,
+                     values + j * esz, op);
       } else {
-        rec.ops.apply(rec.storage.data() + g * esz, values + j * esz, op);
+        rec.apply_op(rec.storage.data() + g * esz, values + j * esz, op);
       }
     }
     return;
@@ -1200,10 +1212,10 @@ void NodeRuntime::write_elem(uint32_t id, uint64_t index,
     if (rec.global) {
       PPM_CHECK(rec.owner_of(index) == node_,
                 "write to remote global element outside a phase");
-      rec.ops.apply(rec.storage.data() + rec.local_of(index) * rec.ops.size,
-                    value, op);
+      rec.apply_op(rec.storage.data() + rec.local_of(index) * rec.ops.size,
+                   value, op);
     } else {
-      rec.ops.apply(rec.storage.data() + index * rec.ops.size, value, op);
+      rec.apply_op(rec.storage.data() + index * rec.ops.size, value, op);
     }
     return;
   }
@@ -1220,7 +1232,7 @@ void NodeRuntime::write_elem(uint32_t id, uint64_t index,
   if (rec.global) {
     const int owner = rec.owner_of(index);
     if (owner != node_) {
-      if (opts_.combine_writes && try_combine(owner, hdr, value, rec.ops)) {
+      if (opts_.combine_writes && try_combine(owner, hdr, value, rec)) {
         return;  // folded into a buffered entry; nothing new to flush
       }
       ByteWriter& buf = bundle_buffer(owner);
@@ -1240,7 +1252,7 @@ void NodeRuntime::write_elem(uint32_t id, uint64_t index,
 bool NodeRuntime::try_combine(int dest_node,
                               const detail::WireEntryHeader& hdr,
                               const std::byte* value,
-                              const detail::ElemOps& ops) {
+                              const detail::ArrayRecord& rec) {
   auto& map = peer(dest_node).combine;
   const auto it = map.find(ElemKey{hdr.array_id, hdr.index});
   if (it == map.end()) return false;
@@ -1259,13 +1271,245 @@ bool NodeRuntime::try_combine(int dest_node,
                            detail::kEntryHeaderBytes;
   if (static_cast<detail::WriteOp>(hdr.op) == detail::WriteOp::kSet) {
     // Superseded set: the old entry's slot now carries the newest value.
-    std::memcpy(entry_value, value, ops.size);
+    std::memcpy(entry_value, value, rec.ops.size);
   } else {
-    // Same-VP accumulate run: pre-reduce into the buffered value.
-    ops.apply(entry_value, value, static_cast<detail::WriteOp>(hdr.op));
+    // Same-VP accumulate run: pre-reduce into the buffered value
+    // (apply_op so user slots fold through their registered thunk).
+    rec.apply_op(entry_value, value, static_cast<detail::WriteOp>(hdr.op));
   }
   ++counters_.entries_combined;
   return true;
+}
+
+// ---------------------------------------------------------------------------
+// Owner-side accumulate (sender side)
+// ---------------------------------------------------------------------------
+
+void NodeRuntime::accumulate_elem(uint32_t id, uint64_t index,
+                                  const std::byte* value,
+                                  detail::WriteOp op) {
+  PPM_CHECK(id < arrays_.size(), "unknown shared array id %u", id);
+  PPM_CHECK(detail::is_accum_op(op),
+            "accumulate() requires an accumulate op, not set");
+  auto& rec = arrays_[id];
+  PPM_CHECK(index < rec.n, "accumulate index %llu out of range (size %llu)",
+            static_cast<unsigned long long>(index),
+            static_cast<unsigned long long>(rec.n));
+  // Local elements, node-shared arrays, writes outside global phases, and
+  // the knob being off all take the plain deferred-write path (which does
+  // its own accounting) — that path is the equivalence oracle the stress
+  // harness compares against.
+  if (!opts_.owner_side_accumulate || phase_scope_ != PhaseScope::kGlobal ||
+      !rec.global || rec.owner_of(index) == node_) {
+    write_elem(id, index, value, op);
+    return;
+  }
+  if (opts_.access_overhead_ns > 0) {
+    engine_->advance_ns(opts_.access_overhead_ns);
+  }
+  note_access(rec, index);
+  Vp* vp = current_vp();
+  PPM_CHECK(vp != nullptr, "shared write inside a phase but outside a VP");
+  ++counters_.write_entries;
+  if (validator_) [[unlikely]] validator_->on_write();
+  const int owner = rec.owner_of(index);
+  // 12 bytes smaller per item than the kBundle scalar entry it replaces
+  // (no vp_rank + seq on the wire).
+  counters_.reduction_bytes_saved += 12;
+  if (opts_.combine_writes &&
+      try_combine_accum(owner, id, index, value, op, rec)) {
+    return;
+  }
+  PeerState& ps = peer(owner);
+  ByteWriter& buf = accum_list_buffer(owner);
+  const size_t offset = buf.size();
+  buf.put(id);
+  buf.put(static_cast<uint8_t>(op));
+  buf.put(index);
+  buf.put_raw(value, rec.ops.size);
+  ++ps.accum_list_items;
+  if (opts_.combine_writes) {
+    ps.accum_combine[ElemKey{id, index}] =
+        CombineSlot{offset, vp->global_rank_, static_cast<uint8_t>(op)};
+  }
+  if (options().eager_flush &&
+      ps.accum_list.size() + ps.accum_block.size() >=
+          options().flush_threshold_bytes) {
+    flush_accum_buffers(owner);
+  }
+}
+
+void NodeRuntime::accumulate_span(uint32_t id, uint64_t first,
+                                  uint64_t count, const std::byte* values,
+                                  detail::WriteOp op) {
+  PPM_CHECK(id < arrays_.size(), "unknown shared array id %u", id);
+  PPM_CHECK(detail::is_accum_op(op),
+            "accumulate_n() requires an accumulate op, not set");
+  auto& rec = arrays_[id];
+  PPM_CHECK(count <= rec.n && first <= rec.n - count,
+            "accumulate span [%llu, +%llu) out of range (size %llu)",
+            static_cast<unsigned long long>(first),
+            static_cast<unsigned long long>(count),
+            static_cast<unsigned long long>(rec.n));
+  if (count == 0) return;
+  const uint32_t esz = rec.ops.size;
+  if (!opts_.owner_side_accumulate || phase_scope_ != PhaseScope::kGlobal ||
+      !rec.global) {
+    write_span(id, first, count, values, op);
+    return;
+  }
+  // Cyclic multi-node: a range record would degenerate to one element per
+  // owner switch — route elementwise (mirrors write_span's rule).
+  if (rec.dist == Distribution::kCyclic && node_count() > 1 &&
+      rec.mig_block_elems == 0) {
+    for (uint64_t j = 0; j < count; ++j) {
+      accumulate_elem(id, first + j, values + j * esz, op);
+    }
+    return;
+  }
+  if (opts_.access_overhead_ns > 0) {
+    engine_->advance_ns(
+        opts_.access_overhead_ns *
+        static_cast<int64_t>(std::max<uint64_t>(1, count / 8)));
+  }
+  Vp* vp = current_vp();
+  PPM_CHECK(vp != nullptr, "shared write inside a phase but outside a VP");
+  counters_.write_entries += count;
+  if (validator_) [[unlikely]] validator_->on_write(count);
+  const uint64_t end = first + count;
+  uint64_t g = first;
+  while (g < end) {
+    const int owner = rec.owner_of(g);
+    const uint64_t seg_end =
+        rec.mig_block_elems != 0
+            ? std::min(end,
+                       (g / rec.mig_block_elems + 1) * rec.mig_block_elems)
+            : std::min(end, (static_cast<uint64_t>(owner) + 1) * rec.chunk);
+    const uint32_t len = static_cast<uint32_t>(seg_end - g);
+    if (!rec.access_count.empty()) [[unlikely]] {
+      rec.access_count[g / rec.mig_block_elems] += len;
+    }
+    const std::byte* src = values + (g - first) * esz;
+    if (owner != node_) {
+      // One self-delimiting kAccumBlock record per owner segment: 12
+      // bytes smaller than the kBundle range entry it replaces.
+      counters_.reduction_bytes_saved += 12;
+      PeerState& ps = peer(owner);
+      ByteWriter& buf = accum_block_buffer(owner);
+      buf.put(id);
+      buf.put(static_cast<uint8_t>(op));
+      buf.put(g);
+      buf.put(len);
+      buf.put_raw(src, static_cast<size_t>(len) * esz);
+      if (opts_.combine_writes) {
+        // Later scalar accumulates must not fold into list items buffered
+        // BEFORE this record — the fold would reorder them past it.
+        // Dropping the map forfeits combining, never correctness.
+        auto& map = ps.accum_combine;
+        if (!map.empty()) map.clear();
+      }
+      if (options().eager_flush &&
+          ps.accum_list.size() + ps.accum_block.size() >=
+              options().flush_threshold_bytes) {
+        flush_accum_buffers(owner);
+      }
+    } else {
+      // Local segment: plain deferred range entry (same as write_span's
+      // local arm — applies in the ordered batch before any owner-side
+      // accums, which is exactly the fetch path's position for it).
+      const detail::WireEntryHeader hdr{
+          id,
+          static_cast<uint8_t>(static_cast<uint8_t>(op) |
+                               detail::kOpRangeBit),
+          g, vp->global_rank_, vp->next_seq_++};
+      detail::put_range_entry(local_log_, hdr, src, len, esz);
+    }
+    g = seg_end;
+  }
+}
+
+bool NodeRuntime::try_combine_accum(int dest_node, uint32_t array,
+                                    uint64_t index, const std::byte* value,
+                                    detail::WriteOp op,
+                                    const detail::ArrayRecord& rec) {
+  PeerState& ps = peer(dest_node);
+  const auto it = ps.accum_combine.find(ElemKey{array, index});
+  if (it == ps.accum_combine.end()) return false;
+  const CombineSlot& slot = it->second;
+  Vp* vp = current_vp();
+  // Same rule as try_combine: fold only when this accumulate extends the
+  // same VP's same-op run on the element's LAST buffered item — per-source
+  // item order (the owner's apply order) is then preserved exactly.
+  if (slot.vp_rank != vp->global_rank_ ||
+      slot.op != static_cast<uint8_t>(op)) {
+    return false;
+  }
+  std::byte* item_value = ps.accum_list.data() + slot.offset +
+                          sizeof(uint32_t) + sizeof(uint8_t) +
+                          sizeof(uint64_t);
+  rec.apply_op(item_value, value, op);
+  ++counters_.entries_combined;
+  return true;
+}
+
+ByteWriter& NodeRuntime::accum_list_buffer(int dest_node) {
+  ByteWriter& buf = peer(dest_node).accum_list;
+  if (buf.size() == 0) {
+    buf.put(epoch_);
+    buf.put<uint32_t>(0);  // item count, patched at flush
+  }
+  return buf;
+}
+
+ByteWriter& NodeRuntime::accum_block_buffer(int dest_node) {
+  ByteWriter& buf = peer(dest_node).accum_block;
+  if (buf.size() == 0) buf.put(epoch_);
+  return buf;
+}
+
+void NodeRuntime::flush_accum_buffers(int dest_node) {
+  PeerState& ps = peer(dest_node);
+  if (ps.accum_block.size() > kAccumBlockHeaderBytes) {
+    if (tracer_) [[unlikely]] {
+      trace_rec(trace::EventKind::kAccumFlush,
+                static_cast<uint64_t>(dest_node), ps.accum_block.size());
+    }
+    rt_send(dest_node, detail::rt_kind(detail::RtMsg::kAccumBlock),
+            std::move(ps.accum_block).take());
+    ps.accum_block = ByteWriter(pool_take());
+  }
+  if (ps.accum_list_items > 0) {
+    std::memcpy(ps.accum_list.data() + sizeof(uint64_t),
+                &ps.accum_list_items, sizeof(uint32_t));
+    if (tracer_) [[unlikely]] {
+      trace_rec(trace::EventKind::kAccumFlush,
+                static_cast<uint64_t>(dest_node), ps.accum_list.size(), 0,
+                trace::kFlagBit0);
+    }
+    rt_send(dest_node, detail::rt_kind(detail::RtMsg::kAccumList),
+            std::move(ps.accum_list).take());
+    ps.accum_list = ByteWriter(pool_take());
+    ps.accum_list_items = 0;
+    if (!ps.accum_combine.empty()) ps.accum_combine.clear();
+  }
+}
+
+void NodeRuntime::register_user_op(uint32_t id, int slot,
+                                   detail::UserAccumOp op) {
+  PPM_CHECK(id < arrays_.size(), "unknown shared array id %u", id);
+  PPM_CHECK(slot >= 0 && slot < 3,
+            "user accumulate slot %d out of range [0, 3)", slot);
+  PPM_CHECK(phase_scope_ == PhaseScope::kNone,
+            "register_accum_op must be called outside phases");
+  PPM_CHECK(op.apply != nullptr, "register_accum_op needs a function");
+  arrays_[id].user_ops[static_cast<size_t>(slot)] = op;
+  if (validator_) {
+    validator_->on_user_op_registered(
+        id,
+        static_cast<uint8_t>(static_cast<int>(detail::WriteOp::kUser0) +
+                             slot),
+        op.commutative);
+  }
 }
 
 ByteWriter& NodeRuntime::dest_buffer(int dest_node) {
@@ -1344,8 +1588,11 @@ void NodeRuntime::flush_all_bundles_final() {
   for (int dest = 0; dest < node_count(); ++dest) {
     if (dest == node_) continue;
     // Every peer gets exactly one last-marker fragment per phase (possibly
-    // header-only).
+    // header-only). Accum fragments ship FIRST: the per-(src, dst, port)
+    // FIFO then guarantees the owner staged them before the marker that
+    // completes its commit quorum.
     if (peers_.find(dest) != peers_.end()) {
+      flush_accum_buffers(dest);
       flush_bundle(dest, /*last=*/true);
       continue;
     }
@@ -1585,30 +1832,17 @@ void NodeRuntime::commit_global() {
   //    synchronous in the VP loop; writes were counted when logged), so
   //    the counters are final and ready to ship.
   const bool migrate_round = migration_round_due();
-  std::vector<Bytes> mig_counts;
   if (migrate_round) migration_in_progress_ = true;
 
-  // 3a. Global barrier: after it, no node still reads phase-start values
-  //     and all bundles are staged everywhere. On planning rounds the
-  //     barrier tokens carry each node's access counters (Bruck-style
-  //     dissemination), so the planner's allgather costs zero extra
-  //     latency rounds on top of the commit exchange.
-  if (migrate_round) {
-    ByteWriter w;
-    for (const uint32_t id : planned_array_ids()) {
-      w.put_vector(arrays_[id].access_count);
-    }
-    mig_counts = barrier_allgather(std::move(w).take());
-  } else {
-    barrier_global();
-  }
-
-  // 3b. Sanitizer: exchange SPMD-lockstep fingerprints while every node is
-  //     parked at this commit anyway (piggybacks on the token/allgather
-  //     path; no-op unless validate_phases).
-  validate_lockstep();
-
-  // 4. Apply local log + staged fragments in deterministic order.
+  // 4. Apply local log + staged fragments in deterministic order, then
+  //    the epoch's owner-side accumulate fragments (source node
+  //    ascending). This runs BEFORE the barrier — safe because every
+  //    peer's last marker is already in and demand reads are synchronous
+  //    inside the phase, so no current-epoch request can still arrive
+  //    (straggler prefetches only hit abandoned slots); the apply
+  //    consumes no virtual time, so the reorder is observationally
+  //    invisible. It must happen here so reduce partials below fold
+  //    post-commit values and ride the same barrier.
   std::vector<std::span<const std::byte>> buffers;
   buffers.emplace_back(local_log_.bytes());
   auto staged = staged_bundles_.find(epoch_);
@@ -1617,6 +1851,7 @@ void NodeRuntime::commit_global() {
   }
   if (validator_) validator_->begin_commit(/*global_phase=*/true, epoch_);
   apply_staged_entries(std::move(buffers));
+  apply_staged_accums();
   validate_commit_finish();
   local_log_.clear();  // keep the allocation for the next phase
   if (staged != staged_bundles_.end()) {
@@ -1626,13 +1861,58 @@ void NodeRuntime::commit_global() {
   }
   staged_last_markers_.erase(epoch_);
 
-  // 4b. Migration planning round: every node computes the identical plan
+  // 5. Global barrier: after it, no node still reads phase-start values
+  //    and all commits are applied everywhere. When a planning round or a
+  //    registered reduction is pending, the barrier tokens carry each
+  //    node's payload (Bruck-style dissemination) — migration access
+  //    counters first, reduce partial blobs appended at the tail — so
+  //    neither collective costs extra messages or latency rounds on top
+  //    of the commit exchange.
+  const size_t reduce_tail = pending_reduce_blob_bytes();
+  const size_t reduce_count = pending_reduces_.size() - reduces_resolved_;
+  std::vector<Bytes> barrier_blobs;
+  if (migrate_round || reduce_tail > 0) {
+    ByteWriter w;
+    if (migrate_round) {
+      for (const uint32_t id : planned_array_ids()) {
+        w.put_vector(arrays_[id].access_count);
+      }
+    }
+    if (reduce_tail > 0) {
+      const Bytes partials = build_reduce_partials();
+      w.put_raw(partials.data(), partials.size());
+      if (tracer_) [[unlikely]] {
+        trace_rec(trace::EventKind::kCommitReduce, reduce_count,
+                  reduce_tail);
+      }
+    }
+    if (node_count() > 1) {
+      barrier_blobs = barrier_allgather(std::move(w).take());
+    } else {
+      barrier_blobs.push_back(std::move(w).take());
+    }
+  } else {
+    barrier_global();
+  }
+
+  // 5b. Sanitizer: exchange SPMD-lockstep fingerprints while every node is
+  //     parked at this commit anyway (piggybacks on the token/allgather
+  //     path; no-op unless validate_phases).
+  validate_lockstep();
+
+  // 5c. Resolve registered reductions: fold the per-node partial blobs in
+  //     ascending node order — identical scalar on every node.
+  if (reduce_tail > 0) combine_reduce_partials(barrier_blobs, reduce_tail);
+
+  // 5d. Migration planning round: every node computes the identical plan
   //     from allgathered access counters, rewrites the owner maps, and
   //     exchanges the moving block payloads. Must run after the apply
   //     above (this phase's writes were routed by the old map) and before
   //     the epoch bump below (peers' new-epoch gets stay deferred until
-  //     the maps and storage agree again).
-  if (migrate_round) run_migration_round(std::move(mig_counts));
+  //     the maps and storage agree again). run_migration_round reads
+  //     exactly the counter vectors off each blob, so the reduce tail
+  //     bytes behind them are ignored.
+  if (migrate_round) run_migration_round(std::move(barrier_blobs));
 
   // 5. New epoch: phase-start snapshot changes, so the read cache dies.
   ++epoch_;
@@ -1920,9 +2200,17 @@ void NodeRuntime::apply_staged_entries(
   // and walking ranks ascending reproduces the fully sorted order in
   // O(n + V log V). A per-bucket ordering check guards the delivery
   // assumption and falls back to sorting just that bucket.
+  // User slots (kUser0..kUser2) always take the ordered path: their
+  // registration may be non-commutative, and (rank, seq) order is the
+  // only application order the model promises them.
+  constexpr uint8_t kUserOpMask =
+      (1u << static_cast<uint8_t>(detail::WriteOp::kUser0)) |
+      (1u << static_cast<uint8_t>(detail::WriteOp::kUser1)) |
+      (1u << static_cast<uint8_t>(detail::WriteOp::kUser2));
   const bool single_commutative_op =
       (op_mask & (op_mask - 1)) == 0 &&
-      (op_mask & (1u << static_cast<uint8_t>(detail::WriteOp::kSet))) == 0;
+      (op_mask & (1u << static_cast<uint8_t>(detail::WriteOp::kSet))) == 0 &&
+      (op_mask & kUserOpMask) == 0;
   std::vector<uint32_t> order;
   const auto seq_less = [&](uint32_t a, uint32_t b) {
     return entries[a].seq < entries[b].seq;
@@ -2002,8 +2290,8 @@ void NodeRuntime::apply_staged_entries(
       PPM_CHECK(local < rec.chunk_len,
                 "write entry for element %llu out of local range",
                 static_cast<unsigned long long>(e.index));
-      rec.ops.apply(rec.storage.data() + local * rec.ops.size, e.value,
-                    static_cast<detail::WriteOp>(e.op));
+      rec.apply_op(rec.storage.data() + local * rec.ops.size, e.value,
+                   static_cast<detail::WriteOp>(e.op));
       continue;
     }
     // Range entry: the writer segmented the run so it stays inside one
@@ -2020,12 +2308,186 @@ void NodeRuntime::apply_staged_entries(
       std::memcpy(dst, e.value, static_cast<size_t>(e.count) * rec.ops.size);
     } else {
       for (uint32_t j = 0; j < e.count; ++j) {
-        rec.ops.apply(dst + static_cast<size_t>(j) * rec.ops.size,
-                      e.value + static_cast<size_t>(j) * rec.ops.size,
-                      static_cast<detail::WriteOp>(e.op));
+        rec.apply_op(dst + static_cast<size_t>(j) * rec.ops.size,
+                     e.value + static_cast<size_t>(j) * rec.ops.size,
+                     static_cast<detail::WriteOp>(e.op));
       }
     }
   }
+}
+
+void NodeRuntime::apply_staged_accums() {
+  PPM_CHECK(staged_accums_.empty() ||
+                staged_accums_.begin()->first >= epoch_,
+            "stale accumulate fragments left behind");
+  const auto it = staged_accums_.find(epoch_);
+  if (it == staged_accums_.end()) return;
+  auto& frags = it->second;
+  // Owner-side order: source node ascending, per-source arrival order
+  // (= that source's program order — fragments between one src/dst pair
+  // deliver in order, and items within a fragment are appended in program
+  // order). stable_sort keeps the per-source sequence.
+  std::stable_sort(frags.begin(), frags.end(),
+                   [](const StagedAccum& a, const StagedAccum& b) {
+                     return a.src < b.src;
+                   });
+  const int rounds = detail::g_stress_double_apply_accums ? 2 : 1;
+  uint64_t applied = 0;
+  for (int round = 0; round < rounds; ++round) {
+    for (const StagedAccum& f : frags) {
+      ByteReader r(f.payload);
+      (void)r.get<uint64_t>();  // epoch (validated at arrival)
+      // Synthetic writer id for the conflict scan: owner-side entries
+      // carry no vp_rank, so tag them per source node above the VP rank
+      // space (bit 63 is never a real rank).
+      const uint64_t writer =
+          (uint64_t{1} << 63) | static_cast<uint64_t>(f.src);
+      if (f.list) {
+        const auto n = r.get<uint32_t>();
+        for (uint32_t k = 0; k < n; ++k) {
+          const auto id = r.get<uint32_t>();
+          const auto op = static_cast<detail::WriteOp>(r.get<uint8_t>());
+          const auto index = r.get<uint64_t>();
+          auto& rec = arrays_[id];
+          const auto value = r.view(rec.ops.size);
+          PPM_CHECK(rec.owner_of(index) == node_,
+                    "accumulate item for element %llu not owned by node %d",
+                    static_cast<unsigned long long>(index), node_);
+          if (validator_) [[unlikely]] {
+            validator_->on_commit_entry(id, index,
+                                        static_cast<uint8_t>(op), writer);
+          }
+          rec.apply_op(
+              rec.storage.data() + rec.local_of(index) * rec.ops.size,
+              value.data(), op);
+          ++applied;
+        }
+      } else {
+        while (!r.exhausted()) {
+          const auto id = r.get<uint32_t>();
+          const auto op = static_cast<detail::WriteOp>(r.get<uint8_t>());
+          const auto first = r.get<uint64_t>();
+          const auto count = r.get<uint32_t>();
+          auto& rec = arrays_[id];
+          const uint32_t esz = rec.ops.size;
+          const auto values = r.view(static_cast<size_t>(count) * esz);
+          PPM_CHECK(rec.owner_of(first) == node_ &&
+                        rec.owner_of(first + count - 1) == node_,
+                    "accumulate range [%llu, +%u) not owned by node %d",
+                    static_cast<unsigned long long>(first), count, node_);
+          const uint64_t local = rec.local_of(first);
+          PPM_CHECK(local + count <= rec.chunk_len,
+                    "accumulate range [%llu, +%u) out of local range",
+                    static_cast<unsigned long long>(first), count);
+          std::byte* dst = rec.storage.data() + local * esz;
+          for (uint32_t j = 0; j < count; ++j) {
+            if (validator_) [[unlikely]] {
+              validator_->on_commit_entry(id, first + j,
+                                          static_cast<uint8_t>(op), writer);
+            }
+            rec.apply_op(dst + static_cast<size_t>(j) * esz,
+                         values.data() + static_cast<size_t>(j) * esz, op);
+          }
+          applied += count;
+        }
+      }
+    }
+  }
+  counters_.accums_executed += applied;
+  if (tracer_) [[unlikely]] {
+    trace_rec(trace::EventKind::kAccumApply, frags.size(), applied);
+  }
+  for (StagedAccum& f : frags) pool_put(std::move(f.payload));
+  staged_accums_.erase(it);
+}
+
+// ---------------------------------------------------------------------------
+// Remote reduction (rides the commit barrier)
+// ---------------------------------------------------------------------------
+
+size_t NodeRuntime::register_reduce(PendingReduce pr) {
+  PPM_CHECK(phase_scope_ == PhaseScope::kNone,
+            "register_reduce must be called outside phases");
+  PPM_CHECK(pr.partial != nullptr && pr.combine != nullptr,
+            "register_reduce needs partial and combine thunks");
+  PPM_CHECK(pr.array_a < arrays_.size() && arrays_[pr.array_a].global,
+            "reduce needs a global shared array");
+  if (pr.array_b != UINT32_MAX) {
+    PPM_CHECK(pr.array_b < arrays_.size() && arrays_[pr.array_b].global,
+              "reduce (dot form) needs a global shared array");
+  }
+  pending_reduces_.push_back(std::move(pr));
+  return pending_reduces_.size() - 1;
+}
+
+const NodeRuntime::PendingReduce& NodeRuntime::reduce_result(
+    size_t handle) const {
+  PPM_CHECK(handle < pending_reduces_.size(), "unknown reduce handle %zu",
+            handle);
+  const PendingReduce& pr = pending_reduces_[handle];
+  PPM_CHECK(pr.done,
+            "reduce result read before the resolving global commit");
+  return pr;
+}
+
+size_t NodeRuntime::pending_reduce_blob_bytes() const {
+  size_t total = 0;
+  for (size_t i = reduces_resolved_; i < pending_reduces_.size(); ++i) {
+    total += 1 + arrays_[pending_reduces_[i].array_a].ops.size;
+  }
+  return total;
+}
+
+Bytes NodeRuntime::build_reduce_partials() {
+  ByteWriter w;
+  for (size_t i = reduces_resolved_; i < pending_reduces_.size(); ++i) {
+    const PendingReduce& pr = pending_reduces_[i];
+    Bytes blob;
+    pr.partial(*this, pr, &blob);
+    PPM_CHECK(blob.size() == 1 + arrays_[pr.array_a].ops.size,
+              "reduce partial blob has the wrong size");
+    w.put_raw(blob.data(), blob.size());
+  }
+  return std::move(w).take();
+}
+
+void NodeRuntime::combine_reduce_partials(const std::vector<Bytes>& all,
+                                          size_t tail_bytes) {
+  // Every node appended the same partial layout (registration is
+  // SPMD-collective), so the blobs parse off the tail of each node's
+  // barrier payload. Folding ascending node order makes the combined
+  // scalar bit-identical on every node.
+  const int p = node_count();
+  std::vector<std::span<const std::byte>> tails(static_cast<size_t>(p));
+  for (int n = 0; n < p; ++n) {
+    const Bytes& b = all[static_cast<size_t>(n)];
+    PPM_CHECK(b.size() >= tail_bytes,
+              "commit barrier payload too short for reduce partials");
+    tails[static_cast<size_t>(n)] =
+        std::span<const std::byte>(b.data() + b.size() - tail_bytes,
+                                   tail_bytes);
+  }
+  size_t off = 0;
+  for (size_t i = reduces_resolved_; i < pending_reduces_.size(); ++i) {
+    PendingReduce& pr = pending_reduces_[i];
+    const uint32_t esz = arrays_[pr.array_a].ops.size;
+    const size_t blob_bytes = 1 + esz;
+    Bytes acc(blob_bytes, std::byte{0});  // has_value = 0: empty fold seed
+    for (int n = 0; n < p; ++n) {
+      const auto& tail = tails[static_cast<size_t>(n)];
+      Bytes other(tail.begin() + off, tail.begin() + off + blob_bytes);
+      pr.combine(*this, pr, &acc, other);
+    }
+    pr.result = std::move(acc);
+    pr.done = true;
+    // A standalone allreduce would have shipped this scalar to and from a
+    // root: elem_size bytes per non-self node, saved by riding the commit
+    // barrier's dissemination tokens.
+    counters_.reduction_bytes_saved +=
+        static_cast<uint64_t>(esz) * static_cast<uint64_t>(p - 1);
+    off += blob_bytes;
+  }
+  reduces_resolved_ = pending_reduces_.size();
 }
 
 // ---------------------------------------------------------------------------
@@ -2158,6 +2620,12 @@ void NodeRuntime::service_loop() {
       }
       case detail::RtMsg::kBundle:
         handle_bundle(std::move(msg));
+        break;
+      case detail::RtMsg::kAccumBlock:
+        handle_accum(std::move(msg), /*list=*/false);
+        break;
+      case detail::RtMsg::kAccumList:
+        handle_accum(std::move(msg), /*list=*/true);
         break;
       case detail::RtMsg::kMigrateBlock: {
         // Stage only: run_migration_round applies arrivals after all of
@@ -2351,6 +2819,60 @@ void NodeRuntime::handle_bundle(net::Message msg) {
   }
   // The delivered buffer's capacity feeds the sender-side free pool.
   pool_put(std::move(msg.payload));
+}
+
+void NodeRuntime::handle_accum(net::Message msg, bool list) {
+  // Validate the whole frame up front (like the fetch handlers): a
+  // garbled fragment is rejected at arrival with a protocol error instead
+  // of corrupting a later commit. ByteReader throws on truncation.
+  ByteReader r(msg.payload);
+  const auto epoch = r.get<uint64_t>();
+  PPM_CHECK(epoch >= epoch_,
+            "accumulate fragment for already-committed epoch %llu (at %llu)",
+            static_cast<unsigned long long>(epoch),
+            static_cast<unsigned long long>(epoch_));
+  const auto check_item_head = [&](uint32_t id, uint8_t op) {
+    PPM_CHECK(id < arrays_.size(),
+              "accumulate fragment names unknown array %u", id);
+    PPM_CHECK(op < 8 &&
+                  detail::is_accum_op(static_cast<detail::WriteOp>(op)),
+              "accumulate fragment carries invalid op %u",
+              static_cast<unsigned>(op));
+    PPM_CHECK(arrays_[id].global,
+              "accumulate fragment targets node-shared array %u", id);
+  };
+  if (list) {
+    const auto n = r.get<uint32_t>();
+    for (uint32_t k = 0; k < n; ++k) {
+      const auto id = r.get<uint32_t>();
+      const auto op = r.get<uint8_t>();
+      check_item_head(id, op);
+      const auto index = r.get<uint64_t>();
+      PPM_CHECK(index < arrays_[id].n,
+                "accumulate item index %llu out of range",
+                static_cast<unsigned long long>(index));
+      (void)r.view(arrays_[id].ops.size);
+    }
+    PPM_CHECK(r.exhausted(), "garbled kAccumList payload (trailing bytes)");
+  } else {
+    while (!r.exhausted()) {
+      const auto id = r.get<uint32_t>();
+      const auto op = r.get<uint8_t>();
+      check_item_head(id, op);
+      const auto first = r.get<uint64_t>();
+      const auto count = r.get<uint32_t>();
+      const auto& rec = arrays_[id];
+      PPM_CHECK(count > 0 && count <= rec.n && first <= rec.n - count,
+                "accumulate range [%llu, +%u) out of range",
+                static_cast<unsigned long long>(first), count);
+      (void)r.view(static_cast<size_t>(count) * rec.ops.size);
+    }
+  }
+  StagedAccum sa;
+  sa.src = msg.src_node;
+  sa.list = list;
+  sa.payload = std::move(msg.payload);
+  staged_accums_[epoch].push_back(std::move(sa));
 }
 
 void NodeRuntime::handle_token(net::Message msg) {

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
 #include <cstring>
 #include <deque>
@@ -91,6 +92,9 @@ ElemOps elem_ops() {
       return;
     }
     if constexpr (std::is_arithmetic_v<T>) {
+      PPM_CHECK(!is_user_op(op),
+                "user accumulate op reached the arithmetic apply (dispatch "
+                "through ArrayRecord::apply_op)");
       T cur, val;
       std::memcpy(&cur, elem, sizeof(T));
       std::memcpy(&val, value, sizeof(T));
@@ -98,7 +102,8 @@ ElemOps elem_ops() {
         case WriteOp::kAdd: cur = cur + val; break;
         case WriteOp::kMin: cur = std::min(cur, val); break;
         case WriteOp::kMax: cur = std::max(cur, val); break;
-        case WriteOp::kSet: break;
+        case WriteOp::kMul: cur = cur * val; break;
+        default: break;
       }
       std::memcpy(elem, &cur, sizeof(T));
     } else {
@@ -107,6 +112,17 @@ ElemOps elem_ops() {
   };
   return ops;
 }
+
+/// A user-registered accumulate operation (Env::register_accum_op): a
+/// captureless thunk plus the user's function pointer it forwards to.
+/// `commutative` is the user's declaration; ppm::check enforces the
+/// single-entry-per-element contract for slots declared non-commutative.
+struct UserAccumOp {
+  void (*apply)(std::byte* elem, const std::byte* value,
+                const void* fn) = nullptr;
+  const void* fn = nullptr;
+  bool commutative = true;
+};
 
 struct ArrayRecord {
   uint32_t id = 0;
@@ -141,6 +157,28 @@ struct ArrayRecord {
   // planning round. Mutable: recorded through const handles on the read
   // fast path. Empty unless the array is owner-mapped.
   mutable std::vector<uint64_t> access_count;
+
+  // User accumulate slots (WriteOp::kUser0..kUser2), registered through
+  // Env::register_accum_op before any phase uses them. SPMD-collective:
+  // every node must register the same slots with equivalent functions.
+  std::array<UserAccumOp, 3> user_ops{};
+
+  /// Apply one write op to an element, dispatching user slots to their
+  /// registered thunks and everything else to the arithmetic ops.
+  void apply_op(std::byte* elem, const std::byte* value, WriteOp op) const {
+    if (is_user_op(op)) [[unlikely]] {
+      const auto& u =
+          user_ops[static_cast<size_t>(op) -
+                   static_cast<size_t>(WriteOp::kUser0)];
+      PPM_CHECK(u.apply != nullptr,
+                "user accumulate op %u used on array %u without "
+                "register_accum_op",
+                static_cast<unsigned>(op), id);
+      u.apply(elem, value, u.fn);
+      return;
+    }
+    ops.apply(elem, value, op);
+  }
 
   /// Node owning global element i.
   int owner_of(uint64_t i) const {
@@ -197,6 +235,14 @@ struct ArrayRecord {
 /// REVERSED (vp_rank, seq) order — a planted phase-semantics bug that the
 /// differential oracle must flag. Never set outside tests.
 inline bool g_stress_flip_commit_order = false;
+
+/// Second planted bug, for the owner-side accumulate path: when set, every
+/// staged kAccumList/kAccumBlock fragment is applied twice at commit — the
+/// classic at-least-once-delivery bug an idempotence-free accumulate
+/// protocol must never have. The stress harness's self-test proves the
+/// differential oracle catches it with a shrunk repro. Never set outside
+/// tests.
+inline bool g_stress_double_apply_accums = false;
 
 }  // namespace detail
 
@@ -383,6 +429,62 @@ class NodeRuntime {
   void write_span(uint32_t id, uint64_t first, uint64_t count,
                   const std::byte* values, detail::WriteOp op);
 
+  /// Owner-side accumulate: a commutative read-modify-write executed at
+  /// the element's owner during commit, shipped through the compact
+  /// kAccumList wire fragments (no per-entry (vp_rank, seq)). Inside a
+  /// phase the visible semantics match write_elem with the same accumulate
+  /// op: reads keep seeing the phase-start value, the update lands at
+  /// commit. The op must be exactly commutative and associative over T
+  /// (integer add/min/max/mul, XOR, ...) OR touch each element from at
+  /// most one writer per phase — owner-side application is grouped by
+  /// source node, not interleaved by VP rank, which is indistinguishable
+  /// exactly under that contract (ppm::check enforces it for ops
+  /// registered non-commutative). Local elements, node-shared arrays,
+  /// writes outside phases, and owner_side_accumulate=false all fall back
+  /// to the plain write_elem path.
+  void accumulate_elem(uint32_t id, uint64_t index, const std::byte* value,
+                       detail::WriteOp op);
+  /// Contiguous accumulate run: accumulate_elem over [first, first+count),
+  /// shipped as one kAccumBlock range record per owner segment.
+  void accumulate_span(uint32_t id, uint64_t first, uint64_t count,
+                       const std::byte* values, detail::WriteOp op);
+
+  /// Register a user accumulate function for one of the kUser0..kUser2
+  /// slots of an array (SPMD-collective, outside phases). See
+  /// Env::register_accum_op for the typed front end.
+  void register_user_op(uint32_t id, int slot, detail::UserAccumOp op);
+
+  // ---- Remote reduction (rides the commit barrier) ----
+
+  /// One registered reduction, resolved at the next global-phase commit:
+  /// after the commit applies its write batch, each node folds its OWNED
+  /// elements in ascending global-index order into a partial blob
+  /// ([u8 has_value][elem bytes]); the blobs ride the commit barrier's
+  /// dissemination tokens (zero extra messages), and every node folds the
+  /// per-node partials in ascending node order — so all nodes compute the
+  /// identical scalar, bit-equal to a local fold over the whole array in
+  /// ascending index order followed by an ascending-node combine (the
+  /// order dot()/reduce_array produce for block layouts).
+  struct PendingReduce {
+    uint32_t array_a = 0;
+    uint32_t array_b = UINT32_MAX;  // dot form when != UINT32_MAX
+    uint8_t op = 0;                 // WriteOp value (single-array form)
+    /// Fold this node's owned elements into `out` (typed thunk from Env).
+    void (*partial)(NodeRuntime&, const PendingReduce&, Bytes* out) =
+        nullptr;
+    /// Fold `other` into `acc` (both partial blobs). Receives the runtime
+    /// and the registration so one captureless thunk can dispatch through
+    /// the array's op table (including user slots).
+    void (*combine)(NodeRuntime&, const PendingReduce&, Bytes* acc,
+                    const Bytes& other) = nullptr;
+    Bytes result;
+    bool done = false;
+  };
+  /// Register a reduction (SPMD-collective, before the global phase whose
+  /// commit should resolve it). Returns a handle for reduce_result.
+  size_t register_reduce(PendingReduce pr);
+  const PendingReduce& reduce_result(size_t handle) const;
+
   int owner_of(uint32_t id, uint64_t index) const;
 
   // ---- Virtual processor groups and phases ----
@@ -416,6 +518,8 @@ class NodeRuntime {
     uint64_t prefetch_issued = 0;   // lookahead block fetches sent
     uint64_t prefetch_hits = 0;     // prefetched blocks demanded before use
     uint64_t entries_combined = 0;  // writes folded into buffered entries
+    uint64_t accums_executed = 0;   // owner-side accum elements applied
+    uint64_t reduction_bytes_saved = 0;  // see RunResult
     uint64_t blocks_migrated = 0;   // migration blocks sent to a new owner
     uint64_t migration_bytes = 0;   // element bytes those blocks carried
     uint64_t remote_to_local_conversions = 0;  // see RunResult
@@ -533,6 +637,9 @@ class NodeRuntime {
   void handle_get(net::Message msg);
   void serve_get(const net::Message& msg);
   void handle_bundle(net::Message msg);
+  /// Stage one kAccumList/kAccumBlock fragment for its epoch's commit
+  /// (validating the payload frame up front, like handle_bundle).
+  void handle_accum(net::Message msg, bool list);
   void handle_token(net::Message msg);
   void serve_deferred_gets();
 
@@ -599,9 +706,30 @@ class NodeRuntime {
   /// Fold this write into an earlier buffered entry for the same (array,
   /// element) when legal (same VP, compatible op). True when combined.
   bool try_combine(int dest_node, const detail::WireEntryHeader& hdr,
-                   const std::byte* value, const detail::ElemOps& ops);
+                   const std::byte* value, const detail::ArrayRecord& rec);
   void maybe_eager_flush(int dest_node);
   void flush_all_bundles_final();
+
+  // Owner-side accumulate (sender side). Scalar items collect in a
+  // per-peer kAccumList buffer (u64 epoch + u32 item count header, count
+  // patched at flush), contiguous runs in a kAccumBlock buffer (u64 epoch
+  // header, self-delimiting records). Both flush at the eager-flush
+  // threshold and, unconditionally, right before the peer's final kBundle
+  // last-marker — pairwise FIFO then guarantees the owner staged every
+  // fragment before the marker that completes its commit quorum.
+  static constexpr size_t kAccumListHeaderBytes =
+      sizeof(uint64_t) + sizeof(uint32_t);
+  static constexpr size_t kAccumBlockHeaderBytes = sizeof(uint64_t);
+  ByteWriter& accum_list_buffer(int dest_node);
+  ByteWriter& accum_block_buffer(int dest_node);
+  /// Ship a peer's pending accum fragments (no-op when empty).
+  void flush_accum_buffers(int dest_node);
+  /// Fold a scalar accumulate into the peer's latest buffered item for
+  /// the same (array, element) when it came from the same VP with the
+  /// same op (mirrors try_combine). True when folded.
+  bool try_combine_accum(int dest_node, uint32_t array, uint64_t index,
+                         const std::byte* value, detail::WriteOp op,
+                         const detail::ArrayRecord& rec);
   Bytes pool_take();
   void pool_put(Bytes b);
   /// Clear a destination's combine map but keep its table at high-water
@@ -631,6 +759,19 @@ class NodeRuntime {
   void commit_global();
   void commit_node();
   void apply_staged_entries(std::vector<std::span<const std::byte>> buffers);
+  /// Apply the current epoch's staged kAccumList/kAccumBlock fragments,
+  /// grouped by source node ascending (per-source arrival order = that
+  /// source's program order), after the ordered entry batch.
+  void apply_staged_accums();
+
+  // Pending-reduce plumbing (commit side). Partial blobs are appended to
+  // the barrier_allgather payload AFTER the migration counter vectors;
+  // their total size is SPMD-replicated (registration is collective), so
+  // every node parses them back off the tail of each peer blob.
+  size_t pending_reduce_blob_bytes() const;
+  Bytes build_reduce_partials();
+  void combine_reduce_partials(const std::vector<Bytes>& all,
+                               size_t tail_bytes);
 
   // ppm::check integration: scan one commit batch (wraps the validator's
   // begin/finish around apply_staged_entries' entry walk) and exchange
@@ -766,6 +907,13 @@ class NodeRuntime {
     std::unordered_map<ElemKey, CombineSlot, ElemKeyHash> combine;
     size_t combine_hwm = 0;
     std::vector<QueuedFetch> fetch_backlog;
+    // Owner-side accumulate fragments (epoch headers inline; see
+    // accum_list_buffer/accum_block_buffer). accum_combine mirrors the
+    // bundle combine map, with offsets into accum_list.
+    ByteWriter accum_list;
+    ByteWriter accum_block;
+    uint32_t accum_list_items = 0;
+    std::unordered_map<ElemKey, CombineSlot, ElemKeyHash> accum_combine;
   };
   std::unordered_map<int, PeerState> peers_;
   PeerState& peer(int dest_node) { return peers_[dest_node]; }
@@ -782,6 +930,22 @@ class NodeRuntime {
   // Bundle staging (service side), keyed by epoch.
   std::map<uint64_t, std::vector<Bytes>> staged_bundles_;
   std::map<uint64_t, int> staged_last_markers_;
+
+  // Accumulate-fragment staging (service side), keyed by epoch. Fragments
+  // keep their source node so the commit can apply them grouped by source
+  // ascending (per-source arrival order = that source's program order).
+  struct StagedAccum {
+    int src = 0;
+    bool list = false;  // kAccumList payload (else kAccumBlock)
+    Bytes payload;
+  };
+  std::map<uint64_t, std::vector<StagedAccum>> staged_accums_;
+
+  // Reductions registered for the next global commit. Resolved entries
+  // stay until the program re-registers (handles are indices); the
+  // resolved prefix is tracked so repeated commits skip done work.
+  std::vector<PendingReduce> pending_reduces_;
+  size_t reduces_resolved_ = 0;
 
   // Deferred get requests from nodes ahead of our commit.
   std::vector<net::Message> deferred_gets_;

@@ -20,6 +20,28 @@
 
 namespace ppm {
 
+/// Which accumulate operation accumulate()/accumulate_n() and
+/// Env::reduce() apply. Values mirror detail::WriteOp (sans kSet), so the
+/// selector crosses the wire unchanged; kUser0..kUser2 are the slots
+/// filled by Env::register_accum_op.
+enum class ReduceOp : uint8_t {
+  kAdd = 1,
+  kMin = 2,
+  kMax = 3,
+  kMul = 4,
+  kUser0 = 5,
+  kUser1 = 6,
+  kUser2 = 7,
+};
+
+static_assert(static_cast<uint8_t>(ReduceOp::kAdd) ==
+                  static_cast<uint8_t>(detail::WriteOp::kAdd) &&
+              static_cast<uint8_t>(ReduceOp::kMul) ==
+                  static_cast<uint8_t>(detail::WriteOp::kMul) &&
+              static_cast<uint8_t>(ReduceOp::kUser2) ==
+                  static_cast<uint8_t>(detail::WriteOp::kUser2),
+              "ReduceOp must mirror detail::WriteOp");
+
 /// One logical array distributed block-wise across all nodes
 /// (PPM_global_shared).
 template <typename T>
@@ -58,6 +80,34 @@ class GlobalShared {
   void max_update(uint64_t i, const T& v) {
     rt_->write_elem(id_, i, reinterpret_cast<const std::byte*>(&v),
                     detail::WriteOp::kMax);
+  }
+
+  /// Owner-side accumulate: same committed result as add()/min_update()/
+  /// ... with the matching op, but remote elements ship their (op, value)
+  /// to the owner through the compact kAccumList/kAccumBlock wire
+  /// fragments and apply there at commit — no per-entry (vp_rank, seq)
+  /// bytes, no fetch round trip. See NodeRuntime::accumulate_elem for the
+  /// commutativity contract; with RuntimeOptions::owner_side_accumulate
+  /// off this degrades to the plain deferred-write path bit-identically.
+  void accumulate(uint64_t i, ReduceOp op, const T& v) {
+    rt_->accumulate_elem(id_, i, reinterpret_cast<const std::byte*>(&v),
+                         static_cast<detail::WriteOp>(op));
+  }
+
+  /// Bulk accumulate over [first, first+count) — as if accumulate() were
+  /// called at consecutive indices in order; remote segments ship as one
+  /// kAccumBlock range record per owner.
+  void accumulate_n(uint64_t first, uint64_t count, ReduceOp op,
+                    const T* values) {
+    if (rt_->options().bulk_access) {
+      rt_->accumulate_span(id_, first, count,
+                           reinterpret_cast<const std::byte*>(values),
+                           static_cast<detail::WriteOp>(op));
+      return;
+    }
+    for (uint64_t j = 0; j < count; ++j) {
+      accumulate(first + j, op, values[j]);
+    }
   }
 
   /// Zero-copy read: a reference to the element's phase-start value,
@@ -264,6 +314,27 @@ class NodeShared {
   void max_update(uint64_t i, const T& v) {
     rt_->write_elem(id_, i, reinterpret_cast<const std::byte*>(&v),
                     detail::WriteOp::kMax);
+  }
+
+  /// Accumulate with a selectable op. Node-shared storage is always
+  /// local, so this is the plain deferred-write path; the selector exists
+  /// for parity with GlobalShared::accumulate (one generator/test body
+  /// can drive both array kinds).
+  void accumulate(uint64_t i, ReduceOp op, const T& v) {
+    rt_->accumulate_elem(id_, i, reinterpret_cast<const std::byte*>(&v),
+                         static_cast<detail::WriteOp>(op));
+  }
+  void accumulate_n(uint64_t first, uint64_t count, ReduceOp op,
+                    const T* values) {
+    if (rt_->options().bulk_access) {
+      rt_->accumulate_span(id_, first, count,
+                           reinterpret_cast<const std::byte*>(values),
+                           static_cast<detail::WriteOp>(op));
+      return;
+    }
+    for (uint64_t j = 0; j < count; ++j) {
+      accumulate(first + j, op, values[j]);
+    }
   }
 
   // -- Span-style bulk access (RuntimeOptions::bulk_access); see

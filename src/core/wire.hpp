@@ -41,6 +41,23 @@ enum class RtMsg : uint8_t {
   // epoch is legal only when every item is a prefetch (mirrors
   // kPrefetchBlock's drop rule).
   kGetBlockList = 9,
+  // Owner-side accumulate fragment, range form: contiguous accumulate runs
+  // (accumulate_n) for one destination. Payload: u64 epoch, then repeated
+  // records of u32 array, u8 op, u64 first (global index), u32 count,
+  // count * elem_size value bytes. Commutative ops carry no (vp_rank, seq)
+  // — the owner applies them after the ordered entry batch of the same
+  // commit, grouped by source node ascending — which is what makes each
+  // record 12 bytes smaller than the kBundle range entry it replaces.
+  // Flushed before the sender's final kBundle last-marker, so the
+  // per-(src, dst, port) FIFO floor guarantees arrival before the commit
+  // that consumes it; no reply.
+  kAccumBlock = 10,
+  // Owner-side accumulate fragment, scalar form: individual accumulate(i)
+  // items. Payload: u64 epoch, u32 item count, then per item u32 array,
+  // u8 op, u64 index (global), elem_size value bytes — 12 bytes smaller
+  // per item than the kBundle scalar entry (vp_rank + seq dropped). Same
+  // ordering and flush contract as kAccumBlock.
+  kAccumList = 11,
 };
 
 inline uint64_t rt_kind(RtMsg m) {
@@ -73,13 +90,31 @@ inline uint32_t rt_run_tag(uint64_t kind) {
 /// owner's latest committed values (reads outside global phases).
 inline constexpr uint64_t kAsyncEpoch = ~uint64_t{0};
 
-/// Write operations a VP can perform on a shared element.
+/// Write operations a VP can perform on a shared element. Values must
+/// stay in [0, 8): commit builds per-element masks as `1u << op` in a
+/// uint8_t (see apply_staged_entries and check::ElemState::op_mask).
 enum class WriteOp : uint8_t {
   kSet = 0,  // last-writer-wins, ordered by (global VP rank, VP-local seq)
   kAdd = 1,  // commutative accumulate
   kMin = 2,
   kMax = 3,
+  kMul = 4,  // commutative accumulate (product)
+  // User-registered accumulate slots (Env::register_accum_op). The
+  // registered function must be commutative and associative for
+  // deterministic results; ppm::check enforces single-entry access per
+  // element per phase when a slot is registered non-commutative.
+  kUser0 = 5,
+  kUser1 = 6,
+  kUser2 = 7,
 };
+
+/// True for every op that combines with the element's prior value
+/// (everything except plain kSet).
+inline bool is_accum_op(WriteOp op) { return op != WriteOp::kSet; }
+/// True for the user-registered accumulate slots.
+inline bool is_user_op(WriteOp op) {
+  return static_cast<uint8_t>(op) >= static_cast<uint8_t>(WriteOp::kUser0);
+}
 
 /// Range-entry marker: a write entry whose op byte has this bit set covers
 /// a contiguous element run instead of a single element. The header's

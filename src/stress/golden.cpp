@@ -8,12 +8,26 @@ namespace ppm::stress {
 
 namespace {
 
+// Reference semantics for every write op the generator can emit. A new
+// wire op MUST be taught here before the generator samples it (see
+// TESTING.md "Registering a new wire op with the golden interpreter"):
+// the runtime side routes through ArrayRecord::apply_op, and the two
+// definitions drifting apart is exactly the bug class the differential
+// harness exists to catch. kUser0 is the harness's one registered user
+// slot: XOR, which commutes exactly on uint64.
 void apply(uint64_t& elem, detail::WriteOp op, uint64_t v) {
   switch (op) {
     case detail::WriteOp::kSet: elem = v; break;
     case detail::WriteOp::kAdd: elem += v; break;
     case detail::WriteOp::kMin: elem = std::min(elem, v); break;
     case detail::WriteOp::kMax: elem = std::max(elem, v); break;
+    case detail::WriteOp::kMul: elem *= v; break;
+    case detail::WriteOp::kUser0: elem ^= v; break;
+    case detail::WriteOp::kUser1:
+    case detail::WriteOp::kUser2:
+      PPM_CHECK(false, "golden interpreter: op %u has no reference "
+                "semantics registered",
+                static_cast<unsigned>(op));
   }
 }
 

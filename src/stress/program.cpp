@@ -40,7 +40,11 @@ const char* accum_name(uint8_t op) {
     case detail::WriteOp::kAdd: return "add";
     case detail::WriteOp::kMin: return "min";
     case detail::WriteOp::kMax: return "max";
+    case detail::WriteOp::kMul: return "mul";
     case detail::WriteOp::kSet: return "set";
+    case detail::WriteOp::kUser0: return "xor";  // the harness's user slot
+    case detail::WriteOp::kUser1: return "user1";
+    case detail::WriteOp::kUser2: return "user2";
   }
   return "?";
 }
@@ -241,13 +245,20 @@ ProgramSpec generate_program(uint64_t seed, const GenLimits& limits) {
       const uint64_t want_ia_set = rng.next_below(4);
       op.ia = 1 + rng.next_below(8);
       op.ib = rng.next_below(64);
-      op.accum_op = static_cast<uint8_t>(1 + rng.next_below(3));
+      // Full accumulate spectrum: add/min/max/mul plus the registered
+      // kUser0 XOR slot — each commutes exactly with itself on uint64, so
+      // overlapping index sets stay check-clean and bit-reproducible no
+      // matter whether the runtime ships them as bundle entries or
+      // owner-side kAccum fragments.
+      op.accum_op = static_cast<uint8_t>(1 + rng.next_below(5));
       if (op.kind == OpKind::kBulk) {
-        // Run length, and a flavor the bulk path supports (set_n/add_n).
+        // Run length, plus a flavor: set runs stay on set_n; accumulate
+        // runs go through accumulate_n, mixing kAccumBlock range records
+        // with the scalar kAccumList traffic in the same phase.
         op.gather_count = 1 + static_cast<uint32_t>(rng.next_below(6));
         op.accum_op = rng.next_below(2) == 0
                           ? static_cast<uint8_t>(detail::WriteOp::kSet)
-                          : static_cast<uint8_t>(detail::WriteOp::kAdd);
+                          : static_cast<uint8_t>(1 + rng.next_below(5));
       }
       Category& c = cat[op.target];
       if (!cat_set[op.target]) {

@@ -16,7 +16,9 @@
 //   * per (phase, target array) there is exactly one write category —
 //     either set() with one shared index expression rank + ia (distinct
 //     VPs hit distinct elements), or a single accumulate kind (kAdd/kMin/
-//     kMax commute with themselves);
+//     kMax/kMul and the registered kUser0 XOR all commute exactly with
+//     themselves on uint64, which also keeps owner-side kAccum delivery
+//     bit-identical to the fetch-based bundle path);
 //   * values written to GLOBAL arrays never read node-shared state (whose
 //     contents legitimately depend on the node count);
 //   * node phases touch node-shared arrays only.
@@ -40,18 +42,21 @@ enum class OpKind : uint8_t {
   kAccum,     // target[(ia*rank + ib) % n] op= value  (op = accum_op)
   kGather,    // value += sum(gather(source, idxs)); then like kAccum w/ kAdd
   kPrefetch,  // prefetch(source, idxs); no write
-  // Bulk run write through set_n/add_n: target[rank*len + ia + j] for
-  // j < len (len = gather_count; clamped at n, skipped when the start is
-  // past the end). accum_op 0 writes set-flavor, 1 add-flavor. Distinct
-  // ranks cover disjoint runs, so a bulk target stays check-clean; the
-  // generator makes bulk targets exclusive (every writer of that target
-  // in the phase uses the identical run shape).
+  // Bulk run write through set_n/accumulate_n: target[rank*len + ia + j]
+  // for j < len (len = gather_count; clamped at n, skipped when the start
+  // is past the end). accum_op 0 writes set-flavor; any accumulate op
+  // makes an accumulate-flavor run. Distinct ranks cover disjoint runs,
+  // so a bulk target stays check-clean; the generator makes bulk targets
+  // exclusive (every writer of that target in the phase uses the
+  // identical run shape).
   kBulk,
 };
 
 struct OpSpec {
   OpKind kind = OpKind::kSet;
-  uint8_t accum_op = 1;    // detail::WriteOp for kAccum (1 add, 2 min, 3 max)
+  // detail::WriteOp for kAccum/kBulk: 1 add, 2 min, 3 max, 4 mul, 5 the
+  // registered kUser0 XOR slot.
+  uint8_t accum_op = 1;
   uint32_t target = 0;     // index into ProgramSpec::arrays
   uint32_t source = 0;     // read source (use_read / kGather / kPrefetch)
   bool use_read = false;   // value += source[(ra*rank + rb) % n_source]

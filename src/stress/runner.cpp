@@ -26,22 +26,27 @@ struct PpmCtx {
     for (const uint64_t v : (*g)[a].gather(idx)) s += v;
     return s;
   }
+  // Every accumulate flavor routes through accumulate()/accumulate_n():
+  // with the owner_side_accumulate knob on, remote global elements ship
+  // as kAccumList/kAccumBlock fragments applied at the owner; with it
+  // off — and always for local elements and node-shared arrays — the
+  // handle falls back to the plain deferred-write path. Both must commit
+  // bit-identical state, which is exactly what the differential matrix
+  // checks.
   void write(uint32_t a, uint64_t i, detail::WriteOp op, uint64_t v) const {
     if ((*spec).arrays[a].global) {
       auto& arr = (*g)[a];
-      switch (op) {
-        case detail::WriteOp::kSet: arr.set(i, v); break;
-        case detail::WriteOp::kAdd: arr.add(i, v); break;
-        case detail::WriteOp::kMin: arr.min_update(i, v); break;
-        case detail::WriteOp::kMax: arr.max_update(i, v); break;
+      if (op == detail::WriteOp::kSet) {
+        arr.set(i, v);
+      } else {
+        arr.accumulate(i, static_cast<ReduceOp>(op), v);
       }
     } else {
       auto& arr = (*nd)[a];
-      switch (op) {
-        case detail::WriteOp::kSet: arr.set(i, v); break;
-        case detail::WriteOp::kAdd: arr.add(i, v); break;
-        case detail::WriteOp::kMin: arr.min_update(i, v); break;
-        case detail::WriteOp::kMax: arr.max_update(i, v); break;
+      if (op == detail::WriteOp::kSet) {
+        arr.set(i, v);
+      } else {
+        arr.accumulate(i, static_cast<ReduceOp>(op), v);
       }
     }
   }
@@ -52,14 +57,16 @@ struct PpmCtx {
       if (op == detail::WriteOp::kSet) {
         arr.set_n(first, vals.size(), vals.data());
       } else {
-        arr.add_n(first, vals.size(), vals.data());
+        arr.accumulate_n(first, vals.size(), static_cast<ReduceOp>(op),
+                         vals.data());
       }
     } else {
       auto& arr = (*nd)[a];
       if (op == detail::WriteOp::kSet) {
         arr.set_n(first, vals.size(), vals.data());
       } else {
-        arr.add_n(first, vals.size(), vals.data());
+        arr.accumulate_n(first, vals.size(), static_cast<ReduceOp>(op),
+                         vals.data());
       }
     }
   }
@@ -182,6 +189,9 @@ std::vector<StressConfig> sample_configs(uint64_t seed, int count) {
     c.runtime.strided_prefetch = rng.next_below(2) == 0;
     c.runtime.bulk_access = rng.next_below(2) == 0;
     c.runtime.combine_writes = rng.next_below(2) == 0;
+    // Mostly on (the default and the interesting path); off runs keep the
+    // fetch-based fallback honest as the equivalence oracle.
+    c.runtime.owner_side_accumulate = rng.next_below(4) != 0;
     c.runtime.adaptive_distribution = rng.next_below(2) == 0;
     c.runtime.migrate_remote_ratio = 1.0 + rng.next_double();
     c.runtime.migrate_max_blocks_per_phase =
@@ -199,11 +209,13 @@ std::vector<StressConfig> sample_configs(uint64_t seed, int count) {
           50'000 + static_cast<int64_t>(rng.next_below(200'000));
     }
     c.name = strfmt(
-        "cfg%d-%dn%dc-%s%s%s%s", i, c.machine.nodes, c.machine.cores_per_node,
+        "cfg%d-%dn%dc-%s%s%s%s%s", i, c.machine.nodes,
+        c.machine.cores_per_node,
         c.runtime.schedule == SchedulePolicy::kDynamic ? "dyn" : "sta",
         c.machine.faults.delay_jitter ? "-faults" : "",
         c.runtime.adaptive_distribution ? "-adapt" : "",
-        c.runtime.validate_phases ? "" : "-nochk");
+        c.runtime.validate_phases ? "" : "-nochk",
+        c.runtime.owner_side_accumulate ? "" : "-noacc");
     out.push_back(std::move(c));
   }
   return out;
@@ -249,6 +261,18 @@ Snapshot run_under_config(const ProgramSpec& spec, const StressConfig& cfg,
       } else {
         nd[a] = env.node_array<uint64_t>(spec.arrays[a].n);
         ids[a] = nd[a].id();
+      }
+    }
+    // The harness's one user accumulate slot: kUser0 = XOR, exactly
+    // commutative on uint64. Registered on every array (SPMD-collective)
+    // so generated kAccum ops can draw it for any target; golden.cpp's
+    // apply() carries the matching reference semantics.
+    const auto xor_op = +[](uint64_t& x, const uint64_t& v) { x ^= v; };
+    for (size_t a = 0; a < spec.arrays.size(); ++a) {
+      if (spec.arrays[a].global) {
+        env.register_accum_op(g[a], 0, xor_op);
+      } else {
+        env.register_accum_op(nd[a], 0, xor_op);
       }
     }
     auto vps = env.ppm_do(spec.k_local(env.node_id(), nodes));
@@ -374,6 +398,9 @@ Verdict run_differential(const ProgramSpec& spec,
             wdiff("fetch_stall_ns", a.fetch_stall_ns, b.fetch_stall_ns),
             wdiff("entries_combined", a.entries_combined,
                   b.entries_combined),
+            wdiff("accums_executed", a.accums_executed, b.accums_executed),
+            wdiff("reduction_bytes_saved", a.reduction_bytes_saved,
+                  b.reduction_bytes_saved),
             wdiff("blocks_migrated", a.blocks_migrated,
                   b.blocks_migrated)}) {
         if (!d.empty()) {

@@ -38,6 +38,14 @@ enum class EventKind : uint8_t {
   kBundleFlush,  // a = destination node, b = payload bytes,
                  // flags bit0 = phase-final (last-marker) fragment
 
+  // Owner-side accumulate / remote reduction.
+  kAccumFlush,   // sender ships accum fragments: a = destination node,
+                 // b = payload bytes, flags bit0 = kAccumList (else block)
+  kAccumApply,   // owner applied staged accum fragments at commit:
+                 // a = fragments, b = elements applied
+  kCommitReduce, // reductions resolved on this commit's barrier:
+                 // a = reductions, b = partial-blob bytes carried
+
   // Locality engine.
   kMigrationPlan,  // a = arrays planned, b = moves accepted, c = plan hash
   kMigrationMove,  // outbound block: a = array, b = block,

@@ -189,6 +189,221 @@ TEST(FailureInjection, StalePrefetchSilentlyDropped) {
   EXPECT_EQ(seen, 5u);
 }
 
+TEST(FailureInjection, TruncatedAccumBlockRejected) {
+  // An owner-side accumulate fragment too short to carry its epoch header
+  // must be caught by the bounds-checked deserializer at arrival.
+  cluster::Machine machine({.nodes = 2, .cores_per_node = 1});
+  Runtime runtime(machine, RuntimeOptions{});
+  EXPECT_THROW(
+      machine.run_per_node([&](int node) {
+        NodeRuntime& nr = runtime.node(node);
+        nr.start();
+        if (node == 0) {
+          inject(machine, detail::RtMsg::kAccumBlock,
+                 Bytes(3, std::byte{0x21}));
+        }
+        Env env(nr);
+        env.barrier();
+        nr.finish();
+      }),
+      Error);
+}
+
+TEST(FailureInjection, AccumBlockUnknownArrayRejected) {
+  // Well-formed kAccumBlock record header naming an array id that was
+  // never allocated: handle_accum must reject the whole frame before
+  // staging it, not corrupt a later commit.
+  cluster::Machine machine({.nodes = 2, .cores_per_node = 1});
+  Runtime runtime(machine, RuntimeOptions{});
+  EXPECT_THROW(
+      machine.run_per_node([&](int node) {
+        NodeRuntime& nr = runtime.node(node);
+        nr.start();
+        if (node == 0) {
+          ByteWriter w;
+          w.put<uint64_t>(0);   // epoch
+          w.put<uint32_t>(42);  // no such array
+          w.put<uint8_t>(1);    // kAdd
+          w.put<uint64_t>(0);   // first
+          w.put<uint32_t>(1);   // count
+          w.put<uint64_t>(7);   // one "element"
+          inject(machine, detail::RtMsg::kAccumBlock, std::move(w).take());
+        }
+        Env env(nr);
+        env.barrier();
+        nr.finish();
+      }),
+      Error);
+}
+
+TEST(FailureInjection, AccumListInvalidOpRejected) {
+  // kSet (op 0) is not an accumulate op: a list item carrying it is a
+  // protocol violation (set entries must ride the ordered kBundle path,
+  // where (vp_rank, seq) makes them deterministic).
+  cluster::Machine machine({.nodes = 2, .cores_per_node = 1});
+  Runtime runtime(machine, RuntimeOptions{});
+  EXPECT_THROW(
+      machine.run_per_node([&](int node) {
+        NodeRuntime& nr = runtime.node(node);
+        nr.start();
+        Env env(nr);
+        auto a = env.global_array<uint64_t>(8);
+        if (node == 0) {
+          ByteWriter w;
+          w.put<uint64_t>(0);      // epoch
+          w.put<uint32_t>(1);      // one item
+          w.put(a.id());
+          w.put<uint8_t>(0);       // WriteOp::kSet — invalid here
+          w.put<uint64_t>(0);      // index
+          w.put<uint64_t>(9);      // value
+          inject(machine, detail::RtMsg::kAccumList, std::move(w).take());
+        }
+        env.barrier();
+        nr.finish();
+      }),
+      Error);
+}
+
+TEST(FailureInjection, AccumListTrailingBytesRejected) {
+  // A list frame whose item count is satisfied but which carries extra
+  // trailing bytes is garbled — rejected, never silently ignored.
+  cluster::Machine machine({.nodes = 2, .cores_per_node = 1});
+  Runtime runtime(machine, RuntimeOptions{});
+  EXPECT_THROW(
+      machine.run_per_node([&](int node) {
+        NodeRuntime& nr = runtime.node(node);
+        nr.start();
+        Env env(nr);
+        auto a = env.global_array<uint64_t>(8);
+        if (node == 0) {
+          ByteWriter w;
+          w.put<uint64_t>(0);  // epoch
+          w.put<uint32_t>(1);  // one item
+          w.put(a.id());
+          w.put<uint8_t>(1);   // kAdd
+          w.put<uint64_t>(0);  // index
+          w.put<uint64_t>(9);  // value
+          w.put<uint8_t>(0xcc);  // trailing garbage
+          inject(machine, detail::RtMsg::kAccumList, std::move(w).take());
+        }
+        env.barrier();
+        nr.finish();
+      }),
+      Error);
+}
+
+TEST(FailureInjection, AccumRangeOutOfBoundsRejected) {
+  // A range record whose [first, first+count) spills past the array end
+  // must be rejected before any element is touched.
+  cluster::Machine machine({.nodes = 2, .cores_per_node = 1});
+  Runtime runtime(machine, RuntimeOptions{});
+  EXPECT_THROW(
+      machine.run_per_node([&](int node) {
+        NodeRuntime& nr = runtime.node(node);
+        nr.start();
+        Env env(nr);
+        auto a = env.global_array<uint64_t>(8);
+        if (node == 0) {
+          ByteWriter w;
+          w.put<uint64_t>(0);   // epoch
+          w.put(a.id());
+          w.put<uint8_t>(1);    // kAdd
+          w.put<uint64_t>(6);   // first
+          w.put<uint32_t>(4);   // count: 6 + 4 > 8
+          for (int i = 0; i < 4; ++i) w.put<uint64_t>(1);
+          inject(machine, detail::RtMsg::kAccumBlock, std::move(w).take());
+        }
+        env.barrier();
+        nr.finish();
+      }),
+      Error);
+}
+
+TEST(FailureInjection, StaleAccumFragmentRejected) {
+  // Accumulate fragments are flushed before the sender's last-marker
+  // bundle, so one arriving for an epoch the receiver already committed
+  // can only be protocol misuse — rejected loudly, unlike stale
+  // prefetches (which a requester legitimately abandons).
+  cluster::Machine machine({.nodes = 2, .cores_per_node = 1});
+  Runtime runtime(machine, RuntimeOptions{});
+  EXPECT_THROW(
+      machine.run_per_node([&](int node) {
+        NodeRuntime& nr = runtime.node(node);
+        nr.start();
+        Env env(nr);
+        auto a = env.global_array<uint64_t>(8);
+        auto vps = env.ppm_do(1);
+        vps.global_phase([&](Vp& vp) { a.set(vp.global_rank(), 1); });
+        vps.global_phase([&](Vp&) {});  // two commits: epoch_ is now 2
+        if (node == 0) {
+          ByteWriter w;
+          w.put<uint64_t>(0);  // epoch 0: already committed
+          w.put(a.id());
+          w.put<uint8_t>(1);   // kAdd
+          w.put<uint64_t>(0);  // first
+          w.put<uint32_t>(1);  // count
+          w.put<uint64_t>(9);  // value
+          inject(machine, detail::RtMsg::kAccumBlock, std::move(w).take());
+        }
+        env.barrier();
+        vps.global_phase([&](Vp&) {});
+        nr.finish();
+      }),
+      Error);
+}
+
+namespace {
+// Accumulate-heavy program with plenty of remote owner-side traffic:
+// every VP accumulates into a shifted window of a global array with a mix
+// of add/min/max/xor, over several epochs. Returns the final contents.
+std::vector<uint64_t> run_accum_program(bool faults) {
+  PpmConfig c;
+  c.machine.nodes = 3;
+  c.machine.cores_per_node = 2;
+  if (faults) {
+    c.machine.faults.delay_jitter = true;
+    c.machine.faults.seed = 23;
+    c.machine.faults.delay_probability = 0.5;
+    c.machine.faults.max_extra_delay_ns = 100'000;
+  }
+  constexpr uint64_t kN = 64;
+  std::vector<uint64_t> out;
+  run(c, [&](Env& env) {
+    auto a = env.global_array<uint64_t>(kN);
+    env.register_accum_op<uint64_t>(
+        a, 0, +[](uint64_t& x, const uint64_t& v) { x ^= v; });
+    auto vps = env.ppm_do(4);
+    for (int round = 0; round < 3; ++round) {
+      vps.global_phase([&](Vp& vp) {
+        const uint64_t r = vp.global_rank();
+        a.accumulate((r * 7 + 11) % kN, ReduceOp::kAdd, r + 1);
+        a.accumulate((r * 5 + 3) % kN, ReduceOp::kMax, r * 100);
+        a.accumulate((r * 3 + 1) % kN, ReduceOp::kUser0, r * 0x9e37);
+      });
+    }
+    vps.global_phase([&](Vp& vp) {
+      if (vp.global_rank() == 0) {
+        for (uint64_t i = 0; i < kN; ++i) out.push_back(a.get(i));
+      }
+    });
+  });
+  return out;
+}
+}  // namespace
+
+TEST(FailureInjection, FaultDelayedAccumTrafficIsDeterministic) {
+  // Seeded fabric jitter delays kAccumList/kAccumBlock fragments, but the
+  // per-(src,dst,port) FIFO plus source-ascending owner-side apply keep
+  // the committed state bit-identical to the fault-free run — and the
+  // faulted run replays byte-for-byte.
+  const std::vector<uint64_t> clean = run_accum_program(false);
+  const std::vector<uint64_t> faulted1 = run_accum_program(true);
+  const std::vector<uint64_t> faulted2 = run_accum_program(true);
+  ASSERT_EQ(clean.size(), 64u);
+  EXPECT_EQ(clean, faulted1);
+  EXPECT_EQ(faulted1, faulted2);
+}
+
 TEST(FailureInjection, TruncatedMigrateBlockRejected) {
   cluster::Machine machine({.nodes = 2, .cores_per_node = 1});
   Runtime runtime(machine, RuntimeOptions{});

@@ -136,6 +136,8 @@ void expect_equal_runs(const RunResult& x, const RunResult& y) {
   EXPECT_EQ(x.bundles_sent, y.bundles_sent);
   EXPECT_EQ(x.fetch_stall_ns, y.fetch_stall_ns);
   EXPECT_EQ(x.entries_combined, y.entries_combined);
+  EXPECT_EQ(x.accums_executed, y.accums_executed);
+  EXPECT_EQ(x.reduction_bytes_saved, y.reduction_bytes_saved);
 }
 
 TEST(SimParallel, BitIdenticalAcrossHostThreadCounts) {
@@ -158,6 +160,148 @@ TEST(SimParallel, FaultJitterIsDeterministicAcrossThreadCounts) {
   expect_equal_runs(r1, r4);
   EXPECT_EQ(reads1, reads2);
   EXPECT_EQ(reads1, reads4);
+}
+
+/// Accumulate-heavy program: every VP fires add/min/max/xor owner-side
+/// accumulates at scattered (mostly remote) elements each round, plus one
+/// commit-barrier dot reduction per round. Returns the run's RunResult,
+/// the final array contents as read on node 0, and each round's reduction
+/// value (identical on every node; captured on node 0).
+RunResult run_accum_program(int sim_threads, bool faults,
+                            std::vector<uint64_t>* state_out,
+                            std::vector<uint64_t>* dots_out) {
+  constexpr int kNodes = 4;
+  constexpr uint64_t kN = 128;
+  constexpr uint64_t kVps = 32;
+  PpmConfig c;
+  c.machine.nodes = kNodes;
+  c.machine.cores_per_node = 2;
+  c.machine.sim_threads = sim_threads;
+  if (faults) {
+    c.machine.faults.delay_jitter = true;
+    c.machine.faults.seed = 13;
+    c.machine.faults.delay_probability = 0.5;
+    c.machine.faults.max_extra_delay_ns = 50'000;
+  }
+  state_out->clear();
+  dots_out->clear();
+  return run(c, [&](Env& env) {
+    auto a = env.global_array<uint64_t>(kN);
+    auto b = env.global_array<uint64_t>(kN);
+    env.register_accum_op<uint64_t>(
+        a, 0, +[](uint64_t& x, const uint64_t& v) { x ^= v; });
+    auto vps = env.ppm_do(kVps / kNodes);
+    vps.global_phase([&](Vp& vp) {
+      const uint64_t r = vp.global_rank();
+      // Seed both arrays so min/mul have signal.
+      for (uint64_t i = r; i < kN; i += kVps) {
+        a.set(i, i * 3 + 1);
+        b.set(i, i % 7 + 1);
+      }
+    });
+    for (uint64_t round = 0; round < 3; ++round) {
+      auto dot = env.reduce_dot(a, b);
+      // Each op class owns a disjoint 32-element region of `a`: only ops
+      // that commute with THEMSELVES may collide on an element (the
+      // model's determinism contract, docs/MODEL.md).
+      vps.global_phase([&](Vp& vp) {
+        const uint64_t r = vp.global_rank();
+        a.accumulate((r * 13 + 5 + round) % 32, ReduceOp::kAdd, r + round);
+        a.accumulate(32 + (r * 29 + 1) % 32, ReduceOp::kMin, r * 2 + round);
+        a.accumulate(64 + (r * 17 + 3) % 32, ReduceOp::kMax, r * 100);
+        a.accumulate(96 + (r * 7 + round) % 32, ReduceOp::kUser0,
+                     r * 0x9e3779b9ULL);
+        b.accumulate((r * 11 + round) % kN, ReduceOp::kMul, 2 + round % 2);
+      });
+      if (env.node_id() == 0) dots_out->push_back(dot.value());
+    }
+    vps.global_phase([&](Vp& vp) {
+      if (vp.global_rank() == 0) {
+        for (uint64_t i = 0; i < kN; ++i) state_out->push_back(a.get(i));
+        for (uint64_t i = 0; i < kN; ++i) state_out->push_back(b.get(i));
+      }
+    });
+  });
+}
+
+/// Straight-line golden model of run_accum_program: phase writes applied
+/// at commit (the accumulate ops commute exactly on uint64, sets hit
+/// disjoint elements), reductions read phase-start state.
+void golden_accum_program(std::vector<uint64_t>* state,
+                          std::vector<uint64_t>* dots) {
+  constexpr uint64_t kN = 128;
+  constexpr uint64_t kVps = 32;
+  std::vector<uint64_t> a(kN, 0), b(kN, 0);
+  for (uint64_t r = 0; r < kVps; ++r) {
+    for (uint64_t i = r; i < kN; i += kVps) {
+      a[i] = i * 3 + 1;
+      b[i] = i % 7 + 1;
+    }
+  }
+  dots->clear();
+  for (uint64_t round = 0; round < 3; ++round) {
+    std::vector<uint64_t> na = a, nb = b;
+    for (uint64_t r = 0; r < kVps; ++r) {
+      na[(r * 13 + 5 + round) % 32] += r + round;
+      na[32 + (r * 29 + 1) % 32] =
+          std::min(na[32 + (r * 29 + 1) % 32], r * 2 + round);
+      na[64 + (r * 17 + 3) % 32] =
+          std::max(na[64 + (r * 17 + 3) % 32], r * 100);
+      na[96 + (r * 7 + round) % 32] ^= r * 0x9e3779b9ULL;
+      nb[(r * 11 + round) % kN] *= 2 + round % 2;
+    }
+    a = std::move(na);
+    b = std::move(nb);
+    // A reduction registered before a phase resolves at that phase's
+    // commit, reading the just-committed (post-apply) state.
+    uint64_t dot = 0;
+    for (uint64_t i = 0; i < kN; ++i) dot += a[i] * b[i];
+    dots->push_back(dot);
+  }
+  state->clear();
+  state->insert(state->end(), a.begin(), a.end());
+  state->insert(state->end(), b.begin(), b.end());
+}
+
+TEST(SimParallel, AccumulateBitIdenticalAcrossHostThreadCounts) {
+  // Owner-side accumulate fragments and commit-barrier reductions must
+  // replay bit-identically across host-thread counts — including the
+  // accums_executed / reduction_bytes_saved counters — and match the
+  // straight-line golden model exactly.
+  std::vector<uint64_t> s1, s2, s4, d1, d2, d4, gs, gd;
+  const RunResult r1 = run_accum_program(1, /*faults=*/false, &s1, &d1);
+  const RunResult r2 = run_accum_program(2, /*faults=*/false, &s2, &d2);
+  const RunResult r4 = run_accum_program(4, /*faults=*/false, &s4, &d4);
+  expect_equal_runs(r1, r2);
+  expect_equal_runs(r1, r4);
+  EXPECT_EQ(s1, s2);
+  EXPECT_EQ(s1, s4);
+  EXPECT_EQ(d1, d2);
+  EXPECT_EQ(d1, d4);
+  golden_accum_program(&gs, &gd);
+  EXPECT_EQ(s1, gs);
+  EXPECT_EQ(d1, gd);
+  // The owner-side path actually ran: remote accumulates were applied
+  // from staged fragments and the wire win was recorded.
+  EXPECT_GT(r1.accums_executed, 0u);
+  EXPECT_GT(r1.reduction_bytes_saved, 0u);
+}
+
+TEST(SimParallel, AccumulateFaultJitterDeterministicAcrossThreadCounts) {
+  std::vector<uint64_t> s1, s2, s4, d1, d2, d4, gs, gd;
+  const RunResult r1 = run_accum_program(1, /*faults=*/true, &s1, &d1);
+  const RunResult r2 = run_accum_program(2, /*faults=*/true, &s2, &d2);
+  const RunResult r4 = run_accum_program(4, /*faults=*/true, &s4, &d4);
+  expect_equal_runs(r1, r2);
+  expect_equal_runs(r1, r4);
+  EXPECT_EQ(s1, s2);
+  EXPECT_EQ(s1, s4);
+  EXPECT_EQ(d1, d2);
+  EXPECT_EQ(d1, d4);
+  // Fault jitter moves virtual time, never committed state.
+  golden_accum_program(&gs, &gd);
+  EXPECT_EQ(s1, gs);
+  EXPECT_EQ(d1, gd);
 }
 
 /// Fault-injected arrival warps that shrink a message's wire time below

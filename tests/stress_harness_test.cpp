@@ -118,6 +118,58 @@ TEST(StressHarness, PlantedCommitOrderBugIsCaught) {
   EXPECT_GT(caught, 0);
 }
 
+// RAII guard for the planted owner-side-accumulate double-apply fault.
+struct DoubleApplyGuard {
+  DoubleApplyGuard() { detail::g_stress_double_apply_accums = true; }
+  ~DoubleApplyGuard() { detail::g_stress_double_apply_accums = false; }
+};
+
+TEST(StressHarness, PlantedDoubleApplyAccumBugIsCaught) {
+  // A hand-crafted program guaranteed to route kAdd accumulates to REMOTE
+  // owners (index = rank + 8 over a 16-element block array on 2 nodes):
+  // applying each staged kAccum fragment twice shifts every touched
+  // element by the fragment's sum, so the multi-node owner-side config
+  // diverges from the single-node reference and from golden.
+  DoubleApplyGuard guard;
+  ProgramSpec spec;
+  spec.seed = 0;
+  spec.k_total = 8;
+  spec.k_split_mode = 0;
+  spec.arrays.push_back({true, 16, Distribution::kBlock});
+  PhaseSpec p;
+  p.global = true;
+  p.ops.push_back(OpSpec{OpKind::kAccum, /*accum_op=*/1, 0, 0, false, 0,
+                         /*ia=*/1, /*ib=*/8, 1, 0, /*va=*/1, /*vb=*/1});
+  spec.phases.push_back(p);
+
+  std::vector<StressConfig> cfgs(2);
+  cfgs[0].machine.nodes = 1;
+  cfgs[0].machine.cores_per_node = 1;
+  cfgs[0].runtime.schedule = SchedulePolicy::kStatic;
+  cfgs[0].name = "ref-1n1c";
+  cfgs[1].machine.nodes = 2;
+  cfgs[1].machine.cores_per_node = 2;
+  cfgs[1].runtime.owner_side_accumulate = true;
+  cfgs[1].runtime.validate_phases = true;
+  cfgs[1].name = "hand-2n2c-owneracc";
+
+  const auto v = run_differential(spec, cfgs);
+  ASSERT_FALSE(v.ok) << "planted double-apply bug went undetected";
+  EXPECT_EQ(v.config_index, 1u);
+
+  // The shrunk repro must still fail and must not grow the program.
+  const auto sh = shrink(spec, cfgs, v.config_index);
+  EXPECT_LE(sh.spec.phases.size(), spec.phases.size());
+  EXPECT_LE(sh.spec.k_total, spec.k_total);
+  const auto vs = run_differential(sh.spec, sh.configs);
+  EXPECT_FALSE(vs.ok) << "shrunk double-apply repro passes";
+
+  // Sanity: with the fault withdrawn the same pair is clean again.
+  detail::g_stress_double_apply_accums = false;
+  EXPECT_TRUE(run_differential(spec, cfgs).ok);
+  detail::g_stress_double_apply_accums = true;  // guard dtor resets
+}
+
 TEST(StressHarness, ReplaySubsetReproducesConfig) {
   // Config i depends only on draws before it, so sampling more configs
   // must reproduce earlier ones verbatim (the contract --replay relies on).

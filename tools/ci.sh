@@ -31,6 +31,15 @@ for preset in default san; do
   # the test preset (error-path fiber abandonment is not a leak).
   ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=print_stacktrace=1 \
     "${builddir[$preset]}/tools/ppm_stress" --smoke
+  # Owner-side accumulate (docs/MODEL.md): the matrix samples the
+  # owner_side_accumulate knob per config, but CI pins each delivery path
+  # once — owner-applied fragments and the fetch-based fallback — so a
+  # regression in either cannot hide behind what the sampler happened to
+  # draw. Same fixed seed set as --smoke.
+  ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=print_stacktrace=1 \
+    "${builddir[$preset]}/tools/ppm_stress" --smoke --owner-accum=1
+  ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=print_stacktrace=1 \
+    "${builddir[$preset]}/tools/ppm_stress" --smoke --owner-accum=0
   echo "=== jobs smoke preset: ${preset} ==="
   # Multi-tenant scheduler gates (docs/SCHEDULER.md): ppm_jobs --smoke
   # checks replay determinism (byte-identical JSON across two runs per
