@@ -1668,6 +1668,8 @@ void NodeRuntime::run_phase(bool global, uint64_t k_local, uint64_t k_offset,
     profile.entries_combined = counters_.entries_combined;
     profile.blocks_migrated = counters_.blocks_migrated;
     profile.migration_bytes = counters_.migration_bytes;
+    profile.accums_executed = counters_.accums_executed;
+    profile.reduction_bytes_saved = counters_.reduction_bytes_saved;
   }
 
   task_.body = &body;
@@ -1718,6 +1720,10 @@ void NodeRuntime::run_phase(bool global, uint64_t k_local, uint64_t k_offset,
         counters_.blocks_migrated - profile.blocks_migrated;
     profile.migration_bytes =
         counters_.migration_bytes - profile.migration_bytes;
+    profile.accums_executed =
+        counters_.accums_executed - profile.accums_executed;
+    profile.reduction_bytes_saved =
+        counters_.reduction_bytes_saved - profile.reduction_bytes_saved;
     phase_profiles_.push_back(profile);
   }
 }

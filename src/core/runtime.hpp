@@ -568,6 +568,8 @@ class NodeRuntime {
     uint64_t entries_combined = 0;   // writes combined away in it
     uint64_t blocks_migrated = 0;    // blocks this node shipped at commit
     uint64_t migration_bytes = 0;    // bytes those blocks carried
+    uint64_t accums_executed = 0;    // owner-side accumulates applied in it
+    uint64_t reduction_bytes_saved = 0;  // accum/reduce wire-byte savings
 
     int64_t compute_ns() const { return compute_done_ns - start_ns; }
     int64_t commit_ns() const { return committed_ns - compute_done_ns; }

@@ -1,0 +1,71 @@
+// ppm::trace x parallel DES interplay: the conservative-window engine's
+// contract is that a run is a bit-identical replay of itself at any
+// host-thread count — including everything the tracer sees. A traced
+// modeled CG run must produce byte-identical trace::Summary::to_string()
+// and Chrome trace-event JSON across sim_threads 1/2/4, not just
+// identical committed results.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "apps/cg/cg_ppm.hpp"
+#include "core/ppm.hpp"
+#include "trace/export.hpp"
+
+namespace ppm {
+namespace {
+
+struct TracedCg {
+  int64_t duration_ns = 0;
+  std::string summary;      // trace::Summary::to_string()
+  std::string chrome_json;  // Perfetto-loadable export
+};
+
+TracedCg traced_cg(int sim_threads) {
+  PpmConfig cfg;
+  cfg.machine.nodes = 4;
+  cfg.machine.cores_per_node = 4;
+  cfg.machine.sim_threads = sim_threads;
+  // Modeled-only virtual time: timestamps are a pure function of the
+  // cost model, so byte-identity is the expectation, not a coincidence.
+  cfg.machine.engine.calibration = sim::CalibrationMode::kModeledOnly;
+  cfg.runtime.trace = true;
+
+  const apps::cg::ChimneyProblem problem{.nx = 12, .ny = 12, .nz = 24};
+  const apps::cg::CgOptions opts{.max_iterations = 6, .tolerance = 1e-10};
+
+  cluster::Machine machine(cfg.machine);
+  Runtime runtime(machine, cfg.runtime);
+  machine.run_per_node([&](int node) {
+    NodeRuntime& nr = runtime.node(node);
+    nr.start();
+    Env env(nr);
+    apps::cg::cg_solve_ppm(env, problem, opts);
+    nr.finish();
+  });
+  TracedCg out;
+  const RunResult r = runtime.collect();
+  out.duration_ns = r.duration_ns;
+  out.summary = r.trace_summary.to_string();
+  out.chrome_json = trace::to_chrome_json(*runtime.trace());
+  return out;
+}
+
+TEST(TraceParallelDeterminism, ByteIdenticalAcrossSimThreads) {
+  const TracedCg one = traced_cg(1);
+  ASSERT_GT(one.duration_ns, 0);
+  ASSERT_FALSE(one.summary.empty());
+  ASSERT_NE(one.chrome_json.find("traceEvents"), std::string::npos);
+
+  const TracedCg two = traced_cg(2);
+  const TracedCg four = traced_cg(4);
+  EXPECT_EQ(one.duration_ns, two.duration_ns);
+  EXPECT_EQ(one.duration_ns, four.duration_ns);
+  EXPECT_EQ(one.summary, two.summary);
+  EXPECT_EQ(one.summary, four.summary);
+  EXPECT_EQ(one.chrome_json, two.chrome_json);
+  EXPECT_EQ(one.chrome_json, four.chrome_json);
+}
+
+}  // namespace
+}  // namespace ppm

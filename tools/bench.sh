@@ -58,6 +58,26 @@ done
 echo "=== bench: ppm_stress ==="
 build/tools/ppm_stress --smoke --json="${tmpdir}/ppm_stress.json"
 
+# ppm::model predicted-figure overlay (docs/OBSERVABILITY.md): fit the
+# compositional performance model per figure app from traced modeled runs
+# at 2-8 nodes, validate it against the simulator at held-out 12/16
+# nodes, and extrapolate Figures 1-3 to Franklin-scale node counts the
+# simulator cannot execute. Modeled-only runs are bit-deterministic, so
+# these rows are exactly reproducible (unlike the measured vtime rows).
+echo "=== bench: ppm_model ==="
+cmake --build --preset default -j "$(nproc 2>/dev/null || echo 4)" \
+  --target ppm_cli >/dev/null
+model_predict="512,1024,2048,4096,9660"
+build/tools/ppm_cli --app=cg --size=13824 --iters=8 --cores=4 --model \
+  --predict="${model_predict}" --validate=12,16 \
+  --json="${tmpdir}/model_fig1_cg.json"
+build/tools/ppm_cli --app=matgen --levels=4 --cores=4 --model \
+  --predict="${model_predict}" --validate=12,16 \
+  --json="${tmpdir}/model_fig2_matgen.json"
+build/tools/ppm_cli --app=barneshut --size=2000 --steps=2 --cores=4 \
+  --model --predict="${model_predict}" --validate=12,16 \
+  --json="${tmpdir}/model_fig3_barneshut.json"
+
 python3 - "${out}" "${tmpdir}" "${benches[@]}" ppm_stress <<'PY'
 import json, sys
 out, tmpdir, benches = sys.argv[1], sys.argv[2], sys.argv[3:]
@@ -106,6 +126,37 @@ for r in rows:
     twin = by_name.get((r["bench"], twin_name))
     if twin and twin.get("real_time"):
         r["wall_speedup"] = twin["real_time"] / r["real_time"]
+# ppm::model rows: per figure app one fit row (fitted term coefficients =
+# the drift oracle's inputs), the Franklin-scale prediction overlay, and
+# the held-out validation rows (model vs simulator). "predicted": 1 marks
+# numbers that come from the model, not a simulator execution.
+for fig in ("fig1_cg", "fig2_matgen", "fig3_barneshut"):
+    with open(f"{tmpdir}/model_{fig}.json") as f:
+        doc = json.load(f)
+    fit_row = {"bench": "model", "name": f"model/{fig}/fit",
+               "app": doc["app"], "fit_nodes": doc["fit_nodes"],
+               "max_fit_rel_err": max(abs(r["rel_err"])
+                                      for r in doc["fit"])}
+    for t in doc["terms"]:
+        fit_row[f"coeff_{t['name']}"] = t["coefficient"]
+    rows.append(fit_row)
+    for p in doc["predictions"]:
+        rows.append({"bench": "model",
+                     "name": f"model/{fig}/predict/{p['nodes']}",
+                     "app": doc["app"], "nodes": p["nodes"],
+                     "predicted": 1,
+                     "vtime_ms": p["vtime_ns"] * 1e-6,
+                     "messages": p["messages"],
+                     "net_bytes": p["bytes"],
+                     "fetches": p["fetches"]})
+    for v in doc["validation"]:
+        rows.append({"bench": "model",
+                     "name": f"model/{fig}/validate/{v['nodes']}",
+                     "app": doc["app"], "nodes": v["nodes"],
+                     "predicted": 1,
+                     "vtime_ms": v["predicted_vtime_ns"] * 1e-6,
+                     "measured_vtime_ms": v["measured_vtime_ns"] * 1e-6,
+                     "rel_err": v["rel_err"]})
 with open(out, "w") as f:
     json.dump({"rows": rows}, f, indent=1, sort_keys=True)
     f.write("\n")
@@ -143,12 +194,22 @@ for policy in ("fifo", "backfill"):
         for key, val in doc.items():
             if isinstance(val, (int, float)) and not isinstance(val, bool):
                 row[key] = val
-        row["per_job"] = [
-            {k: j[k] for k in ("id", "kind", "nodes", "latency_ns",
-                               "fabric_tx_bytes", "backbone_wait_ns",
-                               "fetch_stall_ns")}
-            for j in doc["per_job"] if not j["rejected"]
-        ]
+        # Tolerate schema drift in ppm_jobs --json: a missing per-job
+        # field fails with the offending key/job named instead of a bare
+        # KeyError traceback.
+        wanted = ("id", "kind", "nodes", "latency_ns", "fabric_tx_bytes",
+                  "backbone_wait_ns", "fetch_stall_ns")
+        per_job = []
+        for i, j in enumerate(doc.get("per_job", [])):
+            if j.get("rejected", False):
+                continue
+            missing = [k for k in wanted if k not in j]
+            if missing:
+                sys.exit(f"error: jobs_{policy}_{nodes}.json per_job[{i}] "
+                         f"(id={j.get('id', '?')}) missing key(s): "
+                         f"{', '.join(missing)}")
+            per_job.append({k: j[k] for k in wanted})
+        row["per_job"] = per_job
         rows.append(row)
 with open(out, "w") as f:
     json.dump({"rows": rows}, f, indent=1, sort_keys=True)

@@ -58,6 +58,15 @@ for preset in default san; do
   ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=print_stacktrace=1 \
     "${builddir[$preset]}/tools/ppm_cli" --app=cg --nodes=4 --cores=4 \
       --size=4096 --iters=8 --calibration=0 --sim-threads=4 >/dev/null
+  echo "=== model fit smoke preset: ${preset} ==="
+  # Fit the ppm::model compositional performance model on a small CG
+  # (docs/OBSERVABILITY.md); the fitted-coefficients artifact is kept per
+  # preset so a failing drift gate can be compared across default/san.
+  ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=print_stacktrace=1 \
+    "${builddir[$preset]}/tools/ppm_cli" --app=cg --cores=4 --size=4096 \
+      --iters=8 --model --json="${builddir[$preset]}/model_coeffs.json" \
+      >/dev/null
+  echo "model fit smoke OK (artifact kept at ${builddir[$preset]}/model_coeffs.json)"
 done
 
 echo "=== traced smoke (ppm::trace export gate) ==="
@@ -190,6 +199,70 @@ if run["network_bytes"] > base["network_bytes"]:
 PY
 echo "perf smoke OK (artifact kept at ${perf_json})"
 
+echo "=== model validation gate (ppm::model vs simulator) ==="
+# The compositional performance model (docs/OBSERVABILITY.md) must
+# interpolate/extrapolate: coefficients fit from traced modeled runs at
+# 2-8 nodes have to predict simulator vtime at held-out 12 and 16 nodes
+# within 25% relative error, for CG and Barnes-Hut. Modeled-only runs are
+# bit-deterministic, so a failure here is a real behavior change, not
+# noise. Artifacts are kept for the drift oracle below.
+build/tools/ppm_cli --app=cg --size=13824 --iters=8 --cores=4 --model \
+  --validate=12,16 --json=build/model_cg.json >/dev/null
+build/tools/ppm_cli --app=barneshut --size=2000 --steps=2 --cores=4 \
+  --model --validate=12,16 --json=build/model_barneshut.json >/dev/null
+python3 - build/model_cg.json build/model_barneshut.json <<'PY'
+import json, sys
+LIMIT = 0.25
+for path in sys.argv[1:]:
+    with open(path) as f:
+        doc = json.load(f)
+    assert doc["schema"] == "ppm_model/v1", doc.get("schema")
+    assert doc["validation"], f"{path}: no validation rows"
+    for v in doc["validation"]:
+        err = v["rel_err"]
+        print(f"model gate: {doc['app']} N={v['nodes']} "
+              f"measured {v['measured_vtime_ns']} ns, "
+              f"predicted {v['predicted_vtime_ns']:.0f} ns "
+              f"({err:+.1%})")
+        if abs(err) > LIMIT:
+            sys.exit(f"FAIL: {doc['app']} model mispredicts vtime at "
+                     f"N={v['nodes']}: {err:+.1%} (limit ±{LIMIT:.0%})")
+PY
+echo "model validation gate OK"
+
+echo "=== model drift oracle (per-term coefficients) ==="
+# Coefficient ~1 means "the analytic cost for this term is exactly
+# right"; bench/perf_baseline.json pins the fitted coefficients of the
+# Fig.1 CG workload. When vtime behavior changes, the term whose
+# coefficient moved names the regressed cost (per-fetch software
+# overhead vs barrier depth vs wire volume...), instead of CI only
+# reporting that total vtime grew. The fit is bit-deterministic, so any
+# drift is a real change. Regenerate the baseline section only for
+# intentional cost-model changes (command recorded in the JSON).
+python3 - build/model_cg.json bench/perf_baseline.json <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    run = json.load(f)
+with open(sys.argv[2]) as f:
+    base = json.load(f)["model"]
+fitted = {t["name"]: t["coefficient"] for t in run["terms"]}
+limit = base["max_coefficient_drift"]
+bad = []
+for name, pinned in base["coefficients"].items():
+    got = fitted.get(name)
+    assert got is not None, f"model fit lost term {name}"
+    allowed = limit * max(abs(pinned), 0.25)
+    flag = "DRIFT" if abs(got - pinned) > allowed else "ok"
+    print(f"drift oracle: {name:<11} pinned {pinned:.4f} "
+          f"fitted {got:.4f} (allowed ±{allowed:.4f}) {flag}")
+    if flag == "DRIFT":
+        bad.append(name)
+if bad:
+    sys.exit("FAIL: cost term(s) regressed — coefficient drift in: "
+             + ", ".join(bad))
+PY
+echo "model drift oracle OK"
+
 echo "=== bench smoke (run, not gated) ==="
 # Exercise the figure/ablation harness end-to-end at toy scale. Failures
 # here are reported but do not fail CI: the benches measure, they are not
@@ -199,5 +272,52 @@ if tools/bench.sh --smoke --out build/BENCH_smoke.json; then
 else
   echo "WARNING: bench smoke failed (not gating CI)" >&2
 fi
+
+echo "=== model row schema gate (BENCH_fig.json) ==="
+# The model/* rows are a stable machine-readable surface like the trace
+# JSON (docs/TESTING.md): validate the committed artifact structurally,
+# plus the fresh smoke output when the (non-gating) bench smoke produced
+# one. Each figure app must carry a fit row and the predicted Figures 1-3
+# overlay at >= 512 nodes.
+model_gate_files=(BENCH_fig.json)
+if [ -f build/BENCH_smoke.json ]; then
+  model_gate_files+=(build/BENCH_smoke.json)
+fi
+python3 - "${model_gate_files[@]}" <<'PY'
+import json, sys
+TERMS = ("compute", "fetch_rt", "wire", "msg_sw", "stall_node", "barrier")
+FIGS = ("fig1_cg", "fig2_matgen", "fig3_barneshut")
+for path in sys.argv[1:]:
+    with open(path) as f:
+        rows = [r for r in json.load(f)["rows"] if r.get("bench") == "model"]
+    assert rows, f"{path}: no model/* rows"
+    for fig in FIGS:
+        fit = [r for r in rows if r["name"] == f"model/{fig}/fit"]
+        assert len(fit) == 1, f"{path}: expected one model/{fig}/fit row"
+        r = fit[0]
+        assert isinstance(r["app"], str) and isinstance(r["fit_nodes"], list)
+        assert isinstance(r["max_fit_rel_err"], float)
+        for t in TERMS:
+            c = r.get(f"coeff_{t}")
+            assert isinstance(c, (int, float)) and c >= 0, (
+                f"{path}: model/{fig}/fit coeff_{t}: {c!r}")
+        preds = [r for r in rows
+                 if r["name"].startswith(f"model/{fig}/predict/")]
+        assert preds, f"{path}: no model/{fig}/predict rows"
+        for r in preds:
+            assert r["predicted"] == 1 and isinstance(r["nodes"], int)
+            for k in ("vtime_ms", "messages", "net_bytes", "fetches"):
+                assert isinstance(r[k], (int, float)) and r[k] >= 0, (
+                    f"{path}: {r['name']} {k}: {r.get(k)!r}")
+        assert max(r["nodes"] for r in preds) >= 512, (
+            f"{path}: model/{fig} overlay stops below 512 nodes")
+        for r in (r for r in rows
+                  if r["name"].startswith(f"model/{fig}/validate/")):
+            for k in ("vtime_ms", "measured_vtime_ms", "rel_err"):
+                assert isinstance(r[k], (int, float)), (
+                    f"{path}: {r['name']} {k}: {r.get(k)!r}")
+    print(f"model row schema OK: {path} ({len(rows)} model rows)")
+PY
+echo "model row schema gate OK"
 
 echo "CI OK: both presets built, all tests passed."

@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <set>
 #include <string>
 
@@ -28,6 +29,7 @@
 #include "apps/graph/graph_ppm.hpp"
 #include "apps/nbody/nbody_ppm.hpp"
 #include "core/ppm.hpp"
+#include "model/model.hpp"
 #include "trace/export.hpp"
 
 namespace {
@@ -54,6 +56,15 @@ struct CliOptions {
   uint32_t trace_buffer = 0;  // --trace-buffer=N events/track (0 = default)
   bool json = false;          // --json[=FILE]: RunResult as JSON
   std::string json_path;      // empty = stdout (after the human summary)
+  // ppm::model mode (docs/OBSERVABILITY.md): fit the compositional
+  // performance model from traced modeled runs at --fit-nodes, then
+  // evaluate it at --predict node counts and/or check it against the
+  // simulator at --validate node counts. With --json the document is
+  // schema "ppm_model/v1" instead of "ppm_cli/v1".
+  bool model = false;
+  std::vector<int> fit_nodes = {2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> predict_nodes;
+  std::vector<int> validate_nodes;
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -66,9 +77,31 @@ struct CliOptions {
       "          [--dist=block|cyclic|adaptive] [--calibration=F]\n"
       "          [--profile] [--check] [--trace=FILE.json]\n"
       "          [--trace-bin=FILE.bin] [--trace-buffer=EVENTS]\n"
-      "          [--json[=FILE]]\n",
+      "          [--json[=FILE]]\n"
+      "          [--model] [--fit-nodes=N1,N2,...] [--predict=N1,N2,...]\n"
+      "          [--validate=N1,N2,...]\n"
+      "model mode fits the ppm::model performance model from traced\n"
+      "modeled-only runs at --fit-nodes (default 2..8), predicts vtime/\n"
+      "bytes/messages at --predict counts, and compares predictions with\n"
+      "the simulator at --validate counts; --predict/--validate imply\n"
+      "--model.\n",
       argv0);
   std::exit(2);
+}
+
+std::vector<int> parse_int_list(const char* v, const char* argv0) {
+  std::vector<int> out;
+  const char* p = v;
+  while (true) {
+    char* end = nullptr;
+    const long n = std::strtol(p, &end, 10);
+    if (end == p || n < 2) usage(argv0);
+    out.push_back(static_cast<int>(n));
+    if (*end == '\0') break;
+    if (*end != ',') usage(argv0);
+    p = end + 1;
+  }
+  return out;
 }
 
 CliOptions parse(int argc, char** argv) {
@@ -124,6 +157,17 @@ CliOptions parse(int argc, char** argv) {
       opt.json_path = v;
     } else if (arg == "--json") {
       opt.json = true;
+    } else if (arg == "--model") {
+      opt.model = true;
+    } else if (const char* v = value_of("--fit-nodes=")) {
+      opt.fit_nodes = parse_int_list(v, argv[0]);
+      opt.model = true;
+    } else if (const char* v = value_of("--predict=")) {
+      opt.predict_nodes = parse_int_list(v, argv[0]);
+      opt.model = true;
+    } else if (const char* v = value_of("--validate=")) {
+      opt.validate_nodes = parse_int_list(v, argv[0]);
+      opt.model = true;
     } else if (arg == "--profile") {
       opt.profile = true;
     } else if (arg == "--check") {
@@ -137,17 +181,21 @@ CliOptions parse(int argc, char** argv) {
 
 void print_profile(NodeRuntime& rt) {
   std::printf("phase profile (node 0):\n");
-  std::printf("  %-5s %-6s %-12s %10s %12s %12s %8s\n", "#", "scope",
-              "label", "VPs", "compute_us", "commit_us", "writes");
+  std::printf("  %-5s %-6s %-12s %10s %12s %12s %8s %8s %10s\n", "#",
+              "scope", "label", "VPs", "compute_us", "commit_us", "writes",
+              "accums", "red_saved");
   for (const auto& p : rt.phase_profiles()) {
-    std::printf("  %-5llu %-6s %-12s %10llu %12.1f %12.1f %8llu\n",
-                static_cast<unsigned long long>(p.phase_index),
-                p.global ? "global" : "node",
-                p.label.empty() ? "-" : p.label.c_str(),
-                static_cast<unsigned long long>(p.k_local),
-                static_cast<double>(p.compute_ns()) * 1e-3,
-                static_cast<double>(p.commit_ns()) * 1e-3,
-                static_cast<unsigned long long>(p.write_entries));
+    std::printf(
+        "  %-5llu %-6s %-12s %10llu %12.1f %12.1f %8llu %8llu %10llu\n",
+        static_cast<unsigned long long>(p.phase_index),
+        p.global ? "global" : "node",
+        p.label.empty() ? "-" : p.label.c_str(),
+        static_cast<unsigned long long>(p.k_local),
+        static_cast<double>(p.compute_ns()) * 1e-3,
+        static_cast<double>(p.commit_ns()) * 1e-3,
+        static_cast<unsigned long long>(p.write_entries),
+        static_cast<unsigned long long>(p.accums_executed),
+        static_cast<unsigned long long>(p.reduction_bytes_saved));
   }
 }
 
@@ -244,20 +292,26 @@ std::string result_to_json(const CliOptions& opt, int effective_sim_threads,
               "\"label\": \"%s\", \"vps\": %" PRIu64
               ", \"compute_ns\": %" PRId64 ", \"commit_ns\": %" PRId64
               ", \"write_entries\": %" PRIu64 ", \"fetch_stall_ns\": %" PRIu64
-              "}%s\n",
+              ", \"accums_executed\": %" PRIu64
+              ", \"reduction_bytes_saved\": %" PRIu64 "}%s\n",
               p.phase_index, p.global ? "global" : "node", p.label.c_str(),
               p.k_local, p.compute_ns(), p.commit_ns(), p.write_entries,
-              p.fetch_stall_ns, i + 1 < profiles.size() ? "," : "");
+              p.fetch_stall_ns, p.accums_executed, p.reduction_bytes_saved,
+              i + 1 < profiles.size() ? "," : "");
     }
     out += " ]";
   }
   if (r.trace_summary.events != 0) {
     const auto& t = r.trace_summary;
     int64_t critical_path_ns = 0;
+    int64_t compute_critical_ns = 0;
+    int64_t commit_critical_ns = 0;
     double imbalance_max = 0.0;
     double imbalance_sum = 0.0;
     for (const auto& p : t.phases) {
       critical_path_ns += p.compute_max_ns + p.commit_max_ns;
+      compute_critical_ns += p.compute_max_ns;
+      commit_critical_ns += p.commit_max_ns;
       imbalance_max = std::max(imbalance_max, p.imbalance());
       imbalance_sum += p.imbalance();
     }
@@ -266,6 +320,10 @@ std::string result_to_json(const CliOptions& opt, int effective_sim_threads,
             ", \"phases\": %zu,\n  ",
             t.events, t.dropped, t.phases.size());
     appendf(out, "\"critical_path_ns\": %" PRId64 ", ", critical_path_ns);
+    appendf(out, "\"compute_critical_ns\": %" PRId64 ", ",
+            compute_critical_ns);
+    appendf(out, "\"commit_critical_ns\": %" PRId64 ",\n  ",
+            commit_critical_ns);
     appendf(out, "\"imbalance_max\": %.6f, ", imbalance_max);
     appendf(out, "\"imbalance_mean\": %.6f,\n  ",
             t.phases.empty()
@@ -284,16 +342,7 @@ std::string result_to_json(const CliOptions& opt, int effective_sim_threads,
   return out;
 }
 
-int run_cli(const CliOptions& opt) {
-  // Bare --json promises clean JSON on stdout: divert the human
-  // narrative (including the apps' own progress lines) to stderr and
-  // restore stdout just before emitting the document.
-  int saved_stdout = -1;
-  if (opt.json && opt.json_path.empty()) {
-    std::fflush(stdout);
-    saved_stdout = dup(STDOUT_FILENO);
-    dup2(STDERR_FILENO, STDOUT_FILENO);
-  }
+PpmConfig build_config(const CliOptions& opt) {
   PpmConfig cfg;
   cfg.machine.nodes = opt.nodes;
   cfg.machine.cores_per_node = opt.cores;
@@ -313,13 +362,31 @@ int run_cli(const CliOptions& opt) {
                       opt.profile;
   if (opt.trace_buffer != 0) cfg.runtime.trace_buffer_events = opt.trace_buffer;
   cfg.runtime.adaptive_distribution = opt.dist == Distribution::kAdaptive;
+  return cfg;
+}
+
+/// One complete app run on its own simulated machine. The machine and
+/// runtime stay alive past collect() so callers can still reach node 0's
+/// phase profiles and the trace recorder.
+struct AppExecution {
+  std::unique_ptr<cluster::Machine> machine;
+  std::unique_ptr<Runtime> runtime;
+  RunResult result;
+};
+
+/// Build a fresh machine from cfg and run the selected app on it once
+/// (model mode runs this in a loop over node counts). Returns 0, or 2
+/// for an unknown --app.
+int execute_app(const CliOptions& opt, const PpmConfig& cfg,
+                AppExecution& ex) {
+  ex.machine = std::make_unique<cluster::Machine>(cfg.machine);
+  ex.runtime = std::make_unique<Runtime>(*ex.machine, cfg.runtime);
+  cluster::Machine& machine = *ex.machine;
+  Runtime& runtime = *ex.runtime;
+  RunResult& result = ex.result;
 
   const apps::cg::CgOptions cg_opts{.max_iterations = opt.max_iterations,
                                     .tolerance = opt.tolerance};
-
-  cluster::Machine machine(cfg.machine);
-  Runtime runtime(machine, cfg.runtime);
-  RunResult result;
 
   auto execute = [&](const std::function<void(Env&)>& program) {
     machine.run_per_node([&](int node) {
@@ -441,6 +508,212 @@ int run_cli(const CliOptions& opt) {
     std::fprintf(stderr, "unknown app '%s'\n", opt.app.c_str());
     return 2;
   }
+  return 0;
+}
+
+// ---- ppm::model mode (docs/OBSERVABILITY.md) --------------------------
+
+struct ModelValidation {
+  int nodes = 0;
+  int64_t measured_vtime_ns = 0;
+  double predicted_vtime_ns = 0;
+  double rel_err = 0;  // predicted/measured - 1
+};
+
+// Schema "ppm_model/v1" (docs/TESTING.md): fitted counter shapes and term
+// coefficients (the drift oracle's inputs), per-fit residuals, and the
+// requested predictions/validations.
+std::string model_to_json(const CliOptions& opt, const model::Model& mdl,
+                          std::span<const model::Observation> obs,
+                          std::span<const model::Prediction> preds,
+                          std::span<const ModelValidation> vals) {
+  std::string out;
+  out.reserve(4096);
+  out += "{\n \"schema\": \"ppm_model/v1\",\n ";
+  appendf(out, "\"app\": \"%s\", \"cores\": %d,\n ", opt.app.c_str(),
+          mdl.cores);
+  appendf(out,
+          "\"machine\": {\"latency_ns\": %.1f, \"bytes_per_ns\": %.3f, "
+          "\"send_overhead_ns\": %.1f, \"recv_overhead_ns\": %.1f},\n ",
+          mdl.costs.latency_ns, mdl.costs.bytes_per_ns,
+          mdl.costs.send_overhead_ns, mdl.costs.recv_overhead_ns);
+  out += "\"fit_nodes\": [";
+  for (size_t i = 0; i < mdl.fit_nodes.size(); ++i) {
+    appendf(out, "%s%d", i != 0 ? ", " : "", mdl.fit_nodes[i]);
+  }
+  out += "],\n \"counters\": [\n";
+  for (size_t i = 0; i < model::kCounters; ++i) {
+    const model::Shape& s = mdl.counters[i];
+    appendf(out,
+            "  {\"name\": \"%s\", \"a\": %.17g, \"b\": %.17g, "
+            "\"exponent\": %.6f, \"log_power\": %d, \"formula\": \"%s\"}%s\n",
+            model::kCounterNames[i], s.a, s.b, s.exponent, s.log_power,
+            s.formula().c_str(), i + 1 < model::kCounters ? "," : "");
+  }
+  out += " ],\n \"terms\": [\n";
+  for (size_t i = 0; i < mdl.terms.size(); ++i) {
+    const auto& t = mdl.terms[i];
+    appendf(out,
+            "  {\"name\": \"%s\", \"coefficient\": %.17g, "
+            "\"prior\": %.2f}%s\n",
+            t.name.c_str(), t.coefficient, t.prior,
+            i + 1 < mdl.terms.size() ? "," : "");
+  }
+  out += " ],\n \"fit\": [\n";
+  for (size_t i = 0; i < obs.size(); ++i) {
+    appendf(out,
+            "  {\"nodes\": %d, \"measured_vtime_ns\": %" PRId64
+            ", \"rel_err\": %.6f}%s\n",
+            obs[i].nodes, obs[i].vtime_ns, mdl.fit_rel_err[i],
+            i + 1 < obs.size() ? "," : "");
+  }
+  out += " ],\n \"predictions\": [\n";
+  for (size_t i = 0; i < preds.size(); ++i) {
+    const auto& p = preds[i];
+    appendf(out,
+            "  {\"nodes\": %d, \"vtime_ns\": %.1f, \"messages\": %.1f, "
+            "\"bytes\": %.1f, \"fetches\": %.1f, \"stall_ns\": %.1f, "
+            "\"accums_executed\": %.1f, \"reduction_bytes_saved\": %.1f, "
+            "\"terms_ns\": {",
+            p.nodes, p.vtime_ns, p.messages, p.bytes, p.fetches, p.stall_ns,
+            p.accums_executed, p.reduction_bytes_saved);
+    for (size_t t = 0; t < model::kTerms; ++t) {
+      appendf(out, "%s\"%s\": %.1f", t != 0 ? ", " : "",
+              model::kTermNames[t], p.term_ns[t]);
+    }
+    appendf(out, "}}%s\n", i + 1 < preds.size() ? "," : "");
+  }
+  out += " ],\n \"validation\": [\n";
+  for (size_t i = 0; i < vals.size(); ++i) {
+    const auto& v = vals[i];
+    appendf(out,
+            "  {\"nodes\": %d, \"measured_vtime_ns\": %" PRId64
+            ", \"predicted_vtime_ns\": %.1f, \"rel_err\": %.6f}%s\n",
+            v.nodes, v.measured_vtime_ns, v.predicted_vtime_ns, v.rel_err,
+            i + 1 < vals.size() ? "," : "");
+  }
+  out += " ]\n}\n";
+  return out;
+}
+
+/// Fit the model from traced modeled runs at opt.fit_nodes, predict at
+/// opt.predict_nodes, validate against the simulator at
+/// opt.validate_nodes. Fit and validation runs force modeled-only
+/// calibration: virtual time is then bit-deterministic, so the fitted
+/// coefficients (and the CI drift oracle built on them) are exactly
+/// reproducible.
+int run_model(const CliOptions& opt, std::string* json_out) {
+  std::vector<model::Observation> obs;
+  for (int n : opt.fit_nodes) {
+    CliOptions o = opt;
+    o.nodes = n;
+    o.profile = false;
+    o.check = false;
+    PpmConfig cfg = build_config(o);
+    cfg.machine.engine.calibration = sim::CalibrationMode::kModeledOnly;
+    cfg.runtime.trace = true;  // the critical-path split needs the tracer
+    cfg.runtime.profile_phases = false;
+    std::printf("model: fit run at %d nodes\n", n);
+    AppExecution ex;
+    if (const int rc = execute_app(o, cfg, ex); rc != 0) return rc;
+    obs.push_back(model::observe(n, opt.cores, ex.result));
+  }
+  const model::Model mdl = model::fit(
+      obs, model::MachineCosts::from_config(build_config(opt).machine));
+  std::fputs(mdl.to_string().c_str(), stdout);
+
+  std::vector<model::Prediction> preds;
+  preds.reserve(opt.predict_nodes.size());
+  for (int n : opt.predict_nodes) preds.push_back(mdl.predict(n));
+  if (!preds.empty()) {
+    std::printf("predictions:\n  %-6s %12s %14s %12s %12s\n", "N",
+                "vtime_ms", "messages", "MB", "fetches");
+    for (const auto& p : preds) {
+      std::printf("  %-6d %12.3f %14.0f %12.2f %12.0f\n", p.nodes,
+                  p.vtime_ns * 1e-6, p.messages, p.bytes / 1048576.0,
+                  p.fetches);
+    }
+  }
+
+  std::vector<ModelValidation> vals;
+  for (int n : opt.validate_nodes) {
+    CliOptions o = opt;
+    o.nodes = n;
+    o.profile = false;
+    o.check = false;
+    PpmConfig cfg = build_config(o);
+    cfg.machine.engine.calibration = sim::CalibrationMode::kModeledOnly;
+    cfg.runtime.profile_phases = false;
+    std::printf("model: validation run at %d nodes\n", n);
+    AppExecution ex;
+    if (const int rc = execute_app(o, cfg, ex); rc != 0) return rc;
+    const model::Prediction p = mdl.predict(n);
+    ModelValidation v;
+    v.nodes = n;
+    v.measured_vtime_ns = ex.result.duration_ns;
+    v.predicted_vtime_ns = p.vtime_ns;
+    v.rel_err =
+        p.vtime_ns / static_cast<double>(ex.result.duration_ns) - 1.0;
+    vals.push_back(v);
+  }
+  if (!vals.empty()) {
+    std::printf("validation (model vs simulator):\n  %-6s %14s %14s %8s\n",
+                "N", "measured_ms", "model_ms", "err");
+    for (const auto& v : vals) {
+      std::printf("  %-6d %14.3f %14.3f %+7.1f%%\n", v.nodes,
+                  static_cast<double>(v.measured_vtime_ns) * 1e-6,
+                  v.predicted_vtime_ns * 1e-6, v.rel_err * 100.0);
+    }
+  }
+  if (json_out != nullptr) {
+    *json_out = model_to_json(opt, mdl, obs, preds, vals);
+  }
+  return 0;
+}
+
+int run_cli(const CliOptions& opt) {
+  // Bare --json promises clean JSON on stdout: divert the human
+  // narrative (including the apps' own progress lines) to stderr and
+  // restore stdout just before emitting the document.
+  int saved_stdout = -1;
+  if (opt.json && opt.json_path.empty()) {
+    std::fflush(stdout);
+    saved_stdout = dup(STDOUT_FILENO);
+    dup2(STDERR_FILENO, STDOUT_FILENO);
+  }
+  auto restore_stdout = [&] {
+    if (saved_stdout != -1) {
+      std::fflush(stdout);
+      dup2(saved_stdout, STDOUT_FILENO);
+      close(saved_stdout);
+      saved_stdout = -1;
+    }
+  };
+  auto emit_json = [&](const std::string& json) -> int {
+    restore_stdout();
+    if (opt.json_path.empty()) {
+      std::fputs(json.c_str(), stdout);
+    } else if (!write_file(opt.json_path, json.data(), json.size())) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   opt.json_path.c_str());
+      return 1;
+    }
+    return 0;
+  };
+
+  if (opt.model) {
+    std::string json;
+    const int rc = run_model(opt, opt.json ? &json : nullptr);
+    if (rc != 0) return rc;
+    restore_stdout();
+    return opt.json ? emit_json(json) : 0;
+  }
+
+  const PpmConfig cfg = build_config(opt);
+  AppExecution ex;
+  if (const int rc = execute_app(opt, cfg, ex); rc != 0) return rc;
+  RunResult& result = ex.result;
+  Runtime& runtime = *ex.runtime;
 
   print_result(result);
   if (runtime.trace() != nullptr) {
@@ -475,20 +748,10 @@ int run_cli(const CliOptions& opt) {
     std::fputs(result.check_report.to_string().c_str(), stdout);
     if (!result.check_report.clean()) return 3;
   }
-  if (saved_stdout != -1) {
-    std::fflush(stdout);
-    dup2(saved_stdout, STDOUT_FILENO);
-    close(saved_stdout);
-  }
+  restore_stdout();
   if (opt.json) {
-    const std::string json =
-        result_to_json(opt, machine.sim_threads(), result, runtime.node(0));
-    if (opt.json_path.empty()) {
-      std::fputs(json.c_str(), stdout);
-    } else if (!write_file(opt.json_path, json.data(), json.size())) {
-      std::fprintf(stderr, "error: cannot write %s\n", opt.json_path.c_str());
-      return 1;
-    }
+    return emit_json(result_to_json(opt, ex.machine->sim_threads(), result,
+                                    runtime.node(0)));
   }
   return 0;
 }
